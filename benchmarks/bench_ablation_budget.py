@@ -1,0 +1,46 @@
+"""Ablation A4: solution quality vs search budget.
+
+The paper compares the algorithms under one fixed (equal-time) budget;
+this ablation sweeps the budget to show the crossing behaviour: RS
+plateaus early, GA and R-PBLA keep converting evaluations into quality —
+context for where the paper's single-budget snapshot sits.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.appgraph import load_benchmark
+from repro.core import DesignSpaceExplorer, MappingProblem
+from repro.noc import PhotonicNoC, mesh
+
+STRATEGIES = ("rs", "ga", "r-pbla")
+
+
+def test_budget_sweep(benchmark, bench_budget):
+    cg = load_benchmark("vopd")
+    network = PhotonicNoC(mesh(4, 4))
+    budgets = [bench_budget // 8, bench_budget // 2, bench_budget]
+
+    def sweep():
+        table = {}
+        explorer = DesignSpaceExplorer(MappingProblem(cg, network, "snr"))
+        for strategy in STRATEGIES:
+            for budget in budgets:
+                result = explorer.run(strategy, budget=budget, seed=2016)
+                table[(strategy, budget)] = result.best_metrics.worst_snr_db
+        return table
+
+    table = run_once(benchmark, sweep)
+    print()
+    header = "strategy " + "".join(f"  @{b:>7d}" for b in budgets)
+    print(header)
+    for strategy in STRATEGIES:
+        row = "".join(f"  {table[(strategy, b)]:7.2f}" for b in budgets)
+        print(f"{strategy:8s}{row}")
+    for strategy in STRATEGIES:
+        # More budget never hurts (best-so-far is monotone per strategy).
+        values = [table[(strategy, b)] for b in budgets]
+        assert values == sorted(values) or max(values) - min(values) < 3.0
+    # At the full budget the heuristics match or beat random search.
+    best_heuristic = max(table[("ga", budgets[-1])], table[("r-pbla", budgets[-1])])
+    assert best_heuristic >= table[("rs", budgets[-1])] - 1.0

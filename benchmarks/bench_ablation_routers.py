@@ -1,0 +1,51 @@
+"""Ablation A1: router microarchitecture (Crux vs crossbars).
+
+Not a paper table — a design-choice bench DESIGN.md calls out: how much of
+the result depends on the Crux reconstruction? The full crossbar pays ~4x
+Crux's transit loss; the reduced crossbar sits between.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.appgraph import load_benchmark
+from repro.core import DesignSpaceExplorer, MappingProblem
+from repro.noc import PhotonicNoC, mesh
+
+ROUTERS = ("crux", "reduced_crossbar", "crossbar")
+
+
+@pytest.mark.parametrize("router", ROUTERS)
+def test_router_ablation(benchmark, router, bench_budget):
+    cg = load_benchmark("pip")
+    network = PhotonicNoC(mesh(3, 3), router=router)
+
+    def optimize():
+        explorer = DesignSpaceExplorer(MappingProblem(cg, network, "loss"))
+        return explorer.run("r-pbla", budget=bench_budget, seed=2016)
+
+    result = run_once(benchmark, optimize)
+    transit = network.router_spec.connection_loss_db("W_in", "E_out")
+    print()
+    print(
+        f"router={router:17s} rings={network.router_spec.ring_count:2d} "
+        f"transit={transit:7.3f} dB  optimized worst loss="
+        f"{result.best_metrics.worst_insertion_loss_db:7.3f} dB"
+    )
+    assert result.best_metrics.worst_insertion_loss_db < 0
+
+
+def test_crux_wins_the_ablation(bench_budget):
+    """Crux's optimized worst-case loss beats the full crossbar's."""
+    cg = load_benchmark("pip")
+    losses = {}
+    for router in ("crux", "crossbar"):
+        network = PhotonicNoC(mesh(3, 3), router=router)
+        explorer = DesignSpaceExplorer(MappingProblem(cg, network, "loss"))
+        result = explorer.run("r-pbla", budget=bench_budget, seed=2016)
+        losses[router] = result.best_metrics.worst_insertion_loss_db
+    print()
+    print(f"optimized worst loss: crux {losses['crux']:.3f} dB, "
+          f"crossbar {losses['crossbar']:.3f} dB")
+    assert losses["crux"] > losses["crossbar"]

@@ -1,0 +1,30 @@
+"""Ablation A2: network scalability (the abstract's claim, quantified).
+
+Worst-case loss/SNR and required laser power versus mesh size, for random
+vs optimized mappings. The paper's claim — mapping optimization "enables
+improved network scalability" — shows up as the optimized laser-power
+curve growing much more slowly with size.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_scalability, scalability_study
+
+
+def test_scalability_study(benchmark, bench_budget):
+    rows = run_once(
+        benchmark,
+        scalability_study,
+        sides=(3, 4, 5),
+        budget=max(1000, bench_budget // 2),
+        seed=7,
+    )
+    print()
+    print(format_scalability(rows))
+    # Loss degrades with size for random mappings...
+    assert rows[-1].random_loss_db < rows[0].random_loss_db
+    # ...and optimization recovers a meaningful margin at every size.
+    for row in rows:
+        assert row.optimized_loss_db >= row.random_loss_db
+        assert row.optimized_laser_dbm <= row.random_laser_dbm
+    # The optimized margin at the largest size is visible (> 0.2 dB).
+    assert rows[-1].optimized_loss_db - rows[-1].random_loss_db > 0.2

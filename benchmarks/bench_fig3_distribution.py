@@ -1,0 +1,37 @@
+"""Regenerates paper Fig. 3: worst-case SNR / power-loss distributions of
+random mappings for the eight applications on mesh + Crux.
+
+The paper samples 100,000 mappings per application; the bench defaults to
+``REPRO_BENCH_SAMPLES`` (5000) so the suite stays fast — the distribution
+shape (and the paper's point: enormous spread) is already stable there.
+``examples/reproduce_fig3.py`` runs the full count.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_fig3, reproduce_fig3
+from repro.appgraph import BENCHMARK_NAMES
+
+
+@pytest.mark.parametrize("application", BENCHMARK_NAMES)
+def test_fig3_distribution(benchmark, application, bench_samples):
+    """One Fig. 3 curve: the random-mapping distribution of one app."""
+    results = run_once(
+        benchmark,
+        reproduce_fig3,
+        applications=(application,),
+        n_samples=bench_samples,
+        seed=2016,
+    )
+    result = results[application]
+    snr = result.summary("snr")
+    loss = result.summary("loss")
+    print()
+    print(format_fig3(results))
+    # Fig. 3's headline observation: mapping choice changes the worst-case
+    # metrics dramatically.
+    assert snr["spread"] > 3.0
+    assert loss["spread"] > 0.4
+    # Fig. 3 axis ranges: losses fall in (-4, 0) dB territory.
+    assert -5.5 < loss["min"] < loss["max"] < 0.0

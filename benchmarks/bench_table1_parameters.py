@@ -1,0 +1,30 @@
+"""Regenerates paper Table I: loss and crosstalk parameters.
+
+The table is pure data, so this bench doubles as the timing of the
+parameter-and-element layer (table rendering plus a Crux compile, which
+consumes every Table I coefficient).
+"""
+
+from repro.analysis import reproduce_table1
+from repro.photonics import PhysicalParameters
+from repro.router import build_crux
+
+
+def test_table1_parameters(benchmark):
+    """Render Table I and compile Crux against it."""
+
+    def regenerate():
+        table = reproduce_table1()
+        params = PhysicalParameters()
+        router = build_crux(params)
+        return table, router
+
+    table, router = benchmark(regenerate)
+    print()
+    print(table)
+    print(
+        f"(consumed by the Crux compile: {router.ring_count} rings, "
+        f"{router.crossing_count} crossings)"
+    )
+    assert "Kp,off" in table
+    assert router.ring_count == 12

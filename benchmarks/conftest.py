@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every paper artefact has a bench that regenerates it. Benches default to
+*reduced* workloads so ``pytest benchmarks/ --benchmark-only`` stays
+minutes-scale; the full paper-scale runs live in ``examples/`` and the
+knobs below can restore them here too:
+
+* ``REPRO_BENCH_BUDGET``  — optimizer evaluations per strategy run
+  (default 4000; the paper-scale analogue is 100000+),
+* ``REPRO_BENCH_SAMPLES`` — random mappings for the Fig. 3 distributions
+  (default 5000; the paper uses 100000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def bench_budget() -> int:
+    return _env_int("REPRO_BENCH_BUDGET", 4000)
+
+
+@pytest.fixture(scope="session")
+def bench_samples() -> int:
+    return _env_int("REPRO_BENCH_SAMPLES", 5000)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

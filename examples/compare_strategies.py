@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Compare all five optimization strategies on one problem.
+
+Runs the paper's three strategies (RS, GA, R-PBLA) plus the two
+extensions (simulated annealing, tabu search) under one equal budget on
+the VOPD/mesh crosstalk problem, printing final quality and convergence
+waypoints.
+
+Run:  python examples/compare_strategies.py [--app vopd] [--budget N]
+"""
+
+import argparse
+
+from repro import DesignSpaceExplorer, MappingProblem, PhotonicNoC, mesh, torus
+from repro.appgraph import BENCHMARK_NAMES, grid_side_for, load_benchmark
+from repro.core import available_strategies
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", choices=BENCHMARK_NAMES, default="vopd")
+    parser.add_argument("--topology", choices=("mesh", "torus"), default="mesh")
+    parser.add_argument("--objective", choices=("snr", "loss"), default="snr")
+    parser.add_argument("--budget", type=int, default=30_000)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    cg = load_benchmark(args.app)
+    side = grid_side_for(cg)
+    build = mesh if args.topology == "mesh" else torus
+    network = PhotonicNoC(build(side, side))
+    problem = MappingProblem(cg, network, args.objective)
+    explorer = DesignSpaceExplorer(problem)
+
+    print(
+        f"{args.app} on {side}x{side} {args.topology}, objective={args.objective}, "
+        f"budget={args.budget} evaluations\n"
+    )
+    results = {}
+    for name in sorted(available_strategies()):
+        results[name] = explorer.run(name, budget=args.budget, seed=args.seed)
+
+    print(f"{'strategy':10s} {'score':>9s} {'worst SNR':>10s} {'worst loss':>11s}")
+    for name, result in sorted(
+        results.items(), key=lambda item: -item[1].best_score
+    ):
+        metrics = result.best_metrics
+        print(
+            f"{name:10s} {result.best_score:9.2f} {metrics.worst_snr_db:10.2f} "
+            f"{metrics.worst_insertion_loss_db:11.2f}"
+        )
+
+    print("\nconvergence (evaluations -> best score):")
+    for name, result in results.items():
+        waypoints = result.history
+        shown = waypoints[:: max(1, len(waypoints) // 6)][:6]
+        trace = ", ".join(f"{e}:{s:.2f}" for e, s in shown)
+        print(f"  {name:10s} {trace}")
+
+
+if __name__ == "__main__":
+    main()

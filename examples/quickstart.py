@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: map one application onto a photonic NoC and optimize it.
+
+This is the one-minute tour of the public API:
+
+1. load an application Communication Graph (paper Def. 1),
+2. assemble a photonic NoC (topology + optical router + routing),
+3. evaluate a random mapping (worst-case insertion loss and SNR),
+4. optimize the mapping with the paper's R-PBLA heuristic,
+5. translate the result into a laser power requirement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DesignSpaceExplorer,
+    Mapping,
+    MappingProblem,
+    PhotonicNoC,
+    PowerBudget,
+    load_benchmark,
+    mesh,
+    required_laser_power_dbm,
+)
+
+
+def main() -> None:
+    # 1. The application: the VOPD video decoder (16 tasks).
+    cg = load_benchmark("vopd")
+    print(f"application: {cg.name} — {cg.n_tasks} tasks, {cg.n_edges} edges")
+
+    # 2. The architecture: 4x4 mesh of Crux routers, XY routing (the
+    #    paper's case-study fabric). Table I physics by default.
+    network = PhotonicNoC(mesh(4, 4), router="crux")
+    print(f"architecture: {network}")
+
+    # 3. A random mapping, evaluated.
+    problem = MappingProblem(cg, network, objective="snr")
+    evaluator = problem.evaluator()
+    random_mapping = Mapping.random(cg, problem.n_tiles)
+    random_metrics = evaluator.evaluate(random_mapping)
+    print(
+        f"random mapping : worst SNR {random_metrics.worst_snr_db:6.2f} dB, "
+        f"worst loss {random_metrics.worst_insertion_loss_db:6.2f} dB"
+    )
+
+    # 4. Optimize with the paper's randomized priority-based list algorithm.
+    explorer = DesignSpaceExplorer(problem)
+    result = explorer.run("r-pbla", budget=20_000, seed=1)
+    best = result.best_metrics
+    print(
+        f"optimized (SNR): worst SNR {best.worst_snr_db:6.2f} dB, "
+        f"worst loss {best.worst_insertion_loss_db:6.2f} dB "
+        f"({result.evaluations} evaluations, {result.restarts} restarts)"
+    )
+
+    # 5. What does that buy at the physical level?
+    for label, metrics in (("random", random_metrics), ("optimized", best)):
+        laser = required_laser_power_dbm(
+            metrics.worst_insertion_loss_db, PowerBudget()
+        )
+        print(f"  {label:9s} mapping needs {laser:6.2f} dBm of laser power")
+
+    print("\nbest placement (task -> tile):")
+    for task, tile in result.best_mapping.as_dict().items():
+        print(f"  {task:>12s} -> tile {tile}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Reproduce paper Fig. 3 at full scale: 100,000 random mappings per
+application on mesh + Crux, printing the distribution summaries and ASCII
+cumulative-distribution curves.
+
+Run:  python examples/reproduce_fig3.py [--samples N] [--apps ...]
+"""
+
+import argparse
+
+from repro.analysis import ascii_curve, format_fig3, reproduce_fig3
+from repro.appgraph import BENCHMARK_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--apps", nargs="+", choices=BENCHMARK_NAMES, default=list(BENCHMARK_NAMES)
+    )
+    parser.add_argument(
+        "--no-curves", action="store_true", help="skip the ASCII CDF plots"
+    )
+    args = parser.parse_args()
+
+    results = reproduce_fig3(
+        applications=args.apps, n_samples=args.samples, seed=args.seed
+    )
+    print(format_fig3(results))
+    if not args.no_curves:
+        for name, result in results.items():
+            for metric, label in (("snr", "SNR (dB)"), ("loss", "power loss (dB)")):
+                x, p = result.cdf(metric)
+                print()
+                print(f"--- {name}: cumulative probability vs worst-case {label}")
+                print(ascii_curve(x, p, x_label=label, y_label="P"))
+
+
+if __name__ == "__main__":
+    main()

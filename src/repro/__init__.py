@@ -1,0 +1,125 @@
+"""PhoNoCMap reproduction: mapping design-space exploration for photonic NoCs.
+
+A from-scratch Python implementation of *"PhoNoCMap: an Application Mapping
+Tool for Photonic Networks-on-Chip"* (Fusella & Cilardo, DATE 2016): the
+photonic physical-layer models (insertion loss and first-order crosstalk),
+a fully pluggable architecture description (topologies, optical routers
+compiled from waveguide drawings, routing algorithms), the mapping problem
+formulation, and the design-space-exploration engine with the paper's three
+optimization strategies plus extensions.
+
+Quickstart::
+
+    from repro import (
+        MappingProblem, DesignSpaceExplorer, PhotonicNoC, mesh, load_benchmark,
+    )
+
+    cg = load_benchmark("vopd")
+    network = PhotonicNoC(mesh(4, 4), router="crux")
+    problem = MappingProblem(cg, network, objective="snr")
+    result = DesignSpaceExplorer(problem).run("r-pbla", budget=20_000, seed=1)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.appgraph import (
+    BENCHMARK_NAMES,
+    CommunicationEdge,
+    CommunicationGraph,
+    all_benchmarks,
+    grid_side_for,
+    load_benchmark,
+)
+from repro.core import (
+    DesignSpaceExplorer,
+    GeneticAlgorithm,
+    Mapping,
+    MappingEvaluator,
+    MappingMetrics,
+    MappingProblem,
+    MappingStrategy,
+    Objective,
+    OptimizationResult,
+    PriorityBasedListAlgorithm,
+    RandomSearch,
+    SimulatedAnnealing,
+    TabuSearch,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+)
+from repro.models import (
+    CouplingModel,
+    PowerBudget,
+    required_laser_power_dbm,
+    worst_case_insertion_loss_db,
+)
+from repro.noc import (
+    Floorplan,
+    PhotonicNoC,
+    XYRouting,
+    YXRouting,
+    line,
+    mesh,
+    ring,
+    torus,
+)
+from repro.photonics import PhysicalParameters, default_library
+from repro.router import (
+    RouterLayout,
+    RouterSpec,
+    available_routers,
+    build_router,
+    compile_layout,
+    register_router,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CommunicationEdge",
+    "CommunicationGraph",
+    "all_benchmarks",
+    "grid_side_for",
+    "load_benchmark",
+    "DesignSpaceExplorer",
+    "GeneticAlgorithm",
+    "Mapping",
+    "MappingEvaluator",
+    "MappingMetrics",
+    "MappingProblem",
+    "MappingStrategy",
+    "Objective",
+    "OptimizationResult",
+    "PriorityBasedListAlgorithm",
+    "RandomSearch",
+    "SimulatedAnnealing",
+    "TabuSearch",
+    "available_strategies",
+    "create_strategy",
+    "register_strategy",
+    "CouplingModel",
+    "PowerBudget",
+    "required_laser_power_dbm",
+    "worst_case_insertion_loss_db",
+    "Floorplan",
+    "PhotonicNoC",
+    "XYRouting",
+    "YXRouting",
+    "line",
+    "mesh",
+    "ring",
+    "torus",
+    "PhysicalParameters",
+    "default_library",
+    "RouterLayout",
+    "RouterSpec",
+    "available_routers",
+    "build_router",
+    "compile_layout",
+    "register_router",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Analysis harnesses: the paper's experiments and the extension studies."""
+
+from repro.analysis.distribution import DistributionResult, random_mapping_distribution
+from repro.analysis.inspect import (
+    NoiseContribution,
+    edge_noise_breakdown,
+    mapping_report,
+)
+from repro.analysis.experiments import (
+    PAPER_TABLE2,
+    Table2Cell,
+    Table2Result,
+    build_case_study_network,
+    format_fig3,
+    reproduce_fig3,
+    reproduce_table1,
+    reproduce_table2,
+)
+from repro.analysis.report import ascii_curve, format_db, format_table
+from repro.analysis.scalability import (
+    ScalabilityRow,
+    format_scalability,
+    scalability_study,
+)
+
+__all__ = [
+    "DistributionResult",
+    "random_mapping_distribution",
+    "NoiseContribution",
+    "edge_noise_breakdown",
+    "mapping_report",
+    "PAPER_TABLE2",
+    "Table2Cell",
+    "Table2Result",
+    "build_case_study_network",
+    "format_fig3",
+    "reproduce_fig3",
+    "reproduce_table1",
+    "reproduce_table2",
+    "ascii_curve",
+    "format_db",
+    "format_table",
+    "ScalabilityRow",
+    "format_scalability",
+    "scalability_study",
+]

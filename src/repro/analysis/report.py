@@ -1,0 +1,79 @@
+"""Plain-text reporting helpers: tables and ASCII plots.
+
+The original PhoNoCMap was a GUI-less batch tool; its outputs were tables.
+These helpers render the reproduction's tables and distribution curves as
+monospaced text so every harness can print paper-comparable artefacts
+without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_curve", "format_db"]
+
+
+def format_db(value: float, width: int = 7, precision: int = 2) -> str:
+    """Format a dB figure, rendering the no-noise cap as ``>cap``."""
+    from repro.core.objectives import SNR_CAP_DB
+
+    if value >= SNR_CAP_DB:
+        return f"{'>' + format(SNR_CAP_DB, '.0f'):>{width}}"
+    return f"{value:{width}.{precision}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    columns = len(headers)
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+        cells.append([str(c) for c in row])
+    widths = [max(len(line[i]) for line in cells) for i in range(columns)]
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row_cells in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a curve (e.g. a CDF) as an ASCII plot."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("ascii_curve needs two same-length arrays (>= 2 points)")
+    grid = [[" "] * width for _ in range(height)]
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(y.min()), float(y.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    for xi, yi in zip(x, y):
+        col = int((xi - x_min) / x_span * (width - 1))
+        row = int((yi - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"{y_label} ({y_min:.2f}..{y_max:.2f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.2f} .. {x_max:.2f}")
+    return "\n".join(lines)

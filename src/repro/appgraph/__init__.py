@@ -1,0 +1,60 @@
+"""Application descriptions: communication graphs, benchmarks, IO.
+
+Box (1) of the PhoNoCMap environment (paper Fig. 1): Communication Graphs
+(Definition 1), the eight multimedia applications of the case studies,
+synthetic generators, and file formats.
+"""
+
+from repro.appgraph.benchmarks import (
+    BENCHMARK_NAMES,
+    all_benchmarks,
+    dvopd,
+    grid_side_for,
+    h263dec_mp3dec,
+    h263enc_mp3enc,
+    load_benchmark,
+    mpeg4,
+    mwd,
+    pip,
+    vopd,
+    wavelet,
+)
+from repro.appgraph.graph import CommunicationEdge, CommunicationGraph
+from repro.appgraph.io import (
+    cg_from_dict,
+    cg_from_edge_lines,
+    cg_to_dict,
+    cg_to_dot,
+    cg_to_edge_lines,
+    load_cg_json,
+    save_cg_json,
+)
+from repro.appgraph.synthetic import fork_join_cg, hub_cg, pipeline_cg, random_cg
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "all_benchmarks",
+    "dvopd",
+    "grid_side_for",
+    "h263dec_mp3dec",
+    "h263enc_mp3enc",
+    "load_benchmark",
+    "mpeg4",
+    "mwd",
+    "pip",
+    "vopd",
+    "wavelet",
+    "CommunicationEdge",
+    "CommunicationGraph",
+    "cg_from_dict",
+    "cg_from_edge_lines",
+    "cg_to_dict",
+    "cg_to_dot",
+    "cg_to_edge_lines",
+    "load_cg_json",
+    "save_cg_json",
+    "fork_join_cg",
+    "hub_cg",
+    "pipeline_cg",
+    "random_cg",
+]

@@ -1,0 +1,314 @@
+"""The ``phonocmap`` command line tool.
+
+Subcommands mirror the workflows of the original toolset:
+
+* ``info``        — list registered routers, strategies and benchmarks;
+* ``table1``      — print the physical parameter table (paper Table I);
+* ``evaluate``    — evaluate a random or user-provided mapping;
+* ``optimize``    — run one optimization strategy on one problem;
+* ``table2``      — reproduce the paper's Table II;
+* ``fig3``        — reproduce the paper's Fig. 3 distributions;
+* ``scalability`` — the network-scalability extension study;
+* ``export``      — dump a benchmark CG as JSON/DOT/edge list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis.distribution import random_mapping_distribution
+from repro.analysis.experiments import (
+    build_case_study_network,
+    format_fig3,
+    reproduce_fig3,
+    reproduce_table1,
+    reproduce_table2,
+)
+from repro.analysis.report import ascii_curve, format_db
+from repro.analysis.scalability import format_scalability, scalability_study
+from repro.appgraph.benchmarks import (
+    BENCHMARK_NAMES,
+    grid_side_for,
+    load_benchmark,
+)
+from repro.appgraph.io import cg_to_dict, cg_to_dot, cg_to_edge_lines, load_cg_json
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.mapping import Mapping
+from repro.core.problem import MappingProblem
+from repro.core.registry import available_strategies
+from repro.errors import ReproError
+from repro.router.registry import available_routers
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_architecture_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", choices=("mesh", "torus"), default="mesh",
+        help="tile interconnection (default: mesh)",
+    )
+    parser.add_argument(
+        "--side", type=int, default=None,
+        help="grid side; default: smallest square fitting the application",
+    )
+    parser.add_argument(
+        "--router", default="crux", choices=available_routers(),
+        help="optical router microarchitecture (default: crux)",
+    )
+
+
+def _add_application_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--app", choices=BENCHMARK_NAMES, help="built-in benchmark application"
+    )
+    group.add_argument(
+        "--cg-json", metavar="FILE", help="communication graph JSON file"
+    )
+
+
+def _load_application(args: argparse.Namespace):
+    if args.app:
+        return load_benchmark(args.app)
+    return load_cg_json(args.cg_json)
+
+
+def _build_network(args: argparse.Namespace, cg):
+    side = args.side if args.side is not None else grid_side_for(cg)
+    return build_case_study_network(args.topology, side, args.router)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phonocmap",
+        description=(
+            "PhoNoCMap reproduction: application mapping design-space "
+            "exploration for photonic networks-on-chip (DATE 2016)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="list routers, strategies, benchmarks")
+    subparsers.add_parser("table1", help="print Table I parameters")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate one mapping (random unless --mapping-json)"
+    )
+    _add_application_arguments(evaluate)
+    _add_architecture_arguments(evaluate)
+    evaluate.add_argument(
+        "--mapping-json", metavar="FILE",
+        help="JSON {task: tile} mapping; random when omitted",
+    )
+    evaluate.add_argument("--seed", type=int, default=None)
+    evaluate.add_argument(
+        "--per-edge", action="store_true", help="print per-edge metrics"
+    )
+    evaluate.add_argument(
+        "--report", action="store_true",
+        help="print the full mapping report with noise breakdowns",
+    )
+
+    optimize = subparsers.add_parser("optimize", help="run one strategy")
+    _add_application_arguments(optimize)
+    _add_architecture_arguments(optimize)
+    optimize.add_argument(
+        "--objective", choices=("snr", "loss"), default="snr",
+        help="optimization objective (default: snr)",
+    )
+    optimize.add_argument(
+        "--strategy", choices=available_strategies(), default="r-pbla"
+    )
+    optimize.add_argument("--budget", type=int, default=20_000)
+    optimize.add_argument("--seed", type=int, default=None)
+    optimize.add_argument(
+        "--mapping-out", metavar="FILE", help="write the best mapping as JSON"
+    )
+
+    table2 = subparsers.add_parser("table2", help="reproduce Table II")
+    table2.add_argument("--budget", type=int, default=20_000)
+    table2.add_argument("--seed", type=int, default=2016)
+    table2.add_argument(
+        "--apps", nargs="+", choices=BENCHMARK_NAMES, default=list(BENCHMARK_NAMES)
+    )
+    table2.add_argument("--router", default="crux", choices=available_routers())
+    table2.add_argument(
+        "--with-paper", action="store_true",
+        help="print the paper's numbers next to the measured ones",
+    )
+
+    fig3 = subparsers.add_parser("fig3", help="reproduce Fig. 3")
+    fig3.add_argument("--samples", type=int, default=100_000)
+    fig3.add_argument("--seed", type=int, default=2016)
+    fig3.add_argument(
+        "--apps", nargs="+", choices=BENCHMARK_NAMES, default=list(BENCHMARK_NAMES)
+    )
+    fig3.add_argument(
+        "--curves", action="store_true", help="also print ASCII CDF curves"
+    )
+
+    scalability = subparsers.add_parser(
+        "scalability", help="network scalability extension study"
+    )
+    scalability.add_argument(
+        "--sides", nargs="+", type=int, default=[3, 4, 5, 6]
+    )
+    scalability.add_argument("--budget", type=int, default=4000)
+    scalability.add_argument("--seed", type=int, default=7)
+
+    export = subparsers.add_parser("export", help="dump a benchmark CG")
+    export.add_argument("--app", choices=BENCHMARK_NAMES, required=True)
+    export.add_argument(
+        "--format", choices=("json", "dot", "edges"), default="json"
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_info(_args) -> int:
+    print("PhoNoCMap reproduction", __version__)
+    print("routers:   ", ", ".join(available_routers()))
+    print("strategies:", ", ".join(available_strategies()))
+    print("benchmarks:")
+    for name in BENCHMARK_NAMES:
+        cg = load_benchmark(name)
+        side = grid_side_for(cg)
+        print(
+            f"  {name:16s} {cg.n_tasks:3d} tasks, {cg.n_edges:3d} edges, "
+            f"{side}x{side} grid"
+        )
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    print(reproduce_table1())
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    cg = _load_application(args)
+    network = _build_network(args, cg)
+    problem = MappingProblem(cg, network)
+    evaluator = problem.evaluator()
+    if args.mapping_json:
+        placement = json.loads(open(args.mapping_json).read())
+        mapping = Mapping.from_dict(cg, placement, problem.n_tiles)
+    else:
+        mapping = Mapping.random(cg, problem.n_tiles, np.random.default_rng(args.seed))
+    metrics = evaluator.evaluate(mapping, with_edges=args.per_edge)
+    print(f"application: {cg.name} ({cg.n_tasks} tasks, {cg.n_edges} edges)")
+    print(f"architecture: {network.signature.split('|params')[0]}")
+    print(f"worst-case SNR:            {format_db(metrics.worst_snr_db)} dB")
+    print(f"worst-case insertion loss: {metrics.worst_insertion_loss_db:7.2f} dB")
+    if args.report:
+        from repro.analysis.inspect import mapping_report
+
+        print()
+        print(mapping_report(evaluator, mapping))
+    if args.per_edge and metrics.edges is not None:
+        for index, edge in enumerate(cg.edges):
+            print(
+                f"  {cg.tasks[edge.src]:>14s} -> {cg.tasks[edge.dst]:<14s} "
+                f"loss {metrics.edges.insertion_loss_db[index]:6.2f} dB   "
+                f"SNR {format_db(metrics.edges.snr_db[index])} dB"
+            )
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    cg = _load_application(args)
+    network = _build_network(args, cg)
+    problem = MappingProblem(cg, network, args.objective)
+    explorer = DesignSpaceExplorer(problem)
+    result = explorer.run(args.strategy, budget=args.budget, seed=args.seed)
+    print(result.summary())
+    print("mapping (task -> tile):")
+    for task, tile in result.best_mapping.as_dict().items():
+        print(f"  {task:>16s} -> {tile}")
+    if args.mapping_out:
+        with open(args.mapping_out, "w") as handle:
+            json.dump(result.best_mapping.as_dict(), handle, indent=2)
+        print(f"mapping written to {args.mapping_out}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    result = reproduce_table2(
+        applications=args.apps,
+        budget=args.budget,
+        seed=args.seed,
+        router=args.router,
+    )
+    print(result.format(with_paper=args.with_paper))
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    results = reproduce_fig3(
+        applications=args.apps, n_samples=args.samples, seed=args.seed
+    )
+    print(format_fig3(results))
+    if args.curves:
+        for name, result in results.items():
+            for metric in ("snr", "loss"):
+                x, p = result.cdf(metric)
+                print()
+                print(f"{name} — cumulative probability vs worst-case {metric}")
+                print(ascii_curve(x, p, x_label=f"{metric} (dB)", y_label="P"))
+    return 0
+
+
+def _cmd_scalability(args) -> int:
+    rows = scalability_study(
+        sides=tuple(args.sides), budget=args.budget, seed=args.seed
+    )
+    print(format_scalability(rows))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    cg = load_benchmark(args.app)
+    if args.format == "json":
+        print(json.dumps(cg_to_dict(cg), indent=2))
+    elif args.format == "dot":
+        print(cg_to_dot(cg), end="")
+    else:
+        print(cg_to_edge_lines(cg), end="")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "table1": _cmd_table1,
+    "evaluate": _cmd_evaluate,
+    "optimize": _cmd_optimize,
+    "table2": _cmd_table2,
+    "fig3": _cmd_fig3,
+    "scalability": _cmd_scalability,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

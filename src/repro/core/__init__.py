@@ -1,0 +1,61 @@
+"""The PhoNoCMap core: problem formulation, evaluation, optimization.
+
+Box (4) of the paper's Fig. 1 — the design space exploration engine: the
+mapping problem of §II-D.1, the mapping evaluator computing worst-case
+power loss and SNR, and the pluggable optimization strategies (RS, GA and
+R-PBLA from the paper, plus simulated annealing and tabu search
+extensions).
+"""
+
+from repro.core.annealing import SimulatedAnnealing
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.evaluator import (
+    BatchMetrics,
+    EdgeMetrics,
+    MappingEvaluator,
+    MappingMetrics,
+)
+from repro.core.genetic import GeneticAlgorithm, pmx_crossover
+from repro.core.mapping import Mapping, random_assignment, random_assignment_batch
+from repro.core.objectives import SNR_CAP_DB, Objective
+from repro.core.pbla import PriorityBasedListAlgorithm, apply_move, swap_moves
+from repro.core.problem import MappingProblem
+from repro.core.random_search import RandomSearch
+from repro.core.registry import (
+    PAPER_STRATEGIES,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+)
+from repro.core.result import OptimizationResult
+from repro.core.strategy import BestTracker, MappingStrategy
+from repro.core.tabu import TabuSearch
+
+__all__ = [
+    "SimulatedAnnealing",
+    "DesignSpaceExplorer",
+    "BatchMetrics",
+    "EdgeMetrics",
+    "MappingEvaluator",
+    "MappingMetrics",
+    "GeneticAlgorithm",
+    "pmx_crossover",
+    "Mapping",
+    "random_assignment",
+    "random_assignment_batch",
+    "SNR_CAP_DB",
+    "Objective",
+    "PriorityBasedListAlgorithm",
+    "apply_move",
+    "swap_moves",
+    "MappingProblem",
+    "RandomSearch",
+    "PAPER_STRATEGIES",
+    "available_strategies",
+    "create_strategy",
+    "register_strategy",
+    "OptimizationResult",
+    "BestTracker",
+    "MappingStrategy",
+    "TabuSearch",
+]

@@ -1,0 +1,107 @@
+"""Simulated annealing — an "Other Strategies" extension (paper Fig. 1).
+
+The paper's R-PBLA explicitly forbids uphill moves and compensates with
+restarts; simulated annealing is the classic alternative that escapes local
+minima by accepting uphill moves with a temperature-controlled probability.
+Included as one of the pluggable extension strategies the tool invites.
+
+The initial temperature is calibrated from the score spread of a small
+random sample, so the strategy works untouched across objectives whose
+scales differ (dB of SNR vs dB of loss).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.core.mapping import random_assignment, random_assignment_batch
+from repro.core.result import OptimizationResult
+from repro.core.strategy import BestTracker, MappingStrategy
+from repro.errors import OptimizationError
+
+__all__ = ["SimulatedAnnealing"]
+
+
+class SimulatedAnnealing(MappingStrategy):
+    """Metropolis search over tile swaps with geometric cooling."""
+
+    name = "sa"
+
+    def __init__(
+        self,
+        calibration_samples: int = 32,
+        final_temperature_ratio: float = 1e-3,
+        batch_size: int = 64,
+    ):
+        if calibration_samples < 2:
+            raise OptimizationError("SA needs at least 2 calibration samples")
+        if not (0 < final_temperature_ratio < 1):
+            raise OptimizationError("final temperature ratio must be in (0, 1)")
+        self.calibration_samples = int(calibration_samples)
+        self.final_temperature_ratio = float(final_temperature_ratio)
+        self.batch_size = int(batch_size)
+
+    def _propose(self, assignment: np.ndarray, n_tiles: int,
+                 rng: np.random.Generator) -> np.ndarray:
+        """One random swap/relocation neighbour."""
+        proposal = assignment.copy()
+        task = int(rng.integers(0, len(assignment)))
+        tile = int(rng.integers(0, n_tiles))
+        if tile == assignment[task]:
+            # Proposed its own tile: swap with another random task instead.
+            other = int(
+                (task + 1 + rng.integers(0, len(assignment) - 1))
+                % len(assignment)
+            )
+            proposal[task], proposal[other] = assignment[other], assignment[task]
+            return proposal
+        holder = np.nonzero(assignment == tile)[0]
+        if len(holder):
+            proposal[int(holder[0])] = assignment[task]
+        proposal[task] = tile
+        return proposal
+
+    def _run(
+        self,
+        evaluator: MappingEvaluator,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> OptimizationResult:
+        tracker = BestTracker(evaluator)
+        samples = min(self.calibration_samples, max(2, budget // 4))
+        calibration = random_assignment_batch(
+            samples, evaluator.n_tasks, evaluator.n_tiles, rng
+        )
+        calibration_scores = evaluator.evaluate_batch(calibration).score
+        tracker.offer_batch(calibration, calibration_scores)
+        spread = float(np.std(calibration_scores))
+        initial_temperature = max(spread, 1e-3)
+        current = calibration[int(np.argmax(calibration_scores))].copy()
+        current_score = float(calibration_scores.max())
+
+        total_steps = max(1, budget - samples)
+        cooling = self.final_temperature_ratio ** (1.0 / total_steps)
+        temperature = initial_temperature
+        step = 0
+        while evaluator.evaluations < budget:
+            count = min(self.batch_size, budget - evaluator.evaluations)
+            proposals = np.stack(
+                [self._propose(current, evaluator.n_tiles, rng)
+                 for _ in range(count)]
+            )
+            scores = evaluator.evaluate_batch(proposals).score
+            for k in range(count):
+                delta = float(scores[k]) - current_score
+                if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                    current = proposals[k]
+                    current_score = float(scores[k])
+                    tracker.offer(current, current_score)
+                temperature = max(
+                    temperature * cooling,
+                    initial_temperature * self.final_temperature_ratio,
+                )
+                step += 1
+        return tracker.result(self.name)

@@ -1,0 +1,193 @@
+"""The Mapping Evaluator (paper Fig. 1, box 4).
+
+Computes, for one mapping or a batch of mappings, the worst-case insertion
+loss (eq. 3) and the worst-case SNR (eq. 4) of every CG edge, using the
+precomputed :class:`~repro.models.coupling.CouplingModel` matrices — a
+mapping evaluation reduces to numpy gathers, so the optimizers and the
+100,000-random-mapping experiment stay fast.
+
+Noise aggregation honours the concurrency model of DESIGN.md §3: the noise
+of a victim edge sums the couplings from every other CG edge except those
+sharing the victim's source task (one transmitter) or destination task
+(one receiver), which the hardware serializes.
+
+The evaluator also counts evaluations: the paper compares optimization
+algorithms under the same search effort, and the evaluation count is this
+reproduction's effort currency (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.appgraph.graph import CommunicationGraph
+from repro.core.mapping import Mapping
+from repro.core.objectives import SNR_CAP_DB, Objective
+from repro.core.problem import MappingProblem
+from repro.errors import MappingError
+from repro.models.coupling import CouplingModel
+
+__all__ = ["EdgeMetrics", "MappingMetrics", "BatchMetrics", "MappingEvaluator"]
+
+#: Target bytes per evaluation chunk (keeps the (M, E, E) gather bounded).
+_CHUNK_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EdgeMetrics:
+    """Per-edge physical metrics of one evaluated mapping."""
+
+    insertion_loss_db: np.ndarray
+    snr_db: np.ndarray
+    noise_linear: np.ndarray
+    signal_linear: np.ndarray
+
+
+@dataclass(frozen=True)
+class MappingMetrics:
+    """Scalar metrics of one evaluated mapping."""
+
+    worst_insertion_loss_db: float
+    worst_snr_db: float
+    mean_snr_db: float
+    weighted_loss_db: float
+    score: float
+    edges: Optional[EdgeMetrics] = None
+
+
+@dataclass(frozen=True)
+class BatchMetrics:
+    """Vector metrics of a batch of evaluated mappings."""
+
+    worst_insertion_loss_db: np.ndarray
+    worst_snr_db: np.ndarray
+    score: np.ndarray
+
+
+class MappingEvaluator:
+    """Matrix-backed evaluator for a :class:`MappingProblem`."""
+
+    def __init__(self, problem: MappingProblem, dtype=np.float64) -> None:
+        self.problem = problem
+        self.cg = problem.cg
+        self.network = problem.network
+        self.objective = problem.objective
+        self.model = CouplingModel.for_network(problem.network, dtype=dtype)
+        self._edges = self.cg.edge_array()
+        self._mask = self.cg.serialization_mask()
+        self._bandwidths = self.cg.bandwidth_array()
+        self._bandwidth_weights = self._bandwidths / self._bandwidths.sum()
+        self.evaluations = 0
+
+    # -- batch evaluation ---------------------------------------------------------
+
+    def evaluate_batch(self, assignments: np.ndarray) -> BatchMetrics:
+        """Evaluate a (M, n_tasks) batch of assignments.
+
+        Assignments are trusted to be valid (injective, in range); use
+        :meth:`evaluate` / :class:`Mapping` at API boundaries.
+        """
+        assignments = np.atleast_2d(np.asarray(assignments, dtype=np.int64))
+        n_mappings = assignments.shape[0]
+        if assignments.shape[1] != self.cg.n_tasks:
+            raise MappingError(
+                f"batch has {assignments.shape[1]} tasks per mapping, "
+                f"expected {self.cg.n_tasks}"
+            )
+        n_edges = len(self._edges)
+        chunk = max(1, _CHUNK_BYTES // max(1, 8 * n_edges * n_edges))
+        worst_il = np.empty(n_mappings, dtype=np.float64)
+        worst_snr = np.empty(n_mappings, dtype=np.float64)
+        mean_snr = np.empty(n_mappings, dtype=np.float64)
+        weighted_il = np.empty(n_mappings, dtype=np.float64)
+        for start in range(0, n_mappings, chunk):
+            stop = min(start + chunk, n_mappings)
+            self._evaluate_chunk(
+                assignments[start:stop],
+                worst_il[start:stop],
+                worst_snr[start:stop],
+                mean_snr[start:stop],
+                weighted_il[start:stop],
+            )
+        self.evaluations += n_mappings
+        score = self._score(worst_il, worst_snr, mean_snr, weighted_il)
+        return BatchMetrics(worst_il, worst_snr, score)
+
+    def _edge_tables(self, assignments: np.ndarray):
+        """(il, snr, noise, signal) tables of shape (M, E) for a chunk."""
+        src_tiles = assignments[:, self._edges[:, 0]]
+        dst_tiles = assignments[:, self._edges[:, 1]]
+        pairs = self.model.pair_indices(src_tiles, dst_tiles)
+        il = self.model.insertion_loss_db[pairs]
+        signal = self.model.signal_linear[pairs]
+        grid = self.model.coupling_linear[pairs[:, :, None], pairs[:, None, :]]
+        noise = np.einsum("mve,ve->mv", grid, self._mask.astype(grid.dtype))
+        with np.errstate(divide="ignore"):
+            snr = 10.0 * np.log10(signal / np.where(noise > 0.0, noise, 1.0))
+        snr = np.where(noise > 0.0, snr, SNR_CAP_DB)
+        return il, snr, noise, signal
+
+    def _evaluate_chunk(self, assignments, out_il, out_snr, out_mean, out_weighted):
+        il, snr, _noise, _signal = self._edge_tables(assignments)
+        out_il[:] = il.min(axis=1)
+        out_snr[:] = snr.min(axis=1)
+        out_mean[:] = snr.mean(axis=1)
+        out_weighted[:] = il @ self._bandwidth_weights
+
+    def _score(self, worst_il, worst_snr, mean_snr, weighted_il) -> np.ndarray:
+        if self.objective is Objective.SNR:
+            return worst_snr
+        if self.objective is Objective.INSERTION_LOSS:
+            return worst_il
+        if self.objective is Objective.MEAN_SNR:
+            return mean_snr
+        return weighted_il
+
+    # -- single evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self, mapping: Union[Mapping, np.ndarray], with_edges: bool = False
+    ) -> MappingMetrics:
+        """Evaluate one mapping, optionally keeping per-edge detail."""
+        if isinstance(mapping, Mapping):
+            assignment = mapping.assignment
+        else:
+            assignment = Mapping(
+                self.cg, np.asarray(mapping), self.problem.n_tiles
+            ).assignment
+        batch = assignment[None, :]
+        il, snr, noise, signal = self._edge_tables(batch)
+        self.evaluations += 1
+        worst_il = float(il.min())
+        worst_snr = float(snr.min())
+        mean_snr = float(snr.mean())
+        weighted = float(il[0] @ self._bandwidth_weights)
+        score = float(
+            self._score(
+                np.array([worst_il]),
+                np.array([worst_snr]),
+                np.array([mean_snr]),
+                np.array([weighted]),
+            )[0]
+        )
+        edges = None
+        if with_edges:
+            edges = EdgeMetrics(il[0].copy(), snr[0].copy(), noise[0].copy(), signal[0].copy())
+        return MappingMetrics(worst_il, worst_snr, mean_snr, weighted, score, edges)
+
+    # -- conveniences ------------------------------------------------------------------
+
+    @property
+    def n_tiles(self) -> int:
+        return self.problem.n_tiles
+
+    @property
+    def n_tasks(self) -> int:
+        return self.cg.n_tasks
+
+    def reset_count(self) -> None:
+        """Zero the evaluation counter (used between algorithm runs)."""
+        self.evaluations = 0

@@ -1,0 +1,139 @@
+"""Genetic Algorithm (GA) — paper §II-D.2.
+
+"The genetic algorithm creates a fixed-sized population of candidate
+solutions that, using the crossover and mutation operators, evolves over a
+number of generations toward better solutions."
+
+Encoding: a chromosome is a permutation of *all* tiles; the first
+``n_tasks`` genes are the task assignments and the rest are the unused
+tiles. Keeping the full permutation lets the classic PMX (partially mapped
+crossover) operator preserve injectivity — eq. (6) — by construction, and
+lets mutation move tasks onto empty tiles by swapping into the tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.core.result import OptimizationResult
+from repro.core.strategy import BestTracker, MappingStrategy
+from repro.errors import OptimizationError
+
+__all__ = ["GeneticAlgorithm", "pmx_crossover"]
+
+
+def pmx_crossover(
+    parent_a: np.ndarray, parent_b: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Partially mapped crossover of two permutations of equal length.
+
+    Copies a random slice from parent A and fills the remaining positions
+    with parent B's genes, following PMX's conflict-resolution chain so the
+    child is again a permutation.
+    """
+    size = len(parent_a)
+    child = np.full(size, -1, dtype=np.int64)
+    lo, hi = sorted(rng.choice(size + 1, size=2, replace=False))
+    child[lo:hi] = parent_a[lo:hi]
+    position_in_b = np.empty(size, dtype=np.int64)
+    position_in_b[parent_b] = np.arange(size)
+    in_slice = np.zeros(size, dtype=bool)
+    in_slice[parent_a[lo:hi]] = True
+    for index in range(lo, hi):
+        gene = parent_b[index]
+        if in_slice[gene]:
+            continue
+        # Follow the PMX chain: the displaced gene parent_a[position] sits
+        # at position_in_b of parent B; stop at the first slot outside the
+        # copied slice. The chain cannot revisit a position because the
+        # step map is injective and returning to the start would need
+        # ``gene`` to be a slice gene.
+        position = index
+        while lo <= position < hi:
+            position = position_in_b[parent_a[position]]
+        child[position] = gene
+    empty = child == -1
+    child[empty] = parent_b[empty]
+    return child
+
+
+class GeneticAlgorithm(MappingStrategy):
+    """Tournament-selection GA with PMX crossover and swap mutation."""
+
+    name = "ga"
+
+    def __init__(
+        self,
+        population_size: int = 40,
+        tournament_size: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.3,
+        elite_count: int = 2,
+    ):
+        if population_size < 4:
+            raise OptimizationError("GA population must be at least 4")
+        if not (0 <= crossover_rate <= 1 and 0 <= mutation_rate <= 1):
+            raise OptimizationError("GA rates must lie in [0, 1]")
+        if elite_count >= population_size:
+            raise OptimizationError("GA elite count must be below population size")
+        self.population_size = int(population_size)
+        self.tournament_size = int(tournament_size)
+        self.crossover_rate = float(crossover_rate)
+        self.mutation_rate = float(mutation_rate)
+        self.elite_count = int(elite_count)
+
+    # -- operators -----------------------------------------------------------
+
+    def _mutate(self, chromosome: np.ndarray, rng: np.random.Generator) -> None:
+        """Swap two random genes in place (task<->task or task<->empty)."""
+        i, j = rng.choice(len(chromosome), size=2, replace=False)
+        chromosome[i], chromosome[j] = chromosome[j], chromosome[i]
+
+    def _select(self, scores: np.ndarray, rng: np.random.Generator) -> int:
+        contenders = rng.integers(0, len(scores), size=self.tournament_size)
+        return int(contenders[np.argmax(scores[contenders])])
+
+    # -- main loop ------------------------------------------------------------
+
+    def _run(
+        self,
+        evaluator: MappingEvaluator,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> OptimizationResult:
+        n_tasks = evaluator.n_tasks
+        n_tiles = evaluator.n_tiles
+        population_size = min(self.population_size, budget)
+        # Initial population: random tile permutations.
+        population = np.stack(
+            [rng.permutation(n_tiles) for _ in range(population_size)]
+        ).astype(np.int64)
+        tracker = BestTracker(evaluator)
+        metrics = evaluator.evaluate_batch(population[:, :n_tasks])
+        scores = metrics.score
+        tracker.offer_batch(population[:, :n_tasks], scores)
+        remaining = budget - population_size
+        while remaining > 0:
+            children_count = min(population_size - self.elite_count, remaining)
+            children = np.empty((children_count, n_tiles), dtype=np.int64)
+            for k in range(children_count):
+                a = self._select(scores, rng)
+                if rng.random() < self.crossover_rate:
+                    b = self._select(scores, rng)
+                    child = pmx_crossover(population[a], population[b], rng)
+                else:
+                    child = population[a].copy()
+                if rng.random() < self.mutation_rate:
+                    self._mutate(child, rng)
+                children[k] = child
+            child_scores = evaluator.evaluate_batch(children[:, :n_tasks]).score
+            tracker.offer_batch(children[:, :n_tasks], child_scores)
+            remaining -= children_count
+            # Elitist replacement: keep the best of the old generation.
+            elite_indices = np.argsort(scores)[-self.elite_count:]
+            population = np.concatenate(
+                [population[elite_indices], children], axis=0
+            )
+            scores = np.concatenate([scores[elite_indices], child_scores])
+        return tracker.result(self.name)

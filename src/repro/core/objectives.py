@@ -1,0 +1,66 @@
+"""Optimization objectives (paper §II-D.1, eqs. 3–4).
+
+Both paper objectives are *max-min* problems and are handled uniformly as
+"maximize the score":
+
+* ``SNR`` — maximize the worst-case signal-to-noise ratio (eq. 4, the
+  crosstalk-noise optimization);
+* ``INSERTION_LOSS`` — maximize the worst-case insertion loss in signed dB
+  (eq. 3; losses are negative, so maximizing the minimum means minimizing
+  the loss magnitude of the worst path).
+
+Two bandwidth-aware extension objectives are provided beyond the paper
+(see DESIGN.md §1): average-case variants weighting every CG edge equally
+or by bandwidth instead of taking the worst case.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Objective", "SNR_CAP_DB"]
+
+#: Finite stand-in for "no measurable crosstalk noise" (keeps optimizer
+#: arithmetic finite; physically there is always a noise floor).
+SNR_CAP_DB = 200.0
+
+
+class Objective(Enum):
+    """What the design-space exploration maximizes."""
+
+    #: Worst-case SNR (eq. 4) — the crosstalk-noise optimization.
+    SNR = "snr"
+    #: Worst-case insertion loss (eq. 3) — the power-loss optimization.
+    INSERTION_LOSS = "loss"
+    #: Extension: mean SNR over all CG edges.
+    MEAN_SNR = "mean_snr"
+    #: Extension: bandwidth-weighted mean insertion loss.
+    WEIGHTED_LOSS = "weighted_loss"
+
+    @classmethod
+    def parse(cls, value: "str | Objective") -> "Objective":
+        """Accept an :class:`Objective` or its string value."""
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ConfigurationError(
+            f"unknown objective {value!r}; known: {[m.value for m in cls]}"
+        )
+
+    @property
+    def is_snr_based(self) -> bool:
+        return self in (Objective.SNR, Objective.MEAN_SNR)
+
+    @property
+    def description(self) -> str:
+        return {
+            Objective.SNR: "maximize worst-case SNR (crosstalk optimization)",
+            Objective.INSERTION_LOSS: "maximize worst-case insertion loss "
+            "(power-loss optimization)",
+            Objective.MEAN_SNR: "maximize mean SNR over CG edges",
+            Objective.WEIGHTED_LOSS: "maximize bandwidth-weighted mean loss",
+        }[self]

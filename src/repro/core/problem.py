@@ -1,0 +1,62 @@
+"""The mapping problem instance (paper §II-D.1).
+
+Bundles the three things the design-space exploration needs — the
+application's Communication Graph, the assembled photonic NoC, and the
+objective — and enforces the feasibility condition of eq. (2):
+``size(C) <= size(T)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.appgraph.graph import CommunicationGraph
+from repro.core.objectives import Objective
+from repro.errors import MappingError
+from repro.noc.network import PhotonicNoC
+
+__all__ = ["MappingProblem"]
+
+
+class MappingProblem:
+    """One instance of the photonic-NoC mapping problem."""
+
+    def __init__(
+        self,
+        cg: CommunicationGraph,
+        network: PhotonicNoC,
+        objective: Union[str, Objective] = Objective.SNR,
+    ) -> None:
+        objective = Objective.parse(objective)
+        if cg.n_tasks > network.topology.n_tiles:
+            raise MappingError(
+                f"CG {cg.name!r} has {cg.n_tasks} tasks but topology "
+                f"{network.topology.signature} only {network.topology.n_tiles} "
+                "tiles (violates eq. 2)"
+            )
+        self.cg = cg
+        self.network = network
+        self.objective = objective
+
+    @property
+    def n_tasks(self) -> int:
+        return self.cg.n_tasks
+
+    @property
+    def n_tiles(self) -> int:
+        return self.network.topology.n_tiles
+
+    def evaluator(self, dtype=None) -> "MappingEvaluator":
+        """Build the (matrix-backed) evaluator for this problem."""
+        from repro.core.evaluator import MappingEvaluator
+
+        if dtype is None:
+            return MappingEvaluator(self)
+        return MappingEvaluator(self, dtype=dtype)
+
+    def __repr__(self) -> str:
+        return (
+            f"MappingProblem({self.cg.name!r} -> "
+            f"{self.network.topology.signature}/{self.network.router_spec.name}, "
+            f"objective={self.objective.value})"
+        )

@@ -1,0 +1,44 @@
+"""Random Search (RS) — paper §II-D.2.
+
+"The first search algorithm generates randomly a population of a given size
+and then picks the best individual." The population size is the evaluation
+budget; generation and evaluation are batched for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.core.mapping import random_assignment_batch
+from repro.core.result import OptimizationResult
+from repro.core.strategy import BestTracker, MappingStrategy
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(MappingStrategy):
+    """Evaluate ``budget`` uniformly random mappings, keep the best."""
+
+    name = "rs"
+
+    def __init__(self, batch_size: int = 2048):
+        self.batch_size = int(batch_size)
+
+    def _run(
+        self,
+        evaluator: MappingEvaluator,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> OptimizationResult:
+        tracker = BestTracker(evaluator)
+        remaining = budget
+        while remaining > 0:
+            count = min(self.batch_size, remaining)
+            batch = random_assignment_batch(
+                count, evaluator.n_tasks, evaluator.n_tiles, rng
+            )
+            metrics = evaluator.evaluate_batch(batch)
+            tracker.offer_batch(batch, metrics.score)
+            remaining -= count
+        return tracker.result(self.name)

@@ -1,0 +1,70 @@
+"""Strategy registry: mapping optimization algorithms by name.
+
+The paper ships RS, GA and R-PBLA and invites users to "extend the library
+themselves with other algorithms" — new strategies register here and
+become available to the explorer, the CLI and the benchmark harnesses
+without touching the tool core.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.annealing import SimulatedAnnealing
+from repro.core.genetic import GeneticAlgorithm
+from repro.core.pbla import PriorityBasedListAlgorithm
+from repro.core.random_search import RandomSearch
+from repro.core.strategy import MappingStrategy
+from repro.core.tabu import TabuSearch
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "register_strategy",
+    "create_strategy",
+    "available_strategies",
+    "PAPER_STRATEGIES",
+]
+
+StrategyFactory = Callable[..., MappingStrategy]
+
+_REGISTRY: Dict[str, StrategyFactory] = {}
+
+#: The three strategies compared in the paper's Table II, in column order.
+PAPER_STRATEGIES: Tuple[str, ...] = ("rs", "ga", "r-pbla")
+
+
+def register_strategy(
+    name: str, factory: StrategyFactory, overwrite: bool = False
+) -> None:
+    """Register a strategy factory (usually the class itself)."""
+    if not name:
+        raise ConfigurationError("strategy name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"strategy {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = factory
+
+
+def create_strategy(name: str, **hyperparameters) -> MappingStrategy:
+    """Instantiate a registered strategy with hyperparameters."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**hyperparameters)
+
+
+def available_strategies() -> Tuple[str, ...]:
+    """Names of all registered strategies, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_strategy(RandomSearch.name, RandomSearch)
+register_strategy(GeneticAlgorithm.name, GeneticAlgorithm)
+register_strategy(PriorityBasedListAlgorithm.name, PriorityBasedListAlgorithm)
+register_strategy(SimulatedAnnealing.name, SimulatedAnnealing)
+register_strategy(TabuSearch.name, TabuSearch)

@@ -1,0 +1,40 @@
+"""Optimization run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.evaluator import MappingMetrics
+from repro.core.mapping import Mapping
+
+__all__ = ["OptimizationResult"]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimization-strategy run.
+
+    ``history`` records (evaluations used, best score so far) waypoints, so
+    convergence can be plotted and budgets compared across strategies.
+    """
+
+    strategy: str
+    best_mapping: Mapping
+    best_metrics: MappingMetrics
+    evaluations: int
+    history: List[Tuple[int, float]] = field(default_factory=list)
+    restarts: int = 0
+
+    @property
+    def best_score(self) -> float:
+        return self.best_metrics.score
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.strategy}: score={self.best_score:.3f} "
+            f"(worst SNR {self.best_metrics.worst_snr_db:.2f} dB, "
+            f"worst loss {self.best_metrics.worst_insertion_loss_db:.2f} dB) "
+            f"after {self.evaluations} evaluations"
+        )

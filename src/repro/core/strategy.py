@@ -1,0 +1,94 @@
+"""Strategy base class and shared optimizer utilities (paper §II-D.2).
+
+"PhoNoCMap is designed to allow users to choose between a number of mapping
+optimization algorithms, or extend the library themselves with other
+algorithms" — a strategy is a class with a ``name``, hyperparameters set in
+``__init__``, and an :meth:`MappingStrategy.optimize` method driven purely
+by the evaluator and an evaluation budget. New strategies plug in through
+:mod:`repro.core.registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.core.mapping import Mapping
+from repro.core.result import OptimizationResult
+from repro.errors import OptimizationError
+
+__all__ = ["MappingStrategy", "BestTracker"]
+
+
+class BestTracker:
+    """Tracks the incumbent solution and the convergence history."""
+
+    def __init__(self, evaluator: MappingEvaluator):
+        self._evaluator = evaluator
+        self.best_assignment: Optional[np.ndarray] = None
+        self.best_score = -np.inf
+        self.history = []
+
+    def offer(self, assignment: np.ndarray, score: float) -> bool:
+        """Submit a candidate; returns True when it becomes the incumbent."""
+        if score > self.best_score:
+            self.best_score = float(score)
+            self.best_assignment = np.array(assignment, dtype=np.int64)
+            self.history.append((self._evaluator.evaluations, self.best_score))
+            return True
+        return False
+
+    def offer_batch(self, assignments: np.ndarray, scores: np.ndarray) -> bool:
+        """Submit a batch; returns True when the incumbent improved."""
+        index = int(np.argmax(scores))
+        return self.offer(assignments[index], float(scores[index]))
+
+    def result(self, strategy_name: str, restarts: int = 0) -> OptimizationResult:
+        if self.best_assignment is None:
+            raise OptimizationError(
+                f"{strategy_name}: no candidate was ever evaluated"
+            )
+        evaluator = self._evaluator
+        mapping = Mapping(
+            evaluator.cg, self.best_assignment, evaluator.n_tiles
+        )
+        metrics = evaluator.evaluate(mapping)
+        evaluator.evaluations -= 1  # bookkeeping: re-scoring is not search
+        return OptimizationResult(
+            strategy=strategy_name,
+            best_mapping=mapping,
+            best_metrics=metrics,
+            evaluations=evaluator.evaluations,
+            history=list(self.history),
+            restarts=restarts,
+        )
+
+
+class MappingStrategy:
+    """Base class for mapping optimization strategies."""
+
+    #: Registry name; subclasses must override.
+    name = "abstract"
+
+    def optimize(
+        self,
+        evaluator: MappingEvaluator,
+        budget: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> OptimizationResult:
+        """Search for the best mapping within ``budget`` evaluations."""
+        if budget < 1:
+            raise OptimizationError(f"budget must be >= 1, got {budget}")
+        rng = rng if rng is not None else np.random.default_rng()
+        evaluator.reset_count()
+        return self._run(evaluator, budget, rng)
+
+    def _run(
+        self,
+        evaluator: MappingEvaluator,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> OptimizationResult:
+        raise NotImplementedError

@@ -1,0 +1,88 @@
+"""Tabu search — an "Other Strategies" extension (paper Fig. 1).
+
+A sampled-neighbourhood tabu search over the same move set as R-PBLA:
+each iteration evaluates a random sample of swap/relocation moves, discards
+recently reversed moves (the tabu list, keyed by (task, target tile))
+unless they beat the incumbent (aspiration), and takes the best admissible
+move even when it is uphill.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.core.mapping import random_assignment
+from repro.core.pbla import apply_move, swap_moves
+from repro.core.result import OptimizationResult
+from repro.core.strategy import BestTracker, MappingStrategy
+from repro.errors import OptimizationError
+
+__all__ = ["TabuSearch"]
+
+
+class TabuSearch(MappingStrategy):
+    """Best-admissible-move search with a fixed-tenure tabu list."""
+
+    name = "tabu"
+
+    def __init__(self, neighbourhood_size: int = 64, tenure: int = 24):
+        if neighbourhood_size < 1:
+            raise OptimizationError("neighbourhood size must be >= 1")
+        if tenure < 1:
+            raise OptimizationError("tabu tenure must be >= 1")
+        self.neighbourhood_size = int(neighbourhood_size)
+        self.tenure = int(tenure)
+
+    def _run(
+        self,
+        evaluator: MappingEvaluator,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> OptimizationResult:
+        tracker = BestTracker(evaluator)
+        current = random_assignment(evaluator.n_tasks, evaluator.n_tiles, rng)
+        current_score = float(evaluator.evaluate_batch(current[None, :]).score[0])
+        tracker.offer(current, current_score)
+        tabu: deque = deque(maxlen=self.tenure)
+        tabu_set = set()
+
+        def push_tabu(key) -> None:
+            if len(tabu) == tabu.maxlen:
+                tabu_set.discard(tabu[0])
+            tabu.append(key)
+            tabu_set.add(key)
+
+        while evaluator.evaluations < budget:
+            moves = swap_moves(current, evaluator.n_tiles)
+            sample_size = min(
+                self.neighbourhood_size,
+                len(moves),
+                budget - evaluator.evaluations,
+            )
+            if sample_size < 1:
+                break
+            picks = rng.choice(len(moves), size=sample_size, replace=False)
+            sampled = [moves[int(p)] for p in picks]
+            candidates = np.stack([apply_move(current, m) for m in sampled])
+            scores = evaluator.evaluate_batch(candidates).score
+            order = np.argsort(scores)[::-1]
+            chosen = None
+            for index in order:
+                move = sampled[int(index)]
+                key = (move[0], move[1])
+                aspiration = scores[index] > tracker.best_score
+                if key not in tabu_set or aspiration:
+                    chosen = int(index)
+                    break
+            if chosen is None:
+                chosen = int(order[0])  # everything tabu: take the best anyway
+            move = sampled[chosen]
+            # Forbid undoing this move: moving the task back where it was.
+            push_tabu((move[0], int(current[move[0]])))
+            current = candidates[chosen]
+            current_score = float(scores[chosen])
+            tracker.offer(current, current_score)
+        return tracker.result(self.name)

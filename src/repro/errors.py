@@ -1,0 +1,40 @@
+"""Exception hierarchy for the PhoNoCMap reproduction.
+
+Every error raised on purpose by this package derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An input, parameter set or architecture description is invalid."""
+
+
+class LayoutError(ConfigurationError):
+    """A router waveguide layout cannot be compiled into a netlist."""
+
+
+class TopologyError(ConfigurationError):
+    """A topology description is malformed or unsupported."""
+
+
+class RoutingError(ReproError):
+    """A routing algorithm cannot produce a path for a tile pair."""
+
+
+class ModelError(ReproError):
+    """A physical-model computation received inconsistent inputs."""
+
+
+class MappingError(ReproError):
+    """A task-to-tile mapping violates the problem constraints."""
+
+
+class OptimizationError(ReproError):
+    """An optimization strategy was configured or used incorrectly."""

@@ -1,0 +1,43 @@
+"""Physical-layer models: insertion loss, crosstalk/SNR, power budget.
+
+Box (3) of the PhoNoCMap environment (paper Fig. 1): the built-in
+analytical models estimating worst-case power loss and crosstalk noise for
+any architecture assembled by :mod:`repro.noc`.
+"""
+
+from repro.models.coupling import CouplingModel, clear_model_cache
+from repro.models.crosstalk import (
+    WALK_LOSS_CUTOFF_LINEAR,
+    aggregate_noise_linear,
+    emission_walk,
+    pairwise_coupling_linear,
+    snr_db,
+)
+from repro.models.insertion_loss import (
+    edge_insertion_losses_db,
+    path_insertion_loss_db,
+    worst_case_insertion_loss_db,
+)
+from repro.models.power import (
+    PowerBudget,
+    is_feasible,
+    max_tolerable_loss_db,
+    required_laser_power_dbm,
+)
+
+__all__ = [
+    "CouplingModel",
+    "clear_model_cache",
+    "WALK_LOSS_CUTOFF_LINEAR",
+    "aggregate_noise_linear",
+    "emission_walk",
+    "pairwise_coupling_linear",
+    "snr_db",
+    "edge_insertion_losses_db",
+    "path_insertion_loss_db",
+    "worst_case_insertion_loss_db",
+    "PowerBudget",
+    "is_feasible",
+    "max_tolerable_loss_db",
+    "required_laser_power_dbm",
+]

@@ -1,0 +1,211 @@
+"""Vectorized all-pairs coupling matrices for one architecture.
+
+Evaluating the worst-case SNR of a mapping needs, for every ordered pair of
+tile-to-tile paths, the noise the aggressor injects into the victim. This
+module precomputes that once per architecture:
+
+* ``signal_linear[p]`` — end-to-end transmission of path ``p``;
+* ``insertion_loss_db[p]`` — the same in dB (eq. 3's per-edge term);
+* ``coupling_linear[v, a]`` — noise power at the detector of victim path
+  ``v`` per unit power injected by aggressor path ``a`` (the first-order
+  walk model of :mod:`repro.models.crosstalk`, applied to all pairs at
+  once via an element exit index).
+
+Paths are indexed ``p = src * n_tiles + dst``. With the matrices in hand, a
+mapping evaluation is a handful of numpy gathers (see
+:class:`repro.core.evaluator.MappingEvaluator`), which is what makes the
+paper's 100,000-random-mappings experiment and the optimizer loops cheap.
+
+The matrices encode pure physics: *every* pair of simultaneously active
+paths couples. Which pairs can actually be simultaneously active (the
+transmitter/receiver serialization of DESIGN.md §3) is decided at the
+communication-graph level by the evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.crosstalk import WALK_LOSS_CUTOFF_LINEAR, _MAX_WALK_STEPS
+from repro.noc.network import PhotonicNoC
+from repro.photonics.elements import (
+    ElementKind,
+    passive_loss_db,
+    straight_output,
+    traversal_emissions,
+)
+from repro.photonics.units import db_to_linear
+
+__all__ = ["CouplingModel", "clear_model_cache"]
+
+_CACHE: Dict[str, "CouplingModel"] = {}
+
+
+class CouplingModel:
+    """Precomputed signal/coupling matrices for a :class:`PhotonicNoC`."""
+
+    def __init__(self, network: PhotonicNoC, dtype=np.float64) -> None:
+        self.network = network
+        self.n_tiles = network.topology.n_tiles
+        self.n_pairs = self.n_tiles * self.n_tiles
+        self.signal_linear = np.zeros(self.n_pairs, dtype=np.float64)
+        self.insertion_loss_db = np.full(self.n_pairs, np.nan, dtype=np.float64)
+        self.coupling_linear = np.zeros((self.n_pairs, self.n_pairs), dtype=dtype)
+        self._build()
+
+    # -- indexing ----------------------------------------------------------------
+
+    def pair_index(self, src_tile: int, dst_tile: int) -> int:
+        """Flat index of the ordered tile pair."""
+        return src_tile * self.n_tiles + dst_tile
+
+    def pair_indices(self, src_tiles: np.ndarray, dst_tiles: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`pair_index`."""
+        return src_tiles * self.n_tiles + dst_tiles
+
+    # -- construction --------------------------------------------------------------
+
+    def _build(self) -> None:
+        network = self.network
+        params = network.params
+        paths = network.all_paths()
+
+        # Exit index: (element, out_port) -> [(pair, position), ...] for the
+        # direct joins at the emitting element. Entry index: element ->
+        # [(pair, position, in_port), ...] for the walk joins (a walk joins
+        # a victim only by co-entering the first shared element).
+        exit_index: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        entry_index: Dict[int, List[Tuple[int, int, int]]] = {}
+        pair_paths: Dict[int, object] = {}
+        for (src, dst), path in paths.items():
+            pair = self.pair_index(src, dst)
+            pair_paths[pair] = path
+            self.signal_linear[pair] = path.total_linear
+            self.insertion_loss_db[pair] = path.loss_db
+            for position, step in enumerate(path.traversals):
+                exit_index.setdefault((step.element, step.out_port), []).append(
+                    (pair, position)
+                )
+                entry_index.setdefault(step.element, []).append(
+                    (pair, position, step.in_port)
+                )
+
+        # Per-element passive linear losses, cached by (element, in_port).
+        passive_cache: Dict[Tuple[int, int], float] = {}
+
+        def passive_linear(element: int, in_port: int) -> float:
+            key = (element, in_port)
+            value = passive_cache.get(key)
+            if value is None:
+                info = network.element(element)
+                value = db_to_linear(
+                    passive_loss_db(info.kind, in_port, params, info.length_cm)
+                )
+                passive_cache[key] = value
+            return value
+
+        emission_cache: Dict[Tuple[ElementKind, int, int, object], tuple] = {}
+
+        def emissions_of(kind, in_port, out_port, state):
+            key = (kind, in_port, out_port, state)
+            value = emission_cache.get(key)
+            if value is None:
+                value = tuple(
+                    (db_to_linear(e.coefficient_db), e.out_port)
+                    for e in traversal_emissions(kind, in_port, out_port, state, params)
+                )
+                emission_cache[key] = value
+            return value
+
+        coupling = self.coupling_linear
+        follow = network.wiring.get
+        elements = network.elements
+
+        for (src, dst), path in paths.items():
+            aggressor_pair = self.pair_index(src, dst)
+            cum_in = path.cum_in_linear
+            for index, step in enumerate(path.traversals):
+                info = elements[step.element]
+                if info.kind is ElementKind.WAVEGUIDE:
+                    continue
+                emitted = emissions_of(info.kind, step.in_port, step.out_port, step.state)
+                if not emitted:
+                    continue
+                power_at_input = cum_in[index]
+                for k_linear, emission_port in emitted:
+                    base = k_linear * power_at_input
+                    credited = set()
+                    credited.add(aggressor_pair)
+                    # Join at the emitting element: no loss inside the
+                    # generating switch.
+                    for victim_pair, position in exit_index.get(
+                        (step.element, emission_port), ()
+                    ):
+                        if victim_pair in credited:
+                            continue
+                        credited.add(victim_pair)
+                        victim = pair_paths[victim_pair]
+                        coupling[victim_pair, aggressor_pair] += (
+                            base
+                            * victim.total_linear
+                            / victim.cum_out_linear[position]
+                        )
+                    # Walk forward until attenuated away. The first shared
+                    # element decides for each victim: a co-entering victim
+                    # receives the noise (it follows the victim's configured
+                    # route from there); any other encounter shields the
+                    # victim (crossing guide, or its ON ring diverts the
+                    # noise — a second-order residual the model zeroes).
+                    walk_loss = 1.0
+                    position_next = follow((step.element, emission_port))
+                    steps = 0
+                    while (
+                        position_next is not None
+                        and walk_loss > WALK_LOSS_CUTOFF_LINEAR
+                        and steps < _MAX_WALK_STEPS
+                    ):
+                        steps += 1
+                        element, in_port = position_next
+                        for victim_pair, position, victim_in in entry_index.get(
+                            element, ()
+                        ):
+                            if victim_pair in credited:
+                                continue
+                            credited.add(victim_pair)
+                            if victim_in != in_port:
+                                continue
+                            victim = pair_paths[victim_pair]
+                            coupling[victim_pair, aggressor_pair] += (
+                                base
+                                * walk_loss
+                                * victim.total_linear
+                                / victim.cum_in_linear[position]
+                            )
+                        walk_loss *= passive_linear(element, in_port)
+                        position_next = follow(
+                            (element, straight_output(elements[element].kind, in_port))
+                        )
+
+    # -- caching ---------------------------------------------------------------------
+
+    @classmethod
+    def for_network(
+        cls, network: PhotonicNoC, dtype=np.float64, use_cache: bool = True
+    ) -> "CouplingModel":
+        """Build (or fetch from the process cache) the model for a network."""
+        key = f"{network.signature}|{np.dtype(dtype).name}"
+        if use_cache:
+            cached = _CACHE.get(key)
+            if cached is not None:
+                return cached
+        model = cls(network, dtype=dtype)
+        if use_cache:
+            _CACHE[key] = model
+        return model
+
+
+def clear_model_cache() -> None:
+    """Drop all cached coupling models (mainly for tests)."""
+    _CACHE.clear()

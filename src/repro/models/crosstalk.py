@@ -1,0 +1,178 @@
+"""First-order crosstalk model — reference implementation (paper §II-C).
+
+This module computes the crosstalk noise one communication (the *victim*)
+receives from another (the *aggressor*), walking each aggressor emission
+forward through the network exactly as described in DESIGN.md §3:
+
+1. every element traversal of the aggressor path produces the emissions of
+   eqs. (1b)/(1d)/(1f)/(1h)/(1j) — a coefficient and an exit port;
+2. a victim whose path *leaves the emitting element through the emission
+   port* receives the noise directly (it co-propagates from there on,
+   suffering exactly the victim's remaining losses);
+3. otherwise the noise propagates passively forward along its waveguide —
+   through subsequent elements, router ports and links, never turning.
+   It joins a victim at the first element both share, and only if they
+   *co-enter* it through the same input port: from there the noise follows
+   the victim's configured route (straight through OFF rings, around the
+   victim's ON turns) to the victim's detector. If the victim's first
+   shared element is entered through a different port, the victim is
+   shielded: either the victim merely crosses the noise's guide, or the
+   victim's ON microring sits on the guide and diverts the arriving noise
+   through its add-to-through path, out of the victim's channel — the
+   residual that leaks past an ON ring is a second-order ``Ki*Kj`` term,
+   which the paper's model sets to zero;
+4. each (emission, victim) pair is counted once — at the first shared
+   element.
+
+The paper's simplifications hold: first-order only (noise never spawns
+noise), no attenuation inside the generating switch, add-port resonant
+noise and reflections neglected.
+
+This is the *reference* implementation: clear, per-pair, pure Python. The
+vectorized all-pairs matrices used by the optimizer live in
+:mod:`repro.models.coupling` and are cross-validated against this module in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.noc.network import PhotonicNoC
+from repro.noc.paths import NetworkPath
+from repro.photonics.elements import straight_output, traversal_emissions
+from repro.photonics.units import db_to_linear
+
+__all__ = [
+    "WALK_LOSS_CUTOFF_LINEAR",
+    "emission_walk",
+    "pairwise_coupling_linear",
+    "aggregate_noise_linear",
+    "snr_db",
+]
+
+#: Noise walks stop once attenuated below this linear factor (-70 dB):
+#: contributions beyond it are negligible against Kc = -40 dB. The cutoff
+#: also terminates walks that orbit a torus ring forever.
+WALK_LOSS_CUTOFF_LINEAR = 1e-7
+
+#: Hard step cap for emission walks (safety net against wiring cycles with
+#: pathological zero-loss parameters).
+_MAX_WALK_STEPS = 100_000
+
+
+def emission_walk(
+    network: PhotonicNoC, element: int, out_port: int
+) -> Iterator[Tuple[int, int, int, float]]:
+    """Walk noise leaving ``(element, out_port)`` forward through the network.
+
+    Yields ``(element, in_port, out_port, loss_before_linear)`` for every
+    element the noise passes *after* the emitting one, where
+    ``loss_before_linear`` is the accumulated passive attenuation strictly
+    before entering that element.
+    """
+    walk_loss = 1.0
+    position = network.follow(element, out_port)
+    steps = 0
+    while position is not None and walk_loss > WALK_LOSS_CUTOFF_LINEAR:
+        steps += 1
+        if steps > _MAX_WALK_STEPS:
+            break
+        current, in_port = position
+        info = network.element(current)
+        exit_port = straight_output(info.kind, in_port)
+        yield current, in_port, exit_port, walk_loss
+        walk_loss *= db_to_linear(
+            _passive_loss_db(network, current, in_port)
+        )
+        position = network.follow(current, exit_port)
+
+
+def _passive_loss_db(network: PhotonicNoC, element: int, in_port: int) -> float:
+    from repro.photonics.elements import passive_loss_db
+
+    info = network.element(element)
+    return passive_loss_db(info.kind, in_port, network.params, info.length_cm)
+
+
+def pairwise_coupling_linear(
+    network: PhotonicNoC, victim: NetworkPath, aggressor: NetworkPath
+) -> float:
+    """Noise power the victim's detector receives from the aggressor.
+
+    Expressed relative to the aggressor's injected power; both paths are
+    assumed simultaneously active. A path never interferes with itself.
+    """
+    if victim.src == aggressor.src and victim.dst == aggressor.dst:
+        return 0.0
+    params = network.params
+    # Where does the victim leave each element, and how does it enter it?
+    victim_exits: Dict[Tuple[int, int], int] = {}
+    victim_entries: Dict[int, Tuple[int, int]] = {}
+    for position, step in enumerate(victim.traversals):
+        victim_exits[(step.element, step.out_port)] = position
+        victim_entries[step.element] = (position, step.in_port)
+
+    total = 0.0
+    for index, step in enumerate(aggressor.traversals):
+        info = network.element(step.element)
+        emissions = traversal_emissions(
+            info.kind, step.in_port, step.out_port, step.state, params
+        )
+        if not emissions:
+            continue
+        power_at_input = aggressor.cum_in_linear[index]
+        for emission in emissions:
+            k_linear = db_to_linear(emission.coefficient_db)
+            base = k_linear * power_at_input
+            # Join at the emitting element itself: the victim leaves it
+            # through the emission port; no attenuation inside the
+            # generating switch.
+            position = victim_exits.get((step.element, emission.out_port))
+            if position is not None:
+                total += base * victim.total_linear / victim.cum_out_linear[position]
+                continue
+            # Otherwise walk the noise forward. It can only join the victim
+            # at the first shared element, and only by co-entering it.
+            for element, in_port, _exit_port, loss_before in emission_walk(
+                network, step.element, emission.out_port
+            ):
+                entry = victim_entries.get(element)
+                if entry is None:
+                    continue
+                position, victim_in = entry
+                if victim_in == in_port:
+                    # Co-entering: from here the noise follows the victim's
+                    # configured route and losses.
+                    total += (
+                        base
+                        * loss_before
+                        * victim.total_linear
+                        / victim.cum_in_linear[position]
+                    )
+                # Either way the first shared element decides: a mismatch
+                # means the victim crosses the guide or its ON ring diverts
+                # the noise (second-order residual, set to zero).
+                break
+    return total
+
+
+def aggregate_noise_linear(
+    network: PhotonicNoC,
+    victim: NetworkPath,
+    aggressors: Iterable[NetworkPath],
+) -> float:
+    """Total noise at the victim's detector from several aggressors."""
+    return sum(
+        pairwise_coupling_linear(network, victim, aggressor)
+        for aggressor in aggressors
+    )
+
+
+def snr_db(signal_linear: float, noise_linear: float) -> float:
+    """``10 log10(P_S / P_N)`` (paper §II-C); +inf when noise is zero."""
+    if noise_linear <= 0.0:
+        return float("inf")
+    from repro.photonics.units import linear_to_db
+
+    return linear_to_db(signal_linear / noise_linear)

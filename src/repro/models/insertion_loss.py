@@ -1,0 +1,65 @@
+"""Worst-case insertion loss model (paper §II-C).
+
+"The worst-case insertion loss IL_wc [is] the sum of all the losses in each
+hop along a path between a source and a destination" — the per-element
+losses are accumulated while elaborating :class:`NetworkPath` objects, so
+this module is a thin, well-named API over those records plus the
+mapping-level worst case of eq. (3).
+
+Convention: losses are *negative* dB values. The worst case over a set of
+communications is therefore the *minimum* (most negative) path loss, and a
+mapping optimizer maximizes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import MappingError
+from repro.noc.network import PhotonicNoC
+
+__all__ = [
+    "path_insertion_loss_db",
+    "edge_insertion_losses_db",
+    "worst_case_insertion_loss_db",
+]
+
+
+def path_insertion_loss_db(network: PhotonicNoC, src_tile: int, dst_tile: int) -> float:
+    """Insertion loss (dB, negative) of the path between two tiles."""
+    return network.path(src_tile, dst_tile).loss_db
+
+
+def edge_insertion_losses_db(
+    network: PhotonicNoC,
+    edges: Tuple[Tuple[int, int], ...],
+    mapping: Mapping[int, int],
+) -> Dict[Tuple[int, int], float]:
+    """Per-CG-edge insertion loss under a task-to-tile mapping.
+
+    ``edges`` are (source task, destination task) pairs and ``mapping``
+    assigns each task to a tile.
+    """
+    losses: Dict[Tuple[int, int], float] = {}
+    for src_task, dst_task in edges:
+        try:
+            src_tile = mapping[src_task]
+            dst_tile = mapping[dst_task]
+        except KeyError as exc:
+            raise MappingError(f"task {exc.args[0]!r} is not mapped") from None
+        losses[(src_task, dst_task)] = path_insertion_loss_db(
+            network, src_tile, dst_tile
+        )
+    return losses
+
+
+def worst_case_insertion_loss_db(
+    network: PhotonicNoC,
+    edges: Tuple[Tuple[int, int], ...],
+    mapping: Mapping[int, int],
+) -> float:
+    """IL_wc of eq. (3): the most negative loss over all CG edges."""
+    losses = edge_insertion_losses_db(network, edges, mapping)
+    if not losses:
+        raise MappingError("the communication graph has no edges")
+    return min(losses.values())

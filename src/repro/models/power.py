@@ -1,0 +1,78 @@
+"""Laser power budget and network feasibility (paper §I).
+
+"The power of an optical signal must be above a certain threshold when
+arriving at the photodetectors ... the power injected into the chip must be
+higher than the photodetector sensitivity plus the worst-case power loss.
+However, the total power cannot exceed a certain threshold due to the
+nonlinearities of the silicon material."
+
+This module turns those two sentences into numbers: given a worst-case
+insertion loss (from the mapping evaluator) and a technology budget, it
+computes the required laser power and whether the network is feasible at
+all — which is how mapping optimization "enables improved network
+scalability" (quantified by :mod:`repro.analysis.scalability`).
+
+Default constants are typical silicon-photonics figures: -20 dBm detector
+sensitivity, +10 dBm nonlinearity ceiling, 1 dB system margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ModelError
+
+__all__ = ["PowerBudget", "required_laser_power_dbm", "max_tolerable_loss_db", "is_feasible"]
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """Technology power constraints of the optical layer."""
+
+    detector_sensitivity_dbm: float = -20.0
+    max_injected_power_dbm: float = 10.0
+    system_margin_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.system_margin_db < 0:
+            raise ConfigurationError(
+                f"system margin must be >= 0 dB, got {self.system_margin_db}"
+            )
+        if self.max_injected_power_dbm <= self.detector_sensitivity_dbm:
+            raise ConfigurationError(
+                "the nonlinearity ceiling must exceed the detector sensitivity"
+            )
+
+
+def required_laser_power_dbm(
+    worst_case_loss_db: float, budget: PowerBudget = PowerBudget()
+) -> float:
+    """Laser power needed so the worst path still reaches the detector."""
+    if worst_case_loss_db > 0:
+        raise ModelError(
+            f"insertion loss must be <= 0 dB, got {worst_case_loss_db}"
+        )
+    return (
+        budget.detector_sensitivity_dbm
+        - worst_case_loss_db
+        + budget.system_margin_db
+    )
+
+
+def max_tolerable_loss_db(budget: PowerBudget = PowerBudget()) -> float:
+    """The most negative worst-case loss the technology can support."""
+    return -(
+        budget.max_injected_power_dbm
+        - budget.detector_sensitivity_dbm
+        - budget.system_margin_db
+    )
+
+
+def is_feasible(
+    worst_case_loss_db: float, budget: PowerBudget = PowerBudget()
+) -> bool:
+    """Whether a network with this worst-case loss can operate at all."""
+    return (
+        required_laser_power_dbm(worst_case_loss_db, budget)
+        <= budget.max_injected_power_dbm
+    )

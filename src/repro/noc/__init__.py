@@ -1,0 +1,43 @@
+"""NoC architecture: topologies, floorplan, routing, network assembly.
+
+This subpackage realizes the architecture half of the PhoNoCMap environment
+(paper Fig. 1, boxes 1 and 3): the topology graph X(T, L) of Definition 2,
+the pluggable routing algorithms, and the assembly of per-tile optical
+routers plus inter-router links into one element-level netlist.
+"""
+
+from repro.noc.floorplan import Floorplan
+from repro.noc.network import NetworkElement, PhotonicNoC
+from repro.noc.paths import NetworkPath, Traversal
+from repro.noc.routing import GATEWAY, Hop, RoutingAlgorithm, XYRouting, YXRouting
+from repro.noc.topology import (
+    DIRECTIONS,
+    GridTopology,
+    Link,
+    line,
+    mesh,
+    opposite_direction,
+    ring,
+    torus,
+)
+
+__all__ = [
+    "Floorplan",
+    "NetworkElement",
+    "PhotonicNoC",
+    "NetworkPath",
+    "Traversal",
+    "GATEWAY",
+    "Hop",
+    "RoutingAlgorithm",
+    "XYRouting",
+    "YXRouting",
+    "DIRECTIONS",
+    "GridTopology",
+    "Link",
+    "line",
+    "mesh",
+    "opposite_direction",
+    "ring",
+    "torus",
+]

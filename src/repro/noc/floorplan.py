@@ -1,0 +1,56 @@
+"""Chip floorplan: physical dimensions behind the topology graph.
+
+The paper's propagation-loss term (-0.274 dB/cm, Table I) needs physical
+waveguide lengths. The original tool's floorplan constants are not stated
+in the paper, so this reproduction uses an explicit, documented default: a
+2.5 mm tile pitch (a 6x6 grid then spans 15 mm, typical for the MPSoC dies
+these applications target). Inter-router link lengths are multiples of the
+pitch — one pitch for mesh links, two for folded-torus links (the folding
+equalizes wrap-around links at the cost of doubling every hop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Floorplan"]
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Physical scaling of a photonic NoC layout.
+
+    ``tile_pitch_cm``
+        Distance between adjacent router centres.
+    ``router_unit_cm``
+        Scale of one router-layout grid unit (see
+        :class:`repro.router.layout.RouterLayout`).
+    """
+
+    tile_pitch_cm: float = 0.25
+    router_unit_cm: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.tile_pitch_cm <= 0:
+            raise ConfigurationError(
+                f"tile pitch must be positive, got {self.tile_pitch_cm}"
+            )
+        if self.router_unit_cm <= 0:
+            raise ConfigurationError(
+                f"router unit must be positive, got {self.router_unit_cm}"
+            )
+
+    def link_length_cm(self, length_units: float) -> float:
+        """Physical length of a link of ``length_units`` tile pitches."""
+        if length_units <= 0:
+            raise ConfigurationError(
+                f"link length must be positive, got {length_units}"
+            )
+        return length_units * self.tile_pitch_cm
+
+    @property
+    def signature(self) -> str:
+        """Stable identity string for model caching."""
+        return f"pitch={self.tile_pitch_cm}:unit={self.router_unit_cm}"

@@ -1,0 +1,238 @@
+"""Photonic NoC assembly: topology + routers + links as one element netlist.
+
+:class:`PhotonicNoC` instantiates one compiled optical router per tile,
+connects router ports with inter-router link waveguides according to the
+topology, and elaborates the routing algorithm's hop lists into
+element-level :class:`~repro.noc.paths.NetworkPath` objects.
+
+Every element instance (router-internal elements of every tile, plus link
+waveguides) gets a *global element id*; paths and the crosstalk model work
+exclusively with these ids, so two communications interact exactly when
+they visit the same physical element instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.noc.floorplan import Floorplan
+from repro.noc.paths import NetworkPath, Traversal
+from repro.noc.routing import GATEWAY, RoutingAlgorithm, XYRouting
+from repro.noc.topology import GridTopology
+from repro.photonics.elements import (
+    WG_IN,
+    WG_OUT,
+    ElementKind,
+    TraversalState,
+    traversal_loss_db,
+)
+from repro.photonics.parameters import PhysicalParameters
+from repro.router.layout import RouterSpec
+from repro.router.registry import build_router
+
+__all__ = ["NetworkElement", "PhotonicNoC"]
+
+
+class NetworkElement:
+    """One physical element instance in the assembled network."""
+
+    __slots__ = ("gid", "kind", "label", "length_cm")
+
+    def __init__(self, gid: int, kind: ElementKind, label: str, length_cm: float):
+        self.gid = gid
+        self.kind = kind
+        self.label = label
+        self.length_cm = length_cm
+
+    def __repr__(self) -> str:
+        return f"NetworkElement({self.gid}, {self.kind.value}, {self.label!r})"
+
+
+class PhotonicNoC:
+    """A fully assembled photonic network-on-chip.
+
+    Parameters
+    ----------
+    topology:
+        The tile interconnection graph (mesh, torus, ...).
+    router:
+        A registered router name (``"crux"``, ``"crossbar"``, ...) or an
+        already compiled :class:`RouterSpec` (which must use the same
+        physical parameters).
+    routing:
+        The routing algorithm; defaults to XY dimension order, as in the
+        paper's experiments.
+    params:
+        Physical coefficients; defaults to the paper's Table I.
+    floorplan:
+        Physical dimensions; defaults to a 2.5 mm tile pitch.
+    """
+
+    def __init__(
+        self,
+        topology: GridTopology,
+        router: Union[str, RouterSpec] = "crux",
+        routing: Optional[RoutingAlgorithm] = None,
+        params: Optional[PhysicalParameters] = None,
+        floorplan: Optional[Floorplan] = None,
+    ) -> None:
+        self.topology = topology
+        self.params = params if params is not None else PhysicalParameters()
+        self.floorplan = floorplan if floorplan is not None else Floorplan()
+        self.routing = routing if routing is not None else XYRouting()
+        if isinstance(router, RouterSpec):
+            self.router_spec = router
+        else:
+            self.router_spec = build_router(router, self.params)
+        self._local_count = len(self.router_spec.elements)
+        self.elements: List[NetworkElement] = []
+        self.wiring: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._link_gid: Dict[Tuple[int, str], int] = {}
+        self._paths: Dict[Tuple[int, int], NetworkPath] = {}
+        self._assemble()
+
+    # -- assembly --------------------------------------------------------------
+
+    def _assemble(self) -> None:
+        spec = self.router_spec
+        local_count = self._local_count
+        for tile in range(self.topology.n_tiles):
+            base = tile * local_count
+            for local in spec.elements:
+                self.elements.append(
+                    NetworkElement(
+                        base + local.index,
+                        local.kind,
+                        f"t{tile}.{local.label}",
+                        local.length_cm,
+                    )
+                )
+            for (element, out_port), (element2, in_port2) in spec.wiring.items():
+                self.wiring[(base + element, out_port)] = (base + element2, in_port2)
+        # Link waveguides and port stitching.
+        for link in self.topology.links():
+            gid = len(self.elements)
+            length_cm = self.floorplan.link_length_cm(link.length_units)
+            self.elements.append(
+                NetworkElement(
+                    gid,
+                    ElementKind.WAVEGUIDE,
+                    f"link.t{link.src}.{link.out_dir}->t{link.dst}",
+                    length_cm,
+                )
+            )
+            self._link_gid[(link.src, link.out_dir)] = gid
+            in_port_name = f"{link.in_dir}_in"
+            try:
+                dst_entry = spec.inputs[in_port_name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"router {spec.name!r} has no input port {in_port_name!r} "
+                    f"needed by topology {self.topology.signature}"
+                ) from None
+            dst_element, dst_port = dst_entry
+            self.wiring[(gid, WG_OUT)] = (
+                link.dst * local_count + dst_element,
+                dst_port,
+            )
+        # Router outputs feeding links (L_out and chip-edge ports stay
+        # absorbing: no wiring entry).
+        for tile in range(self.topology.n_tiles):
+            base = tile * local_count
+            for (element, out_port), port_name in spec.outputs.items():
+                if port_name == "L_out":
+                    continue
+                direction = port_name[:-len("_out")]
+                if not self.topology.has_link(tile, direction):
+                    continue
+                gid = self._link_gid[(tile, direction)]
+                self.wiring[(base + element, out_port)] = (gid, WG_IN)
+
+    # -- element / wiring queries ------------------------------------------------
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.elements)
+
+    def element(self, gid: int) -> NetworkElement:
+        return self.elements[gid]
+
+    def follow(self, element: int, out_port: int) -> Optional[Tuple[int, int]]:
+        """Where ``(element, out_port)`` leads: ``(element, in_port)`` or None."""
+        return self.wiring.get((element, out_port))
+
+    def tile_of_element(self, gid: int) -> Optional[int]:
+        """The tile owning a router-internal element (None for links)."""
+        if gid >= self.topology.n_tiles * self._local_count:
+            return None
+        return gid // self._local_count
+
+    # -- paths --------------------------------------------------------------------
+
+    def path(self, src: int, dst: int) -> NetworkPath:
+        """The elaborated path from tile ``src`` to tile ``dst`` (cached)."""
+        key = (src, dst)
+        cached = self._paths.get(key)
+        if cached is not None:
+            return cached
+        elaborated = self._elaborate(src, dst)
+        self._paths[key] = elaborated
+        return elaborated
+
+    def all_paths(self) -> Dict[Tuple[int, int], NetworkPath]:
+        """Paths for every ordered tile pair (built on first call)."""
+        n = self.topology.n_tiles
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    self.path(src, dst)
+        return dict(self._paths)
+
+    def _elaborate(self, src: int, dst: int) -> NetworkPath:
+        spec = self.router_spec
+        local_count = self._local_count
+        params = self.params
+        hops = self.routing.route(self.topology, src, dst)
+        traversals: List[Traversal] = []
+        losses: List[float] = []
+
+        def add(gid: int, in_port: int, out_port: int, state: TraversalState) -> None:
+            element = self.elements[gid]
+            traversals.append(Traversal(gid, in_port, out_port, state))
+            losses.append(
+                traversal_loss_db(
+                    element.kind, in_port, out_port, state, params,
+                    element.length_cm,
+                )
+            )
+
+        for index, hop in enumerate(hops):
+            in_name = "L_in" if hop.in_dir == GATEWAY else f"{hop.in_dir}_in"
+            out_name = "L_out" if hop.out_dir == GATEWAY else f"{hop.out_dir}_out"
+            base = hop.tile * local_count
+            for step in spec.connection(in_name, out_name):
+                add(base + step.element, step.in_port, step.out_port, step.state)
+            if index < len(hops) - 1:
+                gid = self._link_gid[(hop.tile, hop.out_dir)]
+                add(gid, WG_IN, WG_OUT, TraversalState.PASSIVE)
+        return NetworkPath(src, dst, traversals, losses)
+
+    # -- identity -------------------------------------------------------------------
+
+    @property
+    def signature(self) -> str:
+        """Stable identity of the architecture, for model caching."""
+        params_sig = ",".join(
+            f"{k}={v}" for k, v in sorted(self.params.as_dict().items())
+        )
+        return (
+            f"{self.topology.signature}|{self.router_spec.name}"
+            f"|{self.routing.name}|{self.floorplan.signature}|{params_sig}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PhotonicNoC({self.topology.signature}, router={self.router_spec.name}, "
+            f"routing={self.routing.name}, elements={self.n_elements})"
+        )

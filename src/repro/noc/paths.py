@@ -1,0 +1,75 @@
+"""Network-level path records: what a signal traverses end to end.
+
+A :class:`NetworkPath` is the fully elaborated journey of one communication
+through the photonic NoC: the ordered element traversals (router elements
+and inter-router link waveguides), the total insertion loss, and the
+cumulative linear transmissions before/after each traversal that the
+crosstalk model needs (paper §II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.photonics.elements import TraversalState
+
+__all__ = ["Traversal", "NetworkPath"]
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """One element traversal of a network path (global element id)."""
+
+    element: int
+    in_port: int
+    out_port: int
+    state: TraversalState
+
+
+class NetworkPath:
+    """An elaborated source-to-destination path with loss bookkeeping.
+
+    ``cum_in_linear[i]``
+        Product of the linear losses of traversals ``0..i-1`` — the relative
+        signal power *entering* traversal ``i``.
+    ``cum_out_linear[i]``
+        Product including traversal ``i`` — the power *leaving* it.
+    ``total_linear``
+        End-to-end transmission (``cum_out_linear[-1]``).
+    """
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        traversals: Sequence[Traversal],
+        losses_db: Sequence[float],
+    ) -> None:
+        if len(traversals) != len(losses_db):
+            raise ValueError("one loss per traversal required")
+        if not traversals:
+            raise ValueError("a path needs at least one traversal")
+        self.src = src
+        self.dst = dst
+        self.traversals: Tuple[Traversal, ...] = tuple(traversals)
+        losses = np.asarray(losses_db, dtype=np.float64)
+        self.losses_db = losses
+        self.loss_db = float(losses.sum())
+        linear = 10.0 ** (losses / 10.0)
+        self.cum_out_linear = np.cumprod(linear)
+        self.cum_in_linear = np.empty_like(self.cum_out_linear)
+        self.cum_in_linear[0] = 1.0
+        self.cum_in_linear[1:] = self.cum_out_linear[:-1]
+        self.total_linear = float(self.cum_out_linear[-1])
+
+    def __len__(self) -> int:
+        return len(self.traversals)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkPath({self.src}->{self.dst}, "
+            f"{len(self.traversals)} traversals, {self.loss_db:.3f} dB)"
+        )

@@ -1,0 +1,133 @@
+"""Routing algorithms (paper §II-A: "direct topologies with dimension order
+routing", pluggable like every other architecture component).
+
+A routing algorithm turns a (source tile, destination tile) pair into a hop
+list: for every router along the path, through which port the signal enters
+(``"L"`` at the source — the gateway injector) and leaves (``"L"`` at the
+destination — the gateway detector).
+
+Provided algorithms:
+
+* :class:`XYRouting` — classic dimension-order: resolve the column (X)
+  first, then the row (Y). This is the order Crux is optimized for.
+* :class:`YXRouting` — the transposed order, useful for ablations (needs a
+  router providing Y-to-X turns, e.g. the full crossbar).
+
+Both work on meshes and on tori; on a torus each dimension independently
+takes the shorter way around, preferring the positive (E/N) direction on
+ties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import RoutingError
+from repro.noc.topology import GridTopology, opposite_direction
+
+__all__ = ["Hop", "RoutingAlgorithm", "XYRouting", "YXRouting", "GATEWAY"]
+
+#: Port symbol for the local gateway (injection at the source, ejection at
+#: the destination).
+GATEWAY = "L"
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One router visit: enter through ``in_dir``, leave through ``out_dir``."""
+
+    tile: int
+    in_dir: str
+    out_dir: str
+
+
+class RoutingAlgorithm:
+    """Base class: subclasses provide ``name`` and :meth:`direction_plan`."""
+
+    name = "abstract"
+
+    def direction_plan(
+        self, topology: GridTopology, src: int, dst: int
+    ) -> List[str]:
+        """The sequence of link directions from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def route(self, topology: GridTopology, src: int, dst: int) -> List[Hop]:
+        """Full hop list, gateway to gateway."""
+        if src == dst:
+            raise RoutingError(f"cannot route a tile to itself (tile {src})")
+        for tile in (src, dst):
+            if not (0 <= tile < topology.n_tiles):
+                raise RoutingError(
+                    f"tile {tile} outside topology {topology.signature}"
+                )
+        directions = self.direction_plan(topology, src, dst)
+        hops: List[Hop] = []
+        current = src
+        in_dir = GATEWAY
+        for direction in directions:
+            link = topology.link(current, direction)
+            hops.append(Hop(current, in_dir, direction))
+            in_dir = link.in_dir
+            current = link.dst
+        hops.append(Hop(current, in_dir, GATEWAY))
+        if current != dst:
+            raise RoutingError(
+                f"{self.name} routing ended at tile {current}, expected {dst}"
+            )
+        return hops
+
+
+def _dimension_steps(src_coord: int, dst_coord: int, size: int,
+                     wraparound: bool, positive: str, negative: str) -> List[str]:
+    """Directions to move one grid dimension from src to dst."""
+    if src_coord == dst_coord:
+        return []
+    if not wraparound:
+        if dst_coord > src_coord:
+            return [positive] * (dst_coord - src_coord)
+        return [negative] * (src_coord - dst_coord)
+    forward = (dst_coord - src_coord) % size
+    backward = size - forward
+    if forward <= backward:
+        return [positive] * forward
+    return [negative] * backward
+
+
+class XYRouting(RoutingAlgorithm):
+    """Dimension-order routing, X (columns) first."""
+
+    name = "xy"
+
+    def direction_plan(
+        self, topology: GridTopology, src: int, dst: int
+    ) -> List[str]:
+        src_row, src_col = topology.tile_coords(src)
+        dst_row, dst_col = topology.tile_coords(dst)
+        steps = _dimension_steps(
+            src_col, dst_col, topology.cols, topology.wraparound, "E", "W"
+        )
+        steps += _dimension_steps(
+            src_row, dst_row, topology.rows, topology.wraparound, "N", "S"
+        )
+        return steps
+
+
+class YXRouting(RoutingAlgorithm):
+    """Dimension-order routing, Y (rows) first."""
+
+    name = "yx"
+
+    def direction_plan(
+        self, topology: GridTopology, src: int, dst: int
+    ) -> List[str]:
+        src_row, src_col = topology.tile_coords(src)
+        dst_row, dst_col = topology.tile_coords(dst)
+        steps = _dimension_steps(
+            src_row, dst_row, topology.rows, topology.wraparound, "N", "S"
+        )
+        steps += _dimension_steps(
+            src_col, dst_col, topology.cols, topology.wraparound, "E", "W"
+        )
+        return steps

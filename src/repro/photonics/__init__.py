@@ -1,0 +1,61 @@
+"""Photonic building blocks: parameters, element behaviour, libraries.
+
+This subpackage realizes boxes (2) and the physical half of box (3) of the
+PhoNoCMap environment (paper Fig. 1): the waveguide / crossing / microring
+building blocks, their loss and crosstalk coefficients (Table I), and the
+per-element transfer rules (Fig. 2, eqs. 1a–1j).
+"""
+
+from repro.photonics.elements import (
+    A_IN,
+    A_OUT,
+    B_IN,
+    B_OUT,
+    WG_IN,
+    WG_OUT,
+    ElementKind,
+    Emission,
+    TraversalState,
+    is_valid_traversal,
+    passive_loss_db,
+    straight_output,
+    traversal_emissions,
+    traversal_loss_db,
+)
+from repro.photonics.library import ComponentLibrary, default_library
+from repro.photonics.parameters import TABLE_I_ROWS, PhysicalParameters
+from repro.photonics.units import (
+    combine_losses_db,
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    mw_to_dbm,
+    sum_powers_db,
+)
+
+__all__ = [
+    "A_IN",
+    "A_OUT",
+    "B_IN",
+    "B_OUT",
+    "WG_IN",
+    "WG_OUT",
+    "ElementKind",
+    "Emission",
+    "TraversalState",
+    "is_valid_traversal",
+    "passive_loss_db",
+    "straight_output",
+    "traversal_emissions",
+    "traversal_loss_db",
+    "ComponentLibrary",
+    "default_library",
+    "TABLE_I_ROWS",
+    "PhysicalParameters",
+    "combine_losses_db",
+    "db_to_linear",
+    "dbm_to_mw",
+    "linear_to_db",
+    "mw_to_dbm",
+    "sum_powers_db",
+]

@@ -1,0 +1,243 @@
+"""Photonic element behaviour: the transfer rules of paper Fig. 2 / eqs. (1).
+
+The network is modelled at the granularity of four primitive elements:
+
+* **waveguide** segments (propagation loss only),
+* **plain crossings** of two waveguides (eqs. 1i/1j),
+* **crossing PSEs** (CPSE) — a microring sitting at a waveguide crossing
+  (eqs. 1e–1h),
+* **parallel PSEs** (PPSE) — a microring between two antiparallel waveguides
+  (eqs. 1a–1d).
+
+All waveguides in this model are *unidirectional* (bidirectional channels
+are two waveguides), so a crossing or PSE joining guide ``A`` and guide ``B``
+has exactly four ports::
+
+    A_IN --->[ element ]---> A_OUT
+    B_IN --->[         ]---> B_OUT
+
+For a PSE the microring implements the coupling ``A -> B``: a signal
+travelling on ``A`` with the ring ON leaves through ``B_OUT`` (the *drop*
+port); with the ring OFF it continues to ``A_OUT`` (the *through* port).
+The symmetric add-path ``B_IN -> A_OUT`` is also modelled.
+
+Every traversal produces (a) an insertion loss and (b) zero or more
+first-order *crosstalk emissions* — a coefficient and the port through
+which the leaked power exits, following the paper's simplified model:
+
+* crosstalk generated at an element is not attenuated by that element,
+* only first-order noise is tracked (noise never creates noise),
+* add-port resonant noise and back-reflections are neglected, which is why
+  a passive traversal of a CPSE's crossing guide emits only the
+  crossing-grade coefficient ``Kc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from repro.errors import ModelError
+from repro.photonics.parameters import PhysicalParameters
+
+__all__ = [
+    "ElementKind",
+    "TraversalState",
+    "Emission",
+    "A_IN",
+    "A_OUT",
+    "B_IN",
+    "B_OUT",
+    "WG_IN",
+    "WG_OUT",
+    "PORT_NAMES",
+    "traversal_loss_db",
+    "traversal_emissions",
+    "straight_output",
+    "passive_loss_db",
+    "is_valid_traversal",
+]
+
+# Port identifiers. Waveguides reuse the A-guide pair.
+A_IN = 0
+A_OUT = 1
+B_IN = 2
+B_OUT = 3
+WG_IN = A_IN
+WG_OUT = A_OUT
+
+PORT_NAMES = {A_IN: "A_IN", A_OUT: "A_OUT", B_IN: "B_IN", B_OUT: "B_OUT"}
+
+
+class ElementKind(Enum):
+    """The four primitive photonic elements of the component library."""
+
+    WAVEGUIDE = "waveguide"
+    CROSSING = "crossing"
+    CPSE = "cpse"
+    PPSE = "ppse"
+
+
+class TraversalState(Enum):
+    """Ring state as seen by one traversal.
+
+    ``PASSIVE`` covers both an OFF ring and elements without a ring;
+    ``ON`` means the traversal uses the ring's resonant coupling (a turn for
+    a CPSE, a drop for a PPSE).
+    """
+
+    PASSIVE = "passive"
+    ON = "on"
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One first-order crosstalk emission of a traversal.
+
+    ``coefficient_db`` is the power ratio leaked (relative to the power at
+    the element's input) and ``out_port`` the port through which the leaked
+    power leaves the element.
+    """
+
+    coefficient_db: float
+    out_port: int
+
+
+# (kind, in_port, out_port) -> state(s) allowed. Built once, used by
+# is_valid_traversal; losses/emissions are computed by the functions below.
+_VALID = {
+    (ElementKind.WAVEGUIDE, WG_IN, WG_OUT): (TraversalState.PASSIVE,),
+    (ElementKind.CROSSING, A_IN, A_OUT): (TraversalState.PASSIVE,),
+    (ElementKind.CROSSING, B_IN, B_OUT): (TraversalState.PASSIVE,),
+    (ElementKind.CPSE, A_IN, A_OUT): (TraversalState.PASSIVE,),
+    (ElementKind.CPSE, A_IN, B_OUT): (TraversalState.ON,),
+    (ElementKind.CPSE, B_IN, B_OUT): (TraversalState.PASSIVE,),
+    (ElementKind.CPSE, B_IN, A_OUT): (TraversalState.ON,),
+    (ElementKind.PPSE, A_IN, A_OUT): (TraversalState.PASSIVE,),
+    (ElementKind.PPSE, A_IN, B_OUT): (TraversalState.ON,),
+    (ElementKind.PPSE, B_IN, B_OUT): (TraversalState.PASSIVE,),
+    (ElementKind.PPSE, B_IN, A_OUT): (TraversalState.ON,),
+}
+
+
+def is_valid_traversal(
+    kind: ElementKind, in_port: int, out_port: int, state: TraversalState
+) -> bool:
+    """Whether ``(in_port, out_port, state)`` is a legal way through ``kind``."""
+    allowed = _VALID.get((kind, in_port, out_port))
+    return allowed is not None and state in allowed
+
+
+def _check(kind: ElementKind, in_port: int, out_port: int, state: TraversalState) -> None:
+    if not is_valid_traversal(kind, in_port, out_port, state):
+        raise ModelError(
+            f"invalid traversal of {kind.value}: "
+            f"{PORT_NAMES.get(in_port, in_port)} -> "
+            f"{PORT_NAMES.get(out_port, out_port)} [{state.value}]"
+        )
+
+
+def traversal_loss_db(
+    kind: ElementKind,
+    in_port: int,
+    out_port: int,
+    state: TraversalState,
+    params: PhysicalParameters,
+    length_cm: float = 0.0,
+) -> float:
+    """Insertion loss (dB) of one traversal, per eqs. (1a)–(1j).
+
+    ``length_cm`` only matters for waveguides.
+    """
+    _check(kind, in_port, out_port, state)
+    if kind is ElementKind.WAVEGUIDE:
+        return params.propagation_loss_db(length_cm)
+    if kind is ElementKind.CROSSING:
+        return params.crossing_loss_db  # eq. (1i)
+    if kind is ElementKind.CPSE:
+        if state is TraversalState.ON:
+            return params.cpse_on_loss_db  # eq. (1g)
+        return params.cpse_off_loss_db  # eq. (1e)
+    # PPSE
+    if state is TraversalState.ON:
+        return params.ppse_on_loss_db  # eq. (1c)
+    return params.ppse_off_loss_db  # eq. (1a)
+
+
+def traversal_emissions(
+    kind: ElementKind,
+    in_port: int,
+    out_port: int,
+    state: TraversalState,
+    params: PhysicalParameters,
+) -> Tuple[Emission, ...]:
+    """First-order crosstalk emissions of one traversal, per eqs. (1b)–(1j).
+
+    The returned coefficients are relative to the power at the element's
+    input; per the paper's simplification they are *not* attenuated by the
+    element itself.
+    """
+    _check(kind, in_port, out_port, state)
+    if kind is ElementKind.WAVEGUIDE:
+        return ()
+    other_out = B_OUT if in_port == A_IN else A_OUT
+    if kind is ElementKind.CROSSING:
+        # eq. (1j): Kc leaks into the perpendicular guide's output.
+        return (Emission(params.crossing_crosstalk_db, other_out),)
+    if kind is ElementKind.CPSE:
+        if state is TraversalState.ON:
+            # eq. (1h): Kp,on continues straight through.
+            straight = A_OUT if in_port == A_IN else B_OUT
+            return (Emission(params.pse_on_crosstalk_db, straight),)
+        if in_port == A_IN:
+            # eq. (1f): the OFF drop port sees Kp,off + Kc (linear sum).
+            coefficient = _linear_sum_db(
+                params.pse_off_crosstalk_db, params.crossing_crosstalk_db
+            )
+            return (Emission(coefficient, B_OUT),)
+        # Passive traversal of the crossing guide: only crossing-grade
+        # leakage (add-port resonant noise is neglected by the paper).
+        return (Emission(params.crossing_crosstalk_db, A_OUT),)
+    # PPSE
+    if state is TraversalState.ON:
+        straight = A_OUT if in_port == A_IN else B_OUT
+        return (Emission(params.pse_on_crosstalk_db, straight),)  # eq. (1d)
+    return (Emission(params.pse_off_crosstalk_db, other_out),)  # eq. (1b)
+
+
+def straight_output(kind: ElementKind, in_port: int) -> int:
+    """The output port a passively propagating signal (or noise) exits from.
+
+    Used when walking crosstalk noise forward along a guide: noise never
+    turns, so at every element it follows the passive through path.
+    """
+    if kind is ElementKind.WAVEGUIDE:
+        if in_port != WG_IN:
+            raise ModelError(f"waveguide has no input port {in_port}")
+        return WG_OUT
+    if in_port == A_IN:
+        return A_OUT
+    if in_port == B_IN:
+        return B_OUT
+    raise ModelError(f"{kind.value} has no input port {in_port}")
+
+
+def passive_loss_db(
+    kind: ElementKind,
+    in_port: int,
+    params: PhysicalParameters,
+    length_cm: float = 0.0,
+) -> float:
+    """Loss of a passive straight pass, as suffered by walking noise."""
+    return traversal_loss_db(
+        kind, in_port, straight_output(kind, in_port), TraversalState.PASSIVE,
+        params, length_cm,
+    )
+
+
+def _linear_sum_db(*coefficients_db: float) -> float:
+    """Sum crosstalk coefficients in the linear domain, result in dB."""
+    from repro.photonics.units import db_to_linear, linear_to_db
+
+    return linear_to_db(sum(db_to_linear(c) for c in coefficients_db))

@@ -1,0 +1,68 @@
+"""Component library: named physical-parameter sets (Fig. 1, box 2).
+
+PhoNoCMap ships a built-in library (the paper's Table I, registered as
+``"date16"`` and aliased as the default) and lets users register their own
+technology parameter sets, mirroring the paper's statement that users "can
+choose to design a network based on the built-in library of devices, or
+extend the library itself with new photonic building blocks".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.errors import ConfigurationError
+from repro.photonics.parameters import PhysicalParameters
+
+__all__ = ["ComponentLibrary", "default_library"]
+
+DEFAULT_NAME = "date16"
+
+
+class ComponentLibrary:
+    """A registry of named :class:`PhysicalParameters` sets."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, PhysicalParameters] = {}
+        self.register(DEFAULT_NAME, PhysicalParameters())
+
+    def register(self, name: str, params: PhysicalParameters, overwrite: bool = False) -> None:
+        """Register a parameter set under ``name``.
+
+        Re-registering an existing name requires ``overwrite=True`` so that
+        accidental clobbering of the built-in table is an error.
+        """
+        if not name:
+            raise ConfigurationError("library entry name must be non-empty")
+        if name in self._entries and not overwrite:
+            raise ConfigurationError(
+                f"library entry {name!r} already exists; pass overwrite=True to replace it"
+            )
+        self._entries[name] = params
+
+    def get(self, name: str = DEFAULT_NAME) -> PhysicalParameters:
+        """Look up a parameter set; unknown names raise with the known list."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown component library entry {name!r}; known: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> Iterator[str]:
+        """Iterate over registered entry names (sorted)."""
+        return iter(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_DEFAULT_LIBRARY = ComponentLibrary()
+
+
+def default_library() -> ComponentLibrary:
+    """The process-wide default library (contains the Table I entry)."""
+    return _DEFAULT_LIBRARY

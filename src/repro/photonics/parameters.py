@@ -1,0 +1,146 @@
+"""Physical parameters of the photonic building blocks (paper Table I).
+
+The defaults reproduce Table I of the paper exactly; every coefficient is a
+*power ratio in dB* (negative values mean attenuation), except the
+propagation loss which is in dB/cm. All coefficients can be overridden to
+model a different technology node, which is how the paper's "Physical
+Parameters" library box (Fig. 1) is realized here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ConfigurationError
+from repro.photonics.units import db_to_linear
+
+__all__ = ["PhysicalParameters", "TABLE_I_ROWS"]
+
+#: Rows of Table I: (parameter description, notation, attribute, value, reference)
+TABLE_I_ROWS: Tuple[Tuple[str, str, str, float, str], ...] = (
+    ("Crossing loss", "Lc", "crossing_loss_db", -0.04, "[7]"),
+    ("Propagation Loss in Silicon", "Lp", "propagation_loss_db_per_cm", -0.274, "[8]"),
+    ("Power loss per PPSE in OFF state", "Lp,off", "ppse_off_loss_db", -0.005, "[9]"),
+    ("Power loss per PPSE in ON state", "Lp,on", "ppse_on_loss_db", -0.5, "[9]"),
+    ("Power loss per CPSE in OFF state", "Lc,off", "cpse_off_loss_db", -0.045, ""),
+    ("Power loss per CPSE in ON state", "Lc,on", "cpse_on_loss_db", -0.5, "[10]"),
+    ("Crossing's crosstalk coefficient", "Kc", "crossing_crosstalk_db", -40.0, "[7]"),
+    ("Crosstalk coefficient per PSE in OFF state", "Kp,off", "pse_off_crosstalk_db", -20.0, "[9]"),
+    ("Crosstalk coefficient per PSE in ON state", "Kp,on", "pse_on_crosstalk_db", -25.0, "[9]"),
+)
+
+
+@dataclass(frozen=True)
+class PhysicalParameters:
+    """Loss and crosstalk coefficients of the photonic building blocks.
+
+    Attribute names follow Table I notation:
+
+    ===========================  ========  ==============================
+    attribute                    notation  meaning
+    ===========================  ========  ==============================
+    crossing_loss_db             Lc        loss across a waveguide crossing
+    propagation_loss_db_per_cm   Lp        silicon waveguide propagation loss
+    ppse_off_loss_db             Lp,off    through loss of an OFF parallel PSE
+    ppse_on_loss_db              Lp,on     drop loss of an ON parallel PSE
+    cpse_off_loss_db             Lc,off    through loss of an OFF crossing PSE
+    cpse_on_loss_db              Lc,on     drop loss of an ON crossing PSE
+    crossing_crosstalk_db        Kc        crossing crosstalk coefficient
+    pse_off_crosstalk_db         Kp,off    OFF-state PSE crosstalk coefficient
+    pse_on_crosstalk_db          Kp,on     ON-state PSE crosstalk coefficient
+    ===========================  ========  ==============================
+    """
+
+    crossing_loss_db: float = -0.04
+    propagation_loss_db_per_cm: float = -0.274
+    ppse_off_loss_db: float = -0.005
+    ppse_on_loss_db: float = -0.5
+    cpse_off_loss_db: float = -0.045
+    cpse_on_loss_db: float = -0.5
+    crossing_crosstalk_db: float = -40.0
+    pse_off_crosstalk_db: float = -20.0
+    pse_on_crosstalk_db: float = -25.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value > 0.0:
+                raise ConfigurationError(
+                    f"physical parameter {f.name}={value} must be <= 0 dB "
+                    "(these coefficients describe attenuation)"
+                )
+
+    # -- linear-domain views ------------------------------------------------
+
+    @property
+    def crossing_loss_linear(self) -> float:
+        """Lc as a linear power ratio."""
+        return db_to_linear(self.crossing_loss_db)
+
+    @property
+    def ppse_off_loss_linear(self) -> float:
+        """Lp,off as a linear power ratio."""
+        return db_to_linear(self.ppse_off_loss_db)
+
+    @property
+    def ppse_on_loss_linear(self) -> float:
+        """Lp,on as a linear power ratio."""
+        return db_to_linear(self.ppse_on_loss_db)
+
+    @property
+    def cpse_off_loss_linear(self) -> float:
+        """Lc,off as a linear power ratio."""
+        return db_to_linear(self.cpse_off_loss_db)
+
+    @property
+    def cpse_on_loss_linear(self) -> float:
+        """Lc,on as a linear power ratio."""
+        return db_to_linear(self.cpse_on_loss_db)
+
+    @property
+    def crossing_crosstalk_linear(self) -> float:
+        """Kc as a linear power ratio."""
+        return db_to_linear(self.crossing_crosstalk_db)
+
+    @property
+    def pse_off_crosstalk_linear(self) -> float:
+        """Kp,off as a linear power ratio."""
+        return db_to_linear(self.pse_off_crosstalk_db)
+
+    @property
+    def pse_on_crosstalk_linear(self) -> float:
+        """Kp,on as a linear power ratio."""
+        return db_to_linear(self.pse_on_crosstalk_db)
+
+    # -- utilities -----------------------------------------------------------
+
+    def propagation_loss_db(self, length_cm: float) -> float:
+        """Propagation loss of a waveguide of ``length_cm`` centimetres."""
+        if length_cm < 0.0:
+            raise ConfigurationError(f"waveguide length {length_cm} cm must be >= 0")
+        return self.propagation_loss_db_per_cm * length_cm
+
+    def with_overrides(self, **overrides: float) -> "PhysicalParameters":
+        """Return a copy with some coefficients replaced.
+
+        Unknown names raise :class:`~repro.errors.ConfigurationError` instead
+        of being silently ignored.
+        """
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown physical parameter(s): {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, float]:
+        """All coefficients as a plain ``{attribute: value}`` dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def table_rows(self) -> Iterator[Tuple[str, str, float]]:
+        """Yield ``(description, notation, value)`` rows in Table I order."""
+        for description, notation, attribute, _default, _ref in TABLE_I_ROWS:
+            yield description, notation, getattr(self, attribute)

@@ -1,0 +1,73 @@
+"""Unit conversions used throughout the physical-layer models.
+
+The analytical model of the paper works with power ratios expressed in
+decibels (Table I) while the crosstalk accumulation needs linear power
+ratios, because noise contributions add linearly. These helpers convert
+between the two and are deliberately strict about invalid inputs: a linear
+power ratio must be positive, otherwise the dB value is undefined.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "combine_losses_db",
+    "sum_powers_db",
+]
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio in dB to a linear power ratio.
+
+    ``db_to_linear(-3.0103) == 0.5`` up to floating point rounding.
+    """
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value_linear: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises :class:`~repro.errors.ModelError` when ``value_linear`` is not
+    strictly positive, because the logarithm is undefined there.
+    """
+    if value_linear <= 0.0:
+        raise ModelError(
+            f"cannot express non-positive power ratio {value_linear!r} in dB"
+        )
+    return 10.0 * math.log10(value_linear)
+
+
+def dbm_to_mw(power_dbm: float) -> float:
+    """Convert an absolute power in dBm to milliwatts."""
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def mw_to_dbm(power_mw: float) -> float:
+    """Convert an absolute power in milliwatts to dBm."""
+    if power_mw <= 0.0:
+        raise ModelError(f"cannot express non-positive power {power_mw!r} in dBm")
+    return 10.0 * math.log10(power_mw)
+
+
+def combine_losses_db(*losses_db: float) -> float:
+    """Total loss of a cascade of elements: losses in dB simply add."""
+    return sum(losses_db)
+
+
+def sum_powers_db(*powers_db: float) -> float:
+    """Sum incoherent power contributions given in dB, result in dB.
+
+    Used when aggregating noise terms: powers add linearly, so the terms are
+    converted to linear, summed, and converted back.
+    """
+    if not powers_db:
+        raise ModelError("sum_powers_db needs at least one contribution")
+    total = sum(db_to_linear(p) for p in powers_db)
+    return linear_to_db(total)

@@ -1,0 +1,58 @@
+"""Optical router microarchitectures and the layout compiler.
+
+Routers are described as waveguide drawings (:mod:`repro.router.layout`)
+and compiled into netlists whose port-to-port connections, insertion losses
+and crosstalk interactions are derived automatically. Built-ins: Crux
+(the router of the paper's experiments), a full 5x5 crossbar, and a
+DOR-optimized reduced crossbar.
+"""
+
+from repro.router.crossbar import (
+    XY_TURNS,
+    build_crossbar,
+    build_reduced_crossbar,
+    crossbar_layout,
+    reduced_crossbar_layout,
+)
+from repro.router.crux import CRUX_CONNECTIONS, build_crux, crux_layout
+from repro.router.geometry import Point, Polyline, segment_intersection
+from repro.router.layout import (
+    LocalElement,
+    LocalTraversal,
+    RingSpec,
+    RouterLayout,
+    RouterSpec,
+    WaveguideSpec,
+    compile_layout,
+)
+from repro.router.registry import (
+    RouterFactory,
+    available_routers,
+    build_router,
+    register_router,
+)
+
+__all__ = [
+    "XY_TURNS",
+    "build_crossbar",
+    "build_reduced_crossbar",
+    "crossbar_layout",
+    "reduced_crossbar_layout",
+    "CRUX_CONNECTIONS",
+    "build_crux",
+    "crux_layout",
+    "Point",
+    "Polyline",
+    "segment_intersection",
+    "LocalElement",
+    "LocalTraversal",
+    "RingSpec",
+    "RouterLayout",
+    "RouterSpec",
+    "WaveguideSpec",
+    "compile_layout",
+    "RouterFactory",
+    "available_routers",
+    "build_router",
+    "register_router",
+]

@@ -1,0 +1,113 @@
+"""Generic 5x5 crossbar optical routers.
+
+Two variants are provided:
+
+* :func:`build_crossbar` — the classic full optical crossbar: five
+  horizontal input guides, five vertical output guides, one ring at every
+  useful (input, output) intersection (20 rings; the five same-direction
+  U-turn sites stay plain crossings). Supports *every* turn, including the
+  Y-to-X turns that Crux omits, so it pairs with any routing algorithm.
+* :func:`build_reduced_crossbar` — the same fabric stripped down to the 14
+  connections XY dimension-order routing needs (14 rings, 11 plain
+  crossings), a DOR-optimized crossbar in the spirit of ODOR. It trades
+  Crux's low-loss straight transits for a simpler fabric, which makes it a
+  useful ablation point.
+
+Both are compiled from drawings, like every router in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.photonics.elements import ElementKind
+from repro.photonics.parameters import PhysicalParameters
+from repro.router.geometry import Point
+from repro.router.layout import (
+    RingSpec,
+    RouterLayout,
+    RouterSpec,
+    WaveguideSpec,
+    compile_layout,
+)
+
+__all__ = [
+    "crossbar_layout",
+    "build_crossbar",
+    "reduced_crossbar_layout",
+    "build_reduced_crossbar",
+    "XY_TURNS",
+]
+
+_DIRECTIONS = ("W", "N", "E", "S", "L")
+
+#: (input direction, output direction) pairs XY dimension-order routing uses.
+XY_TURNS: Tuple[Tuple[str, str], ...] = (
+    ("W", "E"), ("E", "W"), ("N", "S"), ("S", "N"),
+    ("W", "N"), ("W", "S"), ("E", "N"), ("E", "S"),
+    ("L", "N"), ("L", "E"), ("L", "S"), ("L", "W"),
+    ("W", "L"), ("E", "L"), ("N", "L"), ("S", "L"),
+)
+
+
+def _crossbar_layout(
+    name: str, connections: Iterable[Tuple[str, str]], unit_cm: float
+) -> RouterLayout:
+    connection_set = set(connections)
+    waveguides = []
+    for row, direction in enumerate(_DIRECTIONS, start=1):
+        waveguides.append(
+            WaveguideSpec(
+                f"in_{direction}",
+                (Point(0, row), Point(6, row)),
+                f"{direction}_in",
+                None,
+            )
+        )
+    for column, direction in enumerate(_DIRECTIONS, start=1):
+        waveguides.append(
+            WaveguideSpec(
+                f"out_{direction}",
+                (Point(column, 0), Point(column, 6)),
+                None,
+                f"{direction}_out",
+            )
+        )
+    rings = tuple(
+        RingSpec(
+            f"ring_{src}{dst}",
+            f"in_{src}",
+            f"out_{dst}",
+            ElementKind.CPSE,
+        )
+        for src, dst in sorted(connection_set)
+    )
+    return RouterLayout(name, tuple(waveguides), rings, unit_cm)
+
+
+def crossbar_layout(unit_cm: float = 0.004) -> RouterLayout:
+    """Full crossbar drawing: every (input, output) pair except U-turns."""
+    connections = [
+        (src, dst)
+        for src in _DIRECTIONS
+        for dst in _DIRECTIONS
+        if src != dst
+    ]
+    return _crossbar_layout("crossbar", connections, unit_cm)
+
+
+def reduced_crossbar_layout(unit_cm: float = 0.004) -> RouterLayout:
+    """Crossbar drawing restricted to the connections XY routing uses."""
+    return _crossbar_layout("reduced_crossbar", XY_TURNS, unit_cm)
+
+
+def build_crossbar(params: PhysicalParameters, unit_cm: float = 0.004) -> RouterSpec:
+    """Compile the full 20-ring crossbar."""
+    return compile_layout(crossbar_layout(unit_cm), params)
+
+
+def build_reduced_crossbar(
+    params: PhysicalParameters, unit_cm: float = 0.004
+) -> RouterSpec:
+    """Compile the 14-ring DOR-optimized crossbar."""
+    return compile_layout(reduced_crossbar_layout(unit_cm), params)

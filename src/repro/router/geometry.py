@@ -1,0 +1,150 @@
+"""Minimal 2-D geometry for describing optical router layouts.
+
+Routers are described as *directed polyline waveguides* on a local grid
+(:mod:`repro.router.layout`). This module provides the primitives the layout
+compiler needs: points, polylines with arclength parametrization, and
+segment/polyline intersection.
+
+Only proper crossings are supported: two waveguides must cross through each
+other's interior. Endpoint touching and collinear overlap are layout bugs
+and raise :class:`~repro.errors.LayoutError` so the designer fixes the
+drawing instead of silently getting a surprising netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import LayoutError
+
+__all__ = ["Point", "Polyline", "segment_intersection"]
+
+#: Tolerance for floating point geometric comparisons (layout grid units).
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point on the router layout grid."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return ((self.x - other.x) ** 2 + (self.y - other.y) ** 2) ** 0.5
+
+    def is_close(self, other: "Point", tolerance: float = EPSILON) -> bool:
+        return self.distance_to(other) <= tolerance
+
+
+def _cross(ox: float, oy: float, ax: float, ay: float, bx: float, by: float) -> float:
+    """Z component of (a - o) x (b - o)."""
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+
+
+def segment_intersection(
+    p1: Point, p2: Point, q1: Point, q2: Point
+) -> Optional[Point]:
+    """Intersection point of segments ``p1p2`` and ``q1q2``, if any.
+
+    Returns ``None`` for disjoint segments. Raises
+    :class:`~repro.errors.LayoutError` for collinear overlaps and for
+    degenerate touching configurations (intersection at a segment endpoint),
+    because those indicate a drawing mistake in a router layout.
+    """
+    d1x, d1y = p2.x - p1.x, p2.y - p1.y
+    d2x, d2y = q2.x - q1.x, q2.y - q1.y
+    denominator = d1x * d2y - d1y * d2x
+    if abs(denominator) <= EPSILON:
+        # Parallel. Overlapping collinear segments are an error; disjoint
+        # parallel segments simply do not intersect.
+        if abs(_cross(p1.x, p1.y, p2.x, p2.y, q1.x, q1.y)) <= EPSILON:
+            # Collinear: check for 1-D overlap on the dominant axis.
+            if abs(d1x) >= abs(d1y):
+                lo1, hi1 = sorted((p1.x, p2.x))
+                lo2, hi2 = sorted((q1.x, q2.x))
+            else:
+                lo1, hi1 = sorted((p1.y, p2.y))
+                lo2, hi2 = sorted((q1.y, q2.y))
+            if hi1 - lo2 > EPSILON and hi2 - lo1 > EPSILON:
+                raise LayoutError(
+                    "collinear overlapping waveguide segments: "
+                    f"({p1}, {p2}) and ({q1}, {q2})"
+                )
+        return None
+    t = ((q1.x - p1.x) * d2y - (q1.y - p1.y) * d2x) / denominator
+    u = ((q1.x - p1.x) * d1y - (q1.y - p1.y) * d1x) / denominator
+    if t < -EPSILON or t > 1 + EPSILON or u < -EPSILON or u > 1 + EPSILON:
+        return None
+    interior_t = EPSILON < t < 1 - EPSILON
+    interior_u = EPSILON < u < 1 - EPSILON
+    if not (interior_t and interior_u):
+        # Touches an endpoint: ambiguous drawing.
+        raise LayoutError(
+            "waveguide segments touch at an endpoint instead of properly "
+            f"crossing: ({p1}, {p2}) and ({q1}, {q2}); extend or shorten one"
+        )
+    return Point(p1.x + t * d1x, p1.y + t * d1y)
+
+
+class Polyline:
+    """A directed chain of straight segments with arclength parametrization."""
+
+    def __init__(self, points: Sequence[Point]):
+        if len(points) < 2:
+            raise LayoutError("a polyline needs at least two points")
+        for a, b in zip(points, points[1:]):
+            if a.is_close(b):
+                raise LayoutError(f"zero-length polyline segment at {a}")
+        self.points: Tuple[Point, ...] = tuple(points)
+        self._prefix_lengths: List[float] = [0.0]
+        for a, b in self.segments():
+            self._prefix_lengths.append(self._prefix_lengths[-1] + a.distance_to(b))
+        self._check_self_intersection()
+
+    def _check_self_intersection(self) -> None:
+        segments = list(self.segments())
+        for i in range(len(segments)):
+            for j in range(i + 2, len(segments)):
+                p1, p2 = segments[i]
+                q1, q2 = segments[j]
+                try:
+                    hit = segment_intersection(p1, p2, q1, q2)
+                except LayoutError:
+                    hit = Point(0.0, 0.0)  # any touch counts as self-intersection
+                if hit is not None:
+                    raise LayoutError(
+                        f"self-intersecting waveguide polyline near segment {i}"
+                    )
+
+    def segments(self) -> Iterator[Tuple[Point, Point]]:
+        return zip(self.points, self.points[1:])
+
+    @property
+    def length(self) -> float:
+        """Total arclength in layout grid units."""
+        return self._prefix_lengths[-1]
+
+    def arclength_of(self, point: Point) -> float:
+        """Arclength coordinate of a point lying on the polyline."""
+        for index, (a, b) in enumerate(self.segments()):
+            segment_length = a.distance_to(b)
+            t = (
+                (point.x - a.x) * (b.x - a.x) + (point.y - a.y) * (b.y - a.y)
+            ) / (segment_length**2)
+            if -EPSILON <= t <= 1 + EPSILON:
+                candidate = Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+                if candidate.is_close(point, tolerance=1e-6):
+                    return self._prefix_lengths[index] + t * segment_length
+        raise LayoutError(f"point {point} does not lie on the polyline")
+
+    def intersections_with(self, other: "Polyline") -> List[Point]:
+        """All proper crossing points with another polyline."""
+        hits: List[Point] = []
+        for p1, p2 in self.segments():
+            for q1, q2 in other.segments():
+                hit = segment_intersection(p1, p2, q1, q2)
+                if hit is not None:
+                    hits.append(hit)
+        return hits

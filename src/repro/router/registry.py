@@ -1,0 +1,59 @@
+"""Router registry: optical router microarchitectures by name.
+
+Mirrors the paper's plug-in philosophy: a router is a factory taking the
+physical parameters and returning a compiled :class:`RouterSpec`; new
+microarchitectures register here without touching the tool core.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.photonics.parameters import PhysicalParameters
+from repro.router.crossbar import build_crossbar, build_reduced_crossbar
+from repro.router.crux import build_crux
+from repro.router.layout import RouterSpec
+
+__all__ = [
+    "RouterFactory",
+    "register_router",
+    "build_router",
+    "available_routers",
+]
+
+RouterFactory = Callable[[PhysicalParameters], RouterSpec]
+
+_REGISTRY: Dict[str, RouterFactory] = {}
+
+
+def register_router(name: str, factory: RouterFactory, overwrite: bool = False) -> None:
+    """Register a router factory under ``name``."""
+    if not name:
+        raise ConfigurationError("router name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"router {name!r} is already registered; pass overwrite=True to replace"
+        )
+    _REGISTRY[name] = factory
+
+
+def build_router(name: str, params: PhysicalParameters) -> RouterSpec:
+    """Build a registered router against a physical parameter set."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown router {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(params)
+
+
+def available_routers() -> Tuple[str, ...]:
+    """Names of all registered routers, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_router("crux", build_crux)
+register_router("crossbar", build_crossbar)
+register_router("reduced_crossbar", build_reduced_crossbar)

@@ -1,0 +1,59 @@
+"""Fig. 3 distribution-study tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import random_mapping_distribution
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def pip_distribution(pip_cg, mesh3_network):
+    return random_mapping_distribution(
+        pip_cg, mesh3_network, n_samples=2000, seed=42
+    )
+
+
+class TestDistribution:
+    def test_sample_counts(self, pip_distribution):
+        assert pip_distribution.n_samples == 2000
+        assert pip_distribution.worst_snr_db.shape == (2000,)
+        assert pip_distribution.worst_loss_db.shape == (2000,)
+
+    def test_losses_negative(self, pip_distribution):
+        assert pip_distribution.worst_loss_db.max() < 0
+
+    def test_snr_spread_significant(self, pip_distribution):
+        """Fig. 3's point: mapping choice matters — the spread is large."""
+        assert pip_distribution.summary("snr")["spread"] > 5.0
+
+    def test_loss_spread_significant(self, pip_distribution):
+        assert pip_distribution.summary("loss")["spread"] > 0.5
+
+    def test_deterministic(self, pip_cg, mesh3_network):
+        a = random_mapping_distribution(pip_cg, mesh3_network, 500, seed=7)
+        b = random_mapping_distribution(pip_cg, mesh3_network, 500, seed=7)
+        np.testing.assert_array_equal(a.worst_snr_db, b.worst_snr_db)
+
+    def test_cdf_monotone(self, pip_distribution):
+        for metric in ("snr", "loss"):
+            _x, p = pip_distribution.cdf(metric)
+            assert np.all(np.diff(p) >= 0)
+            assert p[-1] <= 1.0 + 1e-12
+
+    def test_cdf_covers_zero_to_one(self, pip_distribution):
+        _x, p = pip_distribution.cdf("loss")
+        assert p[0] < 0.2
+        assert p[-1] == pytest.approx(1.0)
+
+    def test_unknown_metric_rejected(self, pip_distribution):
+        with pytest.raises(ConfigurationError):
+            pip_distribution.cdf("latency")
+
+    def test_summary_fields(self, pip_distribution):
+        summary = pip_distribution.summary("snr")
+        assert summary["min"] <= summary["median"] <= summary["max"]
+
+    def test_zero_samples_rejected(self, pip_cg, mesh3_network):
+        with pytest.raises(ConfigurationError):
+            random_mapping_distribution(pip_cg, mesh3_network, 0)

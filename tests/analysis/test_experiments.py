@@ -1,0 +1,105 @@
+"""Experiment harness tests: Table I/II and Fig. 3 reproductions."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE2,
+    build_case_study_network,
+    format_fig3,
+    reproduce_fig3,
+    reproduce_table1,
+    reproduce_table2,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable1:
+    def test_contains_every_notation(self):
+        text = reproduce_table1()
+        for notation in ("Lc", "Lp", "Lp,off", "Lp,on", "Lc,off", "Lc,on",
+                         "Kc", "Kp,off", "Kp,on"):
+            assert notation in text
+
+    def test_contains_paper_values(self):
+        text = reproduce_table1()
+        for value in ("-0.04", "-0.274", "-0.005", "-0.5", "-40", "-20", "-25"):
+            assert value in text
+
+
+class TestPaperTable2Data:
+    def test_all_apps_present(self):
+        assert len(PAPER_TABLE2) == 8
+
+    def test_every_cell_filled(self):
+        for app, topologies in PAPER_TABLE2.items():
+            assert set(topologies) == {"mesh", "torus"}
+            for cells in topologies.values():
+                assert set(cells) == {"rs", "ga", "r-pbla"}
+                for snr, loss in cells.values():
+                    assert snr > 0 and loss < 0
+
+    def test_known_anchor_values(self):
+        assert PAPER_TABLE2["vopd"]["mesh"]["r-pbla"] == (38.67, -1.52)
+        assert PAPER_TABLE2["dvopd"]["torus"]["rs"] == (14.12, -3.18)
+
+
+class TestCaseStudyNetwork:
+    def test_mesh(self):
+        network = build_case_study_network("mesh", 3)
+        assert network.topology.signature == "mesh[3x3]"
+        assert network.router_spec.name == "crux"
+
+    def test_torus(self):
+        network = build_case_study_network("torus", 4)
+        assert network.topology.wraparound
+
+    def test_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            build_case_study_network("hypercube", 3)
+
+
+class TestReproduceFig3:
+    def test_small_run_shapes(self):
+        results = reproduce_fig3(applications=("pip",), n_samples=300, seed=1)
+        assert set(results) == {"pip"}
+        assert results["pip"].n_samples == 300
+
+    def test_formatting(self):
+        results = reproduce_fig3(applications=("pip",), n_samples=200, seed=1)
+        text = format_fig3(results)
+        assert "pip" in text
+        assert "SNR" in text
+
+
+class TestReproduceTable2:
+    @pytest.fixture(scope="class")
+    def tiny_table(self):
+        return reproduce_table2(
+            applications=("pip",),
+            topologies=("mesh",),
+            budget=600,
+            seed=3,
+        )
+
+    def test_cells_present(self, tiny_table):
+        for strategy in ("rs", "ga", "r-pbla"):
+            assert ("pip", "mesh", strategy) in tiny_table.cells
+
+    def test_cell_values_sane(self, tiny_table):
+        for cell in tiny_table.cells.values():
+            assert cell.snr_db > 0
+            assert cell.loss_db < 0
+
+    def test_paper_reference_attached(self, tiny_table):
+        cell = tiny_table.cells[("pip", "mesh", "rs")]
+        assert cell.paper_snr_db == 38.58
+        assert cell.paper_loss_db == -1.90
+
+    def test_formatting(self, tiny_table):
+        text = tiny_table.format()
+        assert "pip" in text
+        assert "mesh/rs SNR" in text
+
+    def test_formatting_with_paper(self, tiny_table):
+        text = tiny_table.format(with_paper=True)
+        assert "(38.58)" in text

@@ -1,0 +1,75 @@
+"""Noise-breakdown report tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.inspect import edge_noise_breakdown, mapping_report
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def assignment():
+    return np.arange(8)
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self, pip_evaluator, assignment):
+        contributions = edge_noise_breakdown(pip_evaluator, assignment, 0)
+        if contributions:
+            assert sum(c.share for c in contributions) == pytest.approx(1.0)
+
+    def test_sorted_strongest_first(self, pip_evaluator, assignment):
+        contributions = edge_noise_breakdown(pip_evaluator, assignment, 1)
+        values = [c.coupling_linear for c in contributions]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_limits(self, pip_evaluator, assignment):
+        full = edge_noise_breakdown(pip_evaluator, assignment, 1)
+        if len(full) > 1:
+            limited = edge_noise_breakdown(pip_evaluator, assignment, 1, top=1)
+            assert len(limited) == 1
+            assert limited[0] == full[0]
+
+    def test_breakdown_matches_evaluator_noise(self, pip_evaluator, assignment):
+        metrics = pip_evaluator.evaluate(assignment, with_edges=True)
+        for victim in range(pip_evaluator.cg.n_edges):
+            contributions = edge_noise_breakdown(pip_evaluator, assignment, victim)
+            total = sum(c.coupling_linear for c in contributions)
+            assert total == pytest.approx(
+                float(metrics.edges.noise_linear[victim]), rel=1e-9, abs=1e-18
+            )
+
+    def test_excluded_aggressors_absent(self, pip_evaluator, assignment):
+        """Serialized pairs (shared src/dst task) never appear."""
+        cg = pip_evaluator.cg
+        mask = cg.serialization_mask()
+        for victim in range(cg.n_edges):
+            contributions = edge_noise_breakdown(pip_evaluator, assignment, victim)
+            for c in contributions:
+                assert mask[victim, c.aggressor_edge]
+
+    def test_bad_edge_index(self, pip_evaluator, assignment):
+        with pytest.raises(ConfigurationError):
+            edge_noise_breakdown(pip_evaluator, assignment, 99)
+
+
+class TestReport:
+    def test_report_renders(self, pip_evaluator, assignment):
+        text = mapping_report(pip_evaluator, assignment)
+        assert "mapping report: pip" in text
+        assert "worst SNR" in text
+        assert "noise into" in text
+
+    def test_report_contains_every_edge(self, pip_evaluator, assignment):
+        text = mapping_report(pip_evaluator, assignment)
+        for edge in pip_evaluator.cg.edges:
+            label = (
+                f"{pip_evaluator.cg.tasks[edge.src]}->"
+                f"{pip_evaluator.cg.tasks[edge.dst]}"
+            )
+            assert label in text
+
+    def test_report_does_not_count_as_search(self, pip_evaluator, assignment):
+        pip_evaluator.reset_count()
+        mapping_report(pip_evaluator, assignment)
+        assert pip_evaluator.evaluations == 0

@@ -1,0 +1,54 @@
+"""Reporting helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_curve, format_db, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(("a", "bb"), [(1, 2), (30, 40)])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-+-" in lines[1]
+        assert "30" in lines[3]
+
+    def test_title(self):
+        text = format_table(("x",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_alignment(self):
+        text = format_table(("col",), [("x",), ("longer",)])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestFormatDb:
+    def test_normal_value(self):
+        assert format_db(-1.234).strip() == "-1.23"
+
+    def test_cap_rendered_specially(self):
+        assert ">" in format_db(200.0)
+        assert ">" in format_db(500.0)
+
+
+class TestAsciiCurve:
+    def test_renders(self):
+        x = np.linspace(0, 1, 50)
+        y = x**2
+        text = ascii_curve(x, y, width=40, height=8, x_label="in", y_label="out")
+        assert "*" in text
+        assert "in" in text and "out" in text
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            ascii_curve(np.arange(3), np.arange(4))
+
+    def test_constant_curve_ok(self):
+        text = ascii_curve(np.arange(10), np.zeros(10))
+        assert "*" in text

@@ -1,0 +1,34 @@
+"""Scalability study tests."""
+
+import pytest
+
+from repro.analysis import format_scalability, scalability_study
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return scalability_study(sides=(2, 3), budget=400, seed=3)
+
+
+class TestScalability:
+    def test_row_per_side(self, small_study):
+        assert [row.side for row in small_study] == [2, 3]
+
+    def test_optimized_no_worse_than_random(self, small_study):
+        for row in small_study:
+            assert row.optimized_loss_db >= row.random_loss_db - 1e-9
+            assert row.optimized_snr_db >= row.random_snr_db - 1e-9
+
+    def test_laser_power_tracks_loss(self, small_study):
+        for row in small_study:
+            assert row.optimized_laser_dbm <= row.random_laser_dbm + 1e-9
+
+    def test_feasibility_flags(self, small_study):
+        for row in small_study:
+            assert isinstance(row.random_feasible, bool)
+            assert row.optimized_feasible  # tiny meshes are always feasible
+
+    def test_formatting(self, small_study):
+        text = format_scalability(small_study)
+        assert "2x2" in text and "3x3" in text
+        assert "laser" in text

@@ -1,0 +1,126 @@
+"""Benchmark application tests: the paper's stated facts must hold."""
+
+import networkx as nx
+import pytest
+
+from repro.appgraph import (
+    BENCHMARK_NAMES,
+    all_benchmarks,
+    grid_side_for,
+    load_benchmark,
+)
+from repro.errors import ConfigurationError
+
+#: Task counts stated in the paper's §III.
+PAPER_TASK_COUNTS = {
+    "263dec_mp3dec": 14,
+    "263enc_mp3enc": 12,
+    "dvopd": 32,
+    "mpeg4": 12,
+    "mwd": 12,
+    "pip": 8,
+    "vopd": 16,
+    "wavelet": 22,
+}
+
+#: Edge counts the paper states explicitly.
+PAPER_EDGE_COUNTS = {
+    "mpeg4": 26,
+    "263enc_mp3enc": 12,
+    "mwd": 12,
+}
+
+
+class TestPaperFacts:
+    @pytest.mark.parametrize("name,count", sorted(PAPER_TASK_COUNTS.items()))
+    def test_task_counts(self, name, count):
+        assert load_benchmark(name).n_tasks == count
+
+    @pytest.mark.parametrize("name,count", sorted(PAPER_EDGE_COUNTS.items()))
+    def test_stated_edge_counts(self, name, count):
+        assert load_benchmark(name).n_edges == count
+
+    def test_pip_fits_3x3(self):
+        assert grid_side_for(load_benchmark("pip")) == 3
+
+    def test_dvopd_needs_6x6(self):
+        assert grid_side_for(load_benchmark("dvopd")) == 6
+
+    def test_all_eight_present(self):
+        assert set(BENCHMARK_NAMES) == set(PAPER_TASK_COUNTS)
+
+    def test_mpeg4_is_most_edge_constrained_mid_size(self):
+        """The paper singles out MPEG-4 (26 edges) as more constrained than
+        263enc_mp3enc and MWD (12 edges each)."""
+        mpeg4 = load_benchmark("mpeg4")
+        assert mpeg4.n_edges > load_benchmark("263enc_mp3enc").n_edges
+        assert mpeg4.n_edges > load_benchmark("mwd").n_edges
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_loads_and_validates(self, name):
+        cg = load_benchmark(name)
+        assert cg.n_edges >= cg.n_tasks - cg.n_tasks // 2
+
+    @pytest.mark.parametrize(
+        "name", [n for n in BENCHMARK_NAMES if n not in ("263dec_mp3dec", "263enc_mp3enc")]
+    )
+    def test_single_application_graphs_connected(self, name):
+        assert load_benchmark(name).is_weakly_connected()
+
+    @pytest.mark.parametrize("name", ("263dec_mp3dec", "263enc_mp3enc"))
+    def test_codec_pairs_have_two_components(self, name):
+        cg = load_benchmark(name)
+        components = list(nx.weakly_connected_components(cg.graph()))
+        assert len(components) == 2
+
+    @pytest.mark.parametrize(
+        "name", [n for n in BENCHMARK_NAMES if n not in ("mpeg4",)]
+    )
+    def test_clean_regime_apps_bipartite(self, name):
+        """Apps that reach the paper's ~38-40 dB regime must admit
+        all-adjacent mappings, hence bipartite graphs (DESIGN.md §4)."""
+        und = nx.Graph()
+        cg = load_benchmark(name)
+        und.add_nodes_from(range(cg.n_tasks))
+        for e in cg.edges:
+            und.add_edge(e.src, e.dst)
+        assert nx.is_bipartite(und)
+
+    def test_mpeg4_hub_degree(self):
+        cg = load_benchmark("mpeg4")
+        sdram = cg.task_index("sdram")
+        assert cg.in_degree(sdram) + cg.out_degree(sdram) >= 16
+
+    def test_dvopd_is_two_vopds(self):
+        dvopd = load_benchmark("dvopd")
+        vopd = load_benchmark("vopd")
+        assert dvopd.n_tasks == 2 * vopd.n_tasks
+        assert dvopd.n_edges == 2 * vopd.n_edges + 2
+
+    def test_grid_fits_every_app(self):
+        for name, cg in all_benchmarks().items():
+            side = grid_side_for(cg)
+            assert side * side >= cg.n_tasks
+            assert (side - 1) * (side - 1) < cg.n_tasks
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            load_benchmark("quake3")
+
+    def test_all_benchmarks_order(self):
+        assert list(all_benchmarks()) == list(BENCHMARK_NAMES)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_max_degree_at_most_grid_degree_for_clean_apps(self, name):
+        """Except the deliberately constrained MPEG-4 hub, no task needs
+        more neighbours than a grid tile has."""
+        if name == "mpeg4":
+            return
+        cg = load_benchmark(name)
+        for task in range(cg.n_tasks):
+            degree = cg.in_degree(task) + cg.out_degree(task)
+            # count bidirectional pairs once
+            g = cg.graph().to_undirected()
+            assert g.degree(cg.tasks[task]) <= 4

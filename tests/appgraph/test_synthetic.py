@@ -1,0 +1,81 @@
+"""Synthetic generator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.appgraph import fork_join_cg, hub_cg, pipeline_cg, random_cg
+from repro.errors import ConfigurationError
+
+
+class TestPipeline:
+    def test_shape(self):
+        cg = pipeline_cg(5)
+        assert cg.n_tasks == 5
+        assert cg.n_edges == 4
+        assert cg.is_weakly_connected()
+
+    def test_too_short(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_cg(1)
+
+
+class TestForkJoin:
+    def test_shape(self):
+        cg = fork_join_cg(3)
+        assert cg.n_tasks == 5
+        assert cg.n_edges == 6
+
+    def test_source_degree(self):
+        cg = fork_join_cg(4)
+        assert cg.out_degree(0) == 4
+
+
+class TestHub:
+    def test_shape(self):
+        cg = hub_cg(5)
+        assert cg.n_tasks == 6
+        assert cg.n_edges == 10
+
+    def test_hub_degree(self):
+        cg = hub_cg(5)
+        assert cg.in_degree(0) == 5
+        assert cg.out_degree(0) == 5
+
+
+class TestRandom:
+    def test_exact_edge_count(self):
+        cg = random_cg(8, 14, seed=1)
+        assert cg.n_tasks == 8
+        assert cg.n_edges == 14
+
+    def test_connected(self):
+        for seed in range(5):
+            assert random_cg(10, 12, seed=seed).is_weakly_connected()
+
+    def test_reproducible(self):
+        a = random_cg(8, 14, seed=42)
+        b = random_cg(8, 14, seed=42)
+        assert a.edge_pairs() == b.edge_pairs()
+
+    def test_different_seeds_differ(self):
+        a = random_cg(10, 30, seed=1)
+        b = random_cg(10, 30, seed=2)
+        assert a.edge_pairs() != b.edge_pairs()
+
+    def test_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            random_cg(5, 3, seed=0)  # below spanning minimum
+        with pytest.raises(ConfigurationError):
+            random_cg(3, 7, seed=0)  # above complete digraph
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid_and_connected(self, n_tasks, seed):
+        n_edges = min(n_tasks * (n_tasks - 1), 2 * n_tasks)
+        cg = random_cg(n_tasks, n_edges, seed=seed)
+        assert cg.n_edges == n_edges
+        assert cg.is_weakly_connected()

@@ -1,0 +1,76 @@
+"""Shared fixtures: physical parameters and small reference networks.
+
+Networks and coupling models are expensive enough to share; everything here
+is read-only from the tests' point of view, so session scope is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.appgraph import load_benchmark, pipeline_cg
+from repro.core import MappingEvaluator, MappingProblem, Objective
+from repro.noc import Floorplan, PhotonicNoC, line, mesh, torus
+from repro.photonics import PhysicalParameters
+
+
+@pytest.fixture(scope="session")
+def params():
+    return PhysicalParameters()
+
+
+@pytest.fixture(scope="session")
+def line2_network(params):
+    """Two tiles in a row: the smallest possible network."""
+    return PhotonicNoC(line(2), params=params)
+
+
+@pytest.fixture(scope="session")
+def line3_network(params):
+    """Three tiles in a row: smallest network with a transit router."""
+    return PhotonicNoC(line(3), params=params)
+
+
+@pytest.fixture(scope="session")
+def mesh3_network(params):
+    """3x3 mesh, the PIP case-study fabric."""
+    return PhotonicNoC(mesh(3, 3), params=params)
+
+
+@pytest.fixture(scope="session")
+def mesh4_network(params):
+    """4x4 mesh, the fabric of most case studies."""
+    return PhotonicNoC(mesh(4, 4), params=params)
+
+
+@pytest.fixture(scope="session")
+def torus4_network(params):
+    """4x4 folded torus."""
+    return PhotonicNoC(torus(4, 4), params=params)
+
+
+@pytest.fixture(scope="session")
+def pip_cg():
+    return load_benchmark("pip")
+
+
+@pytest.fixture(scope="session")
+def vopd_cg():
+    return load_benchmark("vopd")
+
+
+@pytest.fixture(scope="session")
+def chain5_cg():
+    return pipeline_cg(5)
+
+
+@pytest.fixture(scope="session")
+def pip_evaluator(pip_cg, mesh3_network):
+    problem = MappingProblem(pip_cg, mesh3_network, Objective.SNR)
+    return MappingEvaluator(problem)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

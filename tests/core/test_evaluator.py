@@ -1,0 +1,150 @@
+"""Mapping evaluator tests: the worst-case metrics of eqs. (3)-(4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Mapping,
+    MappingEvaluator,
+    MappingProblem,
+    Objective,
+    SNR_CAP_DB,
+    random_assignment_batch,
+)
+from repro.errors import MappingError
+from repro.models import pairwise_coupling_linear
+
+
+class TestSingleEvaluation:
+    def test_worst_loss_is_min_edge_loss(self, pip_evaluator, pip_cg, mesh3_network):
+        mapping = Mapping(pip_cg, list(range(8)), 9)
+        metrics = pip_evaluator.evaluate(mapping, with_edges=True)
+        assert metrics.worst_insertion_loss_db == pytest.approx(
+            metrics.edges.insertion_loss_db.min()
+        )
+
+    def test_worst_snr_is_min_edge_snr(self, pip_evaluator, pip_cg):
+        mapping = Mapping(pip_cg, list(range(8)), 9)
+        metrics = pip_evaluator.evaluate(mapping, with_edges=True)
+        assert metrics.worst_snr_db == pytest.approx(metrics.edges.snr_db.min())
+
+    def test_edge_losses_match_paths(self, pip_evaluator, pip_cg, mesh3_network):
+        mapping = Mapping(pip_cg, list(range(8)), 9)
+        metrics = pip_evaluator.evaluate(mapping, with_edges=True)
+        for index, edge in enumerate(pip_cg.edges):
+            expected = mesh3_network.path(
+                mapping.tile_of(edge.src), mapping.tile_of(edge.dst)
+            ).loss_db
+            assert metrics.edges.insertion_loss_db[index] == pytest.approx(expected)
+
+    def test_noise_respects_serialization_mask(
+        self, pip_evaluator, pip_cg, mesh3_network
+    ):
+        """Edge noise equals the masked sum of pairwise couplings."""
+        mapping = Mapping(pip_cg, [3, 4, 5, 0, 1, 6, 7, 8], 9)
+        metrics = pip_evaluator.evaluate(mapping, with_edges=True)
+        mask = pip_cg.serialization_mask()
+        paths = {
+            (s, d): mesh3_network.path(mapping.tile_of(s), mapping.tile_of(d))
+            for s, d in pip_cg.edge_pairs()
+        }
+        pairs = pip_cg.edge_pairs()
+        for v, victim_key in enumerate(pairs):
+            expected = sum(
+                pairwise_coupling_linear(
+                    mesh3_network, paths[victim_key], paths[aggressor_key]
+                )
+                for a, aggressor_key in enumerate(pairs)
+                if mask[v, a]
+            )
+            assert metrics.edges.noise_linear[v] == pytest.approx(
+                expected, rel=1e-9, abs=1e-18
+            )
+
+    def test_accepts_raw_array(self, pip_evaluator):
+        metrics = pip_evaluator.evaluate(np.arange(8))
+        assert metrics.worst_insertion_loss_db < 0
+
+    def test_rejects_invalid_array(self, pip_evaluator):
+        with pytest.raises(MappingError):
+            pip_evaluator.evaluate(np.zeros(8, dtype=int))
+
+
+class TestBatchEvaluation:
+    def test_batch_matches_single(self, pip_evaluator, rng):
+        batch = random_assignment_batch(16, 8, 9, rng)
+        results = pip_evaluator.evaluate_batch(batch)
+        for index in range(16):
+            single = pip_evaluator.evaluate(batch[index])
+            assert results.worst_snr_db[index] == pytest.approx(
+                single.worst_snr_db
+            )
+            assert results.worst_insertion_loss_db[index] == pytest.approx(
+                single.worst_insertion_loss_db
+            )
+
+    def test_wrong_width_rejected(self, pip_evaluator):
+        with pytest.raises(MappingError):
+            pip_evaluator.evaluate_batch(np.zeros((4, 3), dtype=int))
+
+    def test_snr_capped_when_noiseless(self, params):
+        """Two isolated communications on a big mesh: zero noise."""
+        from repro.appgraph import CommunicationGraph
+        from repro.noc import PhotonicNoC, mesh
+
+        cg = CommunicationGraph("iso", ["a", "b", "c", "d"], [(0, 1), (2, 3)])
+        network = PhotonicNoC(mesh(4, 4), params=params)
+        evaluator = MappingEvaluator(MappingProblem(cg, network, Objective.SNR))
+        # a->b in the south-west corner, c->d in the north-east corner
+        metrics = evaluator.evaluate(np.array([0, 1, 14, 15]))
+        assert metrics.worst_snr_db == SNR_CAP_DB
+
+    def test_evaluation_counter(self, pip_evaluator, rng):
+        pip_evaluator.reset_count()
+        pip_evaluator.evaluate_batch(random_assignment_batch(10, 8, 9, rng))
+        pip_evaluator.evaluate(np.arange(8))
+        assert pip_evaluator.evaluations == 11
+
+
+class TestObjectives:
+    def test_snr_objective_score(self, pip_cg, mesh3_network):
+        evaluator = MappingEvaluator(
+            MappingProblem(pip_cg, mesh3_network, Objective.SNR)
+        )
+        metrics = evaluator.evaluate(np.arange(8))
+        assert metrics.score == metrics.worst_snr_db
+
+    def test_loss_objective_score(self, pip_cg, mesh3_network):
+        evaluator = MappingEvaluator(
+            MappingProblem(pip_cg, mesh3_network, Objective.INSERTION_LOSS)
+        )
+        metrics = evaluator.evaluate(np.arange(8))
+        assert metrics.score == metrics.worst_insertion_loss_db
+
+    def test_mean_snr_objective(self, pip_cg, mesh3_network):
+        evaluator = MappingEvaluator(
+            MappingProblem(pip_cg, mesh3_network, Objective.MEAN_SNR)
+        )
+        metrics = evaluator.evaluate(np.arange(8))
+        assert metrics.score == pytest.approx(metrics.mean_snr_db)
+        assert metrics.mean_snr_db >= metrics.worst_snr_db
+
+    def test_weighted_loss_objective(self, pip_cg, mesh3_network):
+        evaluator = MappingEvaluator(
+            MappingProblem(pip_cg, mesh3_network, Objective.WEIGHTED_LOSS)
+        )
+        metrics = evaluator.evaluate(np.arange(8))
+        assert metrics.score == pytest.approx(metrics.weighted_loss_db)
+        assert metrics.weighted_loss_db >= metrics.worst_insertion_loss_db
+
+    def test_objective_parse(self):
+        assert Objective.parse("snr") is Objective.SNR
+        assert Objective.parse(Objective.INSERTION_LOSS) is Objective.INSERTION_LOSS
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Objective.parse("bogus")
+
+    def test_objective_descriptions(self):
+        for member in Objective:
+            assert member.description

@@ -1,0 +1,81 @@
+"""Genetic algorithm tests, including the PMX validity property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesignSpaceExplorer,
+    GeneticAlgorithm,
+    MappingProblem,
+    pmx_crossover,
+)
+from repro.errors import OptimizationError
+
+
+class TestPMX:
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_child_is_always_a_permutation(self, size, seed):
+        rng = np.random.default_rng(seed)
+        parent_a = rng.permutation(size)
+        parent_b = rng.permutation(size)
+        child = pmx_crossover(parent_a, parent_b, rng)
+        assert sorted(child.tolist()) == list(range(size))
+
+    def test_child_inherits_slice_from_parent_a(self):
+        rng = np.random.default_rng(0)
+        parent_a = np.arange(10)
+        parent_b = np.arange(10)[::-1].copy()
+        child = pmx_crossover(parent_a, parent_b, rng)
+        # every gene comes from one of the parents' positions
+        assert any(np.any(child == parent_a) for _ in (0,))
+
+    def test_identical_parents_identity(self):
+        rng = np.random.default_rng(3)
+        parent = np.random.default_rng(1).permutation(12)
+        child = pmx_crossover(parent, parent.copy(), rng)
+        assert np.array_equal(child, parent)
+
+
+class TestGeneticAlgorithm:
+    def test_respects_budget(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        result = explorer.run("ga", budget=500, seed=0)
+        assert result.evaluations <= 500
+
+    def test_improves_over_first_generation(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        result = explorer.run("ga", budget=3000, seed=1)
+        first_score = result.history[0][1]
+        assert result.best_score >= first_score
+
+    def test_deterministic_with_seed(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        a = explorer.run("ga", budget=1000, seed=7)
+        b = explorer.run("ga", budget=1000, seed=7)
+        assert a.best_score == b.best_score
+        assert a.best_mapping == b.best_mapping
+
+    def test_best_mapping_is_valid(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        result = explorer.run("ga", budget=800, seed=2)
+        assignment = result.best_mapping.assignment
+        assert len(np.unique(assignment)) == pip_cg.n_tasks
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(OptimizationError):
+            GeneticAlgorithm(population_size=2)
+        with pytest.raises(OptimizationError):
+            GeneticAlgorithm(crossover_rate=1.5)
+        with pytest.raises(OptimizationError):
+            GeneticAlgorithm(population_size=10, elite_count=10)
+
+    def test_small_budget_smaller_than_population(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        result = explorer.run("ga", budget=10, seed=0)
+        assert result.evaluations <= 10

@@ -1,0 +1,100 @@
+"""Mapping (eqs. 5-6) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Mapping, random_assignment, random_assignment_batch
+from repro.errors import MappingError
+
+
+class TestValidation:
+    def test_valid_mapping(self, pip_cg):
+        mapping = Mapping(pip_cg, list(range(8)), 9)
+        assert mapping.tile_of(0) == 0
+        assert mapping.tile_of("hs") == pip_cg.task_index("hs") and True
+
+    def test_duplicate_tile_rejected(self, pip_cg):
+        with pytest.raises(MappingError, match="eq. 6"):
+            Mapping(pip_cg, [0, 0, 1, 2, 3, 4, 5, 6], 9)
+
+    def test_wrong_length_rejected(self, pip_cg):
+        with pytest.raises(MappingError, match="one tile per task"):
+            Mapping(pip_cg, [0, 1, 2], 9)
+
+    def test_tile_out_of_range_rejected(self, pip_cg):
+        with pytest.raises(MappingError, match="outside"):
+            Mapping(pip_cg, [0, 1, 2, 3, 4, 5, 6, 9], 9)
+
+    def test_assignment_read_only(self, pip_cg):
+        mapping = Mapping(pip_cg, list(range(8)), 9)
+        with pytest.raises(ValueError):
+            mapping.assignment[0] = 5
+
+
+class TestViews:
+    def test_task_on(self, pip_cg):
+        mapping = Mapping(pip_cg, [3, 4, 5, 6, 7, 8, 0, 1], 9)
+        assert mapping.task_on(3) == 0
+        assert mapping.task_on(2) is None
+
+    def test_as_dict(self, pip_cg):
+        mapping = Mapping(pip_cg, list(range(8)), 9)
+        placement = mapping.as_dict()
+        assert placement[pip_cg.tasks[0]] == 0
+        assert len(placement) == 8
+
+    def test_from_dict_round_trip(self, pip_cg):
+        original = Mapping(pip_cg, [8, 7, 6, 5, 4, 3, 2, 1], 9)
+        rebuilt = Mapping.from_dict(pip_cg, original.as_dict(), 9)
+        assert rebuilt == original
+
+    def test_from_dict_missing_task(self, pip_cg):
+        with pytest.raises(MappingError, match="without a tile"):
+            Mapping.from_dict(pip_cg, {"hs": 0}, 9)
+
+    def test_equality_and_hash(self, pip_cg):
+        a = Mapping(pip_cg, list(range(8)), 9)
+        b = Mapping(pip_cg, list(range(8)), 9)
+        c = Mapping(pip_cg, list(range(1, 9)), 9)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_occupied_tiles_sorted(self, pip_cg):
+        mapping = Mapping(pip_cg, [8, 0, 3, 2, 7, 5, 4, 1], 9)
+        assert list(mapping.occupied_tiles()) == [0, 1, 2, 3, 4, 5, 7, 8]
+
+
+class TestRandomAssignments:
+    def test_random_valid(self, pip_cg, rng):
+        mapping = Mapping.random(pip_cg, 9, rng)
+        assert len(set(mapping.assignment.tolist())) == 8
+
+    def test_too_many_tasks_rejected(self, rng):
+        with pytest.raises(MappingError, match="eq. 2"):
+            random_assignment(10, 9, rng)
+
+    def test_batch_shape(self, rng):
+        batch = random_assignment_batch(32, 8, 9, rng)
+        assert batch.shape == (32, 8)
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_always_injective(self, n_tasks, seed):
+        n_tiles = n_tasks + 3
+        batch = random_assignment_batch(
+            16, n_tasks, n_tiles, np.random.default_rng(seed)
+        )
+        assert batch.min() >= 0 and batch.max() < n_tiles
+        for row in batch:
+            assert len(np.unique(row)) == n_tasks
+
+    def test_batch_covers_tiles_uniformly(self, rng):
+        batch = random_assignment_batch(4000, 1, 4, rng)
+        counts = np.bincount(batch[:, 0], minlength=4)
+        assert counts.min() > 800  # roughly uniform

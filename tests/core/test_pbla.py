@@ -1,0 +1,82 @@
+"""R-PBLA tests: move enumeration, steepest descent, restarts."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DesignSpaceExplorer,
+    MappingProblem,
+    apply_move,
+    swap_moves,
+)
+
+
+class TestMoves:
+    def test_move_count(self):
+        # 3 tasks on 5 tiles: 3*2 relocations + 3 swaps.
+        assignment = np.array([0, 1, 2])
+        moves = swap_moves(assignment, 5)
+        relocations = [m for m in moves if m[2] == -1]
+        swaps = [m for m in moves if m[2] >= 0]
+        assert len(relocations) == 6
+        assert len(swaps) == 3
+
+    def test_full_occupancy_only_swaps(self):
+        assignment = np.array([0, 1, 2])
+        moves = swap_moves(assignment, 3)
+        assert all(m[2] >= 0 for m in moves)
+        assert len(moves) == 3
+
+    def test_apply_relocation(self):
+        assignment = np.array([0, 1, 2])
+        moved = apply_move(assignment, (1, 4, -1))
+        assert list(moved) == [0, 4, 2]
+        assert list(assignment) == [0, 1, 2]  # original untouched
+
+    def test_apply_swap(self):
+        assignment = np.array([0, 1, 2])
+        moved = apply_move(assignment, (0, 2, 2))
+        assert list(moved) == [2, 1, 0]
+
+    def test_moves_preserve_validity(self):
+        rng = np.random.default_rng(0)
+        assignment = rng.permutation(9)[:6]
+        for move in swap_moves(assignment, 9):
+            moved = apply_move(assignment, move)
+            assert len(np.unique(moved)) == 6
+
+    def test_moves_are_distinct_states(self):
+        assignment = np.array([0, 1])
+        moves = swap_moves(assignment, 4)
+        states = {tuple(apply_move(assignment, m)) for m in moves}
+        assert len(states) == len(moves)
+
+
+class TestDescent:
+    def test_respects_budget_exactly(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        result = explorer.run("r-pbla", budget=777, seed=0)
+        assert result.evaluations <= 777
+
+    def test_beats_single_random_mapping(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        result = explorer.run("r-pbla", budget=2000, seed=3)
+        first = result.history[0][1]
+        assert result.best_score > first
+
+    def test_restarts_recorded(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        result = explorer.run("r-pbla", budget=5000, seed=5)
+        assert result.restarts >= 1
+
+    def test_history_monotone(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        result = explorer.run("r-pbla", budget=3000, seed=1)
+        scores = [score for _evals, score in result.history]
+        assert scores == sorted(scores)
+
+    def test_deterministic(self, pip_cg, mesh3_network):
+        explorer = DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+        a = explorer.run("r-pbla", budget=1500, seed=11)
+        b = explorer.run("r-pbla", budget=1500, seed=11)
+        assert a.best_score == b.best_score

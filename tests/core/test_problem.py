@@ -1,0 +1,29 @@
+"""MappingProblem tests (eq. 2)."""
+
+import pytest
+
+from repro.core import MappingProblem, Objective
+from repro.errors import MappingError
+
+
+class TestProblem:
+    def test_valid(self, pip_cg, mesh3_network):
+        problem = MappingProblem(pip_cg, mesh3_network, "snr")
+        assert problem.objective is Objective.SNR
+        assert problem.n_tasks == 8
+        assert problem.n_tiles == 9
+
+    def test_eq2_enforced(self, vopd_cg, mesh3_network):
+        with pytest.raises(MappingError, match="eq. 2"):
+            MappingProblem(vopd_cg, mesh3_network)
+
+    def test_evaluator_factory(self, pip_cg, mesh3_network):
+        problem = MappingProblem(pip_cg, mesh3_network, "loss")
+        evaluator = problem.evaluator()
+        assert evaluator.objective is Objective.INSERTION_LOSS
+
+    def test_repr_mentions_everything(self, pip_cg, mesh3_network):
+        text = repr(MappingProblem(pip_cg, mesh3_network))
+        assert "pip" in text
+        assert "mesh" in text
+        assert "snr" in text

@@ -1,0 +1,60 @@
+"""OptimizationResult and BestTracker tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import MappingEvaluator, MappingProblem
+from repro.core.strategy import BestTracker
+from repro.errors import OptimizationError
+
+
+@pytest.fixture()
+def tracker(pip_evaluator):
+    pip_evaluator.reset_count()
+    return BestTracker(pip_evaluator)
+
+
+class TestBestTracker:
+    def test_first_offer_accepted(self, tracker):
+        assert tracker.offer(np.arange(8), 1.0)
+        assert tracker.best_score == 1.0
+
+    def test_worse_offer_rejected(self, tracker):
+        tracker.offer(np.arange(8), 5.0)
+        assert not tracker.offer(np.arange(1, 9), 3.0)
+        assert tracker.best_score == 5.0
+
+    def test_assignment_copied(self, tracker):
+        assignment = np.arange(8)
+        tracker.offer(assignment, 1.0)
+        assignment[0] = 8
+        assert tracker.best_assignment[0] == 0
+
+    def test_batch_offer_picks_best(self, tracker):
+        batch = np.stack([np.arange(8), np.arange(1, 9)])
+        tracker.offer_batch(batch, np.array([2.0, 7.0]))
+        assert tracker.best_score == 7.0
+        assert list(tracker.best_assignment) == list(np.arange(1, 9))
+
+    def test_history_records_evaluations(self, tracker, pip_evaluator):
+        pip_evaluator.evaluate(np.arange(8))
+        tracker.offer(np.arange(8), 1.0)
+        assert tracker.history == [(1, 1.0)]
+
+    def test_result_without_candidates_raises(self, tracker):
+        with pytest.raises(OptimizationError):
+            tracker.result("empty")
+
+    def test_result_rescoring_not_counted(self, tracker, pip_evaluator):
+        tracker.offer(np.arange(8), 1.0)
+        before = pip_evaluator.evaluations
+        result = tracker.result("unit")
+        assert pip_evaluator.evaluations == before
+        assert result.strategy == "unit"
+        assert result.best_mapping.assignment.tolist() == list(range(8))
+
+    def test_result_metrics_recomputed(self, tracker):
+        tracker.offer(np.arange(8), -123.0)  # bogus score on purpose
+        result = tracker.result("unit")
+        # metrics come from the evaluator, not the offered score
+        assert result.best_metrics.worst_insertion_loss_db < 0

@@ -1,0 +1,153 @@
+"""Random search, simulated annealing, tabu search, registry, explorer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DesignSpaceExplorer,
+    MappingProblem,
+    MappingStrategy,
+    PAPER_STRATEGIES,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+)
+from repro.core.mapping import random_assignment
+from repro.core.strategy import BestTracker
+from repro.errors import ConfigurationError, OptimizationError
+
+
+@pytest.fixture()
+def explorer(pip_cg, mesh3_network):
+    return DesignSpaceExplorer(MappingProblem(pip_cg, mesh3_network))
+
+
+class TestRandomSearch:
+    def test_exact_budget(self, explorer):
+        result = explorer.run("rs", budget=555, seed=0)
+        assert result.evaluations == 555
+
+    def test_best_of_batch_kept(self, explorer):
+        result = explorer.run("rs", budget=2000, seed=1)
+        assert np.isfinite(result.best_score) or result.best_score > 0
+
+    def test_more_budget_never_worse(self, explorer):
+        small = explorer.run("rs", budget=200, seed=9)
+        large = explorer.run("rs", budget=4000, seed=9)
+        assert large.best_score >= small.best_score
+
+
+class TestSimulatedAnnealing:
+    def test_respects_budget(self, explorer):
+        result = explorer.run("sa", budget=600, seed=0)
+        assert result.evaluations <= 600
+
+    def test_improves(self, explorer):
+        result = explorer.run("sa", budget=3000, seed=2)
+        assert result.best_score >= result.history[0][1]
+
+    def test_proposals_valid(self, pip_cg, rng):
+        from repro.core import SimulatedAnnealing
+
+        strategy = SimulatedAnnealing()
+        assignment = random_assignment(8, 9, rng)
+        for _ in range(200):
+            proposal = strategy._propose(assignment, 9, rng)
+            assert len(np.unique(proposal)) == 8
+            assert proposal.min() >= 0 and proposal.max() < 9
+
+    def test_hyperparameter_validation(self):
+        from repro.core import SimulatedAnnealing
+
+        with pytest.raises(OptimizationError):
+            SimulatedAnnealing(calibration_samples=1)
+        with pytest.raises(OptimizationError):
+            SimulatedAnnealing(final_temperature_ratio=2.0)
+
+
+class TestTabuSearch:
+    def test_respects_budget(self, explorer):
+        result = explorer.run("tabu", budget=800, seed=0)
+        assert result.evaluations <= 800
+
+    def test_improves(self, explorer):
+        result = explorer.run("tabu", budget=3000, seed=4)
+        assert result.best_score >= result.history[0][1]
+
+    def test_hyperparameter_validation(self):
+        from repro.core import TabuSearch
+
+        with pytest.raises(OptimizationError):
+            TabuSearch(neighbourhood_size=0)
+        with pytest.raises(OptimizationError):
+            TabuSearch(tenure=0)
+
+
+class TestRegistry:
+    def test_paper_strategies_registered(self):
+        for name in PAPER_STRATEGIES:
+            assert name in available_strategies()
+
+    def test_extensions_registered(self):
+        assert "sa" in available_strategies()
+        assert "tabu" in available_strategies()
+
+    def test_create_with_hyperparameters(self):
+        strategy = create_strategy("ga", population_size=10)
+        assert strategy.population_size == 10
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            create_strategy("gradient_descent")
+
+    def test_custom_strategy_plugs_in(self, explorer):
+        class FirstRandom(MappingStrategy):
+            name = "first_random_test"
+
+            def _run(self, evaluator, budget, rng):
+                tracker = BestTracker(evaluator)
+                assignment = random_assignment(
+                    evaluator.n_tasks, evaluator.n_tiles, rng
+                )
+                score = evaluator.evaluate_batch(assignment[None, :]).score[0]
+                tracker.offer(assignment, float(score))
+                return tracker.result(self.name)
+
+        register_strategy("first_random_test", FirstRandom, overwrite=True)
+        result = explorer.run("first_random_test", budget=10, seed=0)
+        assert result.evaluations == 1
+
+
+class TestExplorer:
+    def test_compare_gives_equal_budget(self, explorer):
+        results = explorer.compare(("rs", "r-pbla"), budget=400, seed=0)
+        assert set(results) == {"rs", "r-pbla"}
+        for result in results.values():
+            assert result.evaluations <= 400
+
+    def test_compare_default_strategies(self, explorer):
+        results = explorer.compare(budget=300, seed=1)
+        assert set(results) == set(PAPER_STRATEGIES)
+
+    def test_run_rejects_params_with_instance(self, explorer):
+        from repro.core import RandomSearch
+
+        with pytest.raises(OptimizationError):
+            explorer.run(RandomSearch(), budget=10, population=4)
+
+    def test_zero_budget_rejected(self, explorer):
+        with pytest.raises(OptimizationError):
+            explorer.run("rs", budget=0)
+
+    def test_optimizers_beat_random_search_on_average(self, explorer):
+        """The paper's central claim, in miniature: heuristics beat RS."""
+        budget = 2500
+        rs = explorer.run("rs", budget=budget, seed=5)
+        pbla = explorer.run("r-pbla", budget=budget, seed=5)
+        assert pbla.best_score >= rs.best_score - 1.0
+
+    def test_result_summary_readable(self, explorer):
+        result = explorer.run("rs", budget=100, seed=0)
+        text = result.summary()
+        assert "rs" in text
+        assert "evaluations" in text

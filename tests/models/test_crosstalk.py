@@ -1,0 +1,155 @@
+"""Crosstalk reference-model tests: hand-reasoned scenarios.
+
+The scenarios encode the coupling landscape DESIGN.md §3 and the Crux
+layout promise:
+
+* a tile that receives and sends couples with itself at the crossing grade
+  (the X4 gateway crossing), never at the ring grade;
+* a chain's upstream edge does not leak ring-grade noise into the
+  downstream edge (the victim's ON injection ring shields it);
+* same-direction transit through a receiver's router couples at the ring
+  grade (the -20 dB regime of constrained mappings);
+* parallel disjoint communications do not couple at all.
+"""
+
+import math
+
+import pytest
+
+from repro.models import (
+    aggregate_noise_linear,
+    emission_walk,
+    pairwise_coupling_linear,
+    snr_db,
+)
+from repro.noc import PhotonicNoC, mesh
+
+
+def coupling_db(network, victim_pair, aggressor_pair):
+    victim = network.path(*victim_pair)
+    aggressor = network.path(*aggressor_pair)
+    value = pairwise_coupling_linear(network, victim, aggressor)
+    if value == 0.0:
+        return None
+    # relative to the victim's received signal power
+    return 10 * math.log10(value / victim.total_linear)
+
+
+class TestSelfCoupling:
+    def test_receive_send_couples_at_crossing_grade(self, mesh3_network):
+        """recv at tile 4 from west, send east: about -40 dB (X4 crossing)."""
+        relative = coupling_db(mesh3_network, (3, 4), (4, 5))
+        assert relative is not None
+        assert -42.0 < relative < -36.0
+
+    def test_receive_send_all_direction_pairs_couple(self, mesh3_network):
+        # Tile 4 is the center: receive from each neighbour, send to another.
+        neighbors = {"W": 3, "E": 5, "S": 1, "N": 7}
+        for recv_from in neighbors.values():
+            for send_to in neighbors.values():
+                if recv_from == send_to:
+                    continue
+                relative = coupling_db(mesh3_network, (recv_from, 4), (4, send_to))
+                assert relative is not None, (recv_from, send_to)
+                # several crossing-grade terms may sum, but the total stays
+                # well below the -20/-25 dB ring grade
+                assert relative < -30.0, (recv_from, send_to)
+
+    def test_no_ring_grade_self_coupling(self, mesh3_network):
+        """No (receive, send) pair at a tile couples at the -20 dB grade."""
+        neighbors = {"W": 3, "E": 5, "S": 1, "N": 7}
+        for recv_from in neighbors.values():
+            for send_to in neighbors.values():
+                if recv_from == send_to:
+                    continue
+                relative = coupling_db(mesh3_network, (recv_from, 4), (4, send_to))
+                assert relative < -28.0, (recv_from, send_to)
+
+
+class TestChainShielding:
+    def test_upstream_edge_couples_downstream_at_crossing_grade(self, mesh3_network):
+        """0->1 then 1->2 in a row: the 1->2 edge's ON injection ring
+        diverts the upstream ejection's ring leak (second-order, zeroed);
+        only the gateway-crossing leak remains."""
+        relative = coupling_db(mesh3_network, (1, 2), (0, 1))
+        assert relative is not None
+        assert relative < -32.0
+
+    def test_downstream_edge_couples_upstream_at_crossing_grade(self, mesh3_network):
+        relative = coupling_db(mesh3_network, (0, 1), (1, 2))
+        assert relative is not None
+        assert relative < -32.0
+
+
+class TestTransitCoupling:
+    def test_same_direction_transit_hits_receiver(self, mesh4_network):
+        """victim 5->6 receives at (1,2) from the west; aggressor 4->7
+        transits that router eastbound and leaks into its ejection ring:
+        ring grade (~ -20 dB)."""
+        relative = coupling_db(mesh4_network, (5, 6), (4, 7))
+        assert relative is not None
+        assert -25.0 < relative < -15.0
+
+    def test_cross_direction_transit_hits_arrival(self, mesh4_network):
+        """victim 1->5 arrives at (1,1) northbound; aggressor 4->6 transits
+        (1,1) eastbound; the XY turn rings couple them at ring grade."""
+        relative = coupling_db(mesh4_network, (1, 5), (4, 6))
+        assert relative is not None
+        assert relative > -25.0
+
+    def test_transit_vs_sender_is_crossing_grade(self, mesh4_network):
+        """victim 5->9 sends north from (1,1); the eastbound transit only
+        couples into it at the crossing grade."""
+        relative = coupling_db(mesh4_network, (5, 9), (4, 6))
+        assert relative is not None
+        assert relative < -32.0
+
+    def test_disjoint_rows_do_not_couple(self, mesh3_network):
+        assert coupling_db(mesh3_network, (0, 1), (7, 8)) is None
+
+    def test_self_pair_is_zero(self, mesh3_network):
+        victim = mesh3_network.path(0, 1)
+        assert pairwise_coupling_linear(mesh3_network, victim, victim) == 0.0
+
+
+class TestAggregation:
+    def test_aggregate_sums_pairs(self, mesh3_network):
+        victim = mesh3_network.path(3, 4)
+        aggressors = [mesh3_network.path(4, 5), mesh3_network.path(1, 4)]
+        total = aggregate_noise_linear(mesh3_network, victim, aggressors)
+        parts = sum(
+            pairwise_coupling_linear(mesh3_network, victim, a) for a in aggressors
+        )
+        assert total == pytest.approx(parts)
+
+    def test_snr_db(self):
+        assert snr_db(1.0, 0.01) == pytest.approx(20.0)
+        assert snr_db(1.0, 0.0) == math.inf
+
+    def test_coupling_nonnegative_everywhere(self, mesh3_network):
+        paths = mesh3_network.all_paths()
+        keys = sorted(paths)[:10]
+        for v in keys:
+            for a in keys:
+                value = pairwise_coupling_linear(
+                    mesh3_network, paths[v], paths[a]
+                )
+                assert value >= 0.0
+
+
+class TestEmissionWalk:
+    def test_walk_terminates(self, mesh3_network):
+        path = mesh3_network.path(0, 8)
+        first = path.traversals[0]
+        steps = list(emission_walk(mesh3_network, first.element, first.out_port))
+        assert len(steps) < 2000
+
+    def test_walk_losses_monotone(self, mesh3_network):
+        path = mesh3_network.path(0, 8)
+        step = path.traversals[2]
+        losses = [
+            loss for _e, _i, _o, loss in emission_walk(
+                mesh3_network, step.element, step.out_port
+            )
+        ]
+        assert all(b <= a + 1e-15 for a, b in zip(losses, losses[1:]))

@@ -1,0 +1,48 @@
+"""Insertion loss model tests (eq. 3)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.models import (
+    edge_insertion_losses_db,
+    path_insertion_loss_db,
+    worst_case_insertion_loss_db,
+)
+
+
+class TestPathLoss:
+    def test_matches_network_path(self, mesh3_network):
+        assert path_insertion_loss_db(mesh3_network, 0, 5) == pytest.approx(
+            mesh3_network.path(0, 5).loss_db
+        )
+
+    def test_negative(self, mesh3_network):
+        assert path_insertion_loss_db(mesh3_network, 0, 1) < 0
+
+
+class TestWorstCase:
+    def test_worst_is_most_negative(self, mesh3_network):
+        edges = ((0, 1), (1, 2))
+        mapping = {0: 0, 1: 1, 2: 8}  # task 1 -> 2 spans the whole mesh
+        losses = edge_insertion_losses_db(mesh3_network, edges, mapping)
+        worst = worst_case_insertion_loss_db(mesh3_network, edges, mapping)
+        assert worst == min(losses.values())
+        assert losses[(1, 2)] < losses[(0, 1)]
+
+    def test_per_edge_keys(self, mesh3_network):
+        edges = ((0, 1),)
+        losses = edge_insertion_losses_db(mesh3_network, edges, {0: 3, 1: 4})
+        assert set(losses) == {(0, 1)}
+
+    def test_unmapped_task_rejected(self, mesh3_network):
+        with pytest.raises(MappingError, match="not mapped"):
+            worst_case_insertion_loss_db(mesh3_network, ((0, 1),), {0: 0})
+
+    def test_empty_edges_rejected(self, mesh3_network):
+        with pytest.raises(MappingError, match="no edges"):
+            worst_case_insertion_loss_db(mesh3_network, (), {})
+
+    def test_longer_paths_lose_more(self, mesh4_network):
+        close = worst_case_insertion_loss_db(mesh4_network, ((0, 1),), {0: 0, 1: 1})
+        far = worst_case_insertion_loss_db(mesh4_network, ((0, 1),), {0: 0, 1: 15})
+        assert far < close

@@ -1,0 +1,55 @@
+"""Laser power budget tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.models import (
+    PowerBudget,
+    is_feasible,
+    max_tolerable_loss_db,
+    required_laser_power_dbm,
+)
+
+
+class TestRequiredPower:
+    def test_basic(self):
+        budget = PowerBudget(
+            detector_sensitivity_dbm=-20.0,
+            max_injected_power_dbm=10.0,
+            system_margin_db=1.0,
+        )
+        assert required_laser_power_dbm(-5.0, budget) == pytest.approx(-14.0)
+
+    def test_more_loss_needs_more_power(self):
+        assert required_laser_power_dbm(-8.0) > required_laser_power_dbm(-2.0)
+
+    def test_positive_loss_rejected(self):
+        with pytest.raises(ModelError):
+            required_laser_power_dbm(1.0)
+
+
+class TestFeasibility:
+    def test_max_tolerable_loss(self):
+        budget = PowerBudget(-20.0, 10.0, 1.0)
+        assert max_tolerable_loss_db(budget) == pytest.approx(-29.0)
+
+    def test_feasible_at_small_loss(self):
+        assert is_feasible(-2.0)
+
+    def test_infeasible_at_huge_loss(self):
+        assert not is_feasible(-40.0)
+
+    def test_boundary(self):
+        budget = PowerBudget(-20.0, 10.0, 1.0)
+        assert is_feasible(max_tolerable_loss_db(budget), budget)
+        assert not is_feasible(max_tolerable_loss_db(budget) - 0.1, budget)
+
+
+class TestValidation:
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudget(system_margin_db=-1.0)
+
+    def test_ceiling_below_sensitivity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudget(detector_sensitivity_dbm=5.0, max_injected_power_dbm=0.0)

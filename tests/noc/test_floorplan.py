@@ -1,0 +1,33 @@
+"""Floorplan tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc import Floorplan
+
+
+class TestFloorplan:
+    def test_default_pitch(self):
+        assert Floorplan().tile_pitch_cm == 0.25
+
+    def test_link_length(self):
+        assert Floorplan().link_length_cm(1.0) == 0.25
+        assert Floorplan().link_length_cm(2.0) == 0.5
+
+    def test_custom_pitch(self):
+        assert Floorplan(tile_pitch_cm=0.1).link_length_cm(2.0) == pytest.approx(0.2)
+
+    def test_nonpositive_pitch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan(tile_pitch_cm=0.0)
+
+    def test_nonpositive_unit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan(router_unit_cm=-1.0)
+
+    def test_nonpositive_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan().link_length_cm(0.0)
+
+    def test_signature_reflects_values(self):
+        assert Floorplan().signature != Floorplan(tile_pitch_cm=0.3).signature

@@ -1,0 +1,44 @@
+"""NetworkPath bookkeeping tests."""
+
+import numpy as np
+import pytest
+
+from repro.noc.paths import NetworkPath, Traversal
+from repro.photonics import WG_IN, WG_OUT, TraversalState
+
+
+def make_path(losses):
+    traversals = [
+        Traversal(i, WG_IN, WG_OUT, TraversalState.PASSIVE)
+        for i in range(len(losses))
+    ]
+    return NetworkPath(0, 1, traversals, losses)
+
+
+class TestNetworkPath:
+    def test_total_loss(self):
+        path = make_path([-1.0, -0.5, -0.25])
+        assert path.loss_db == pytest.approx(-1.75)
+
+    def test_cumulative_in_starts_at_unity(self):
+        path = make_path([-1.0, -2.0])
+        assert path.cum_in_linear[0] == 1.0
+
+    def test_cumulative_relation(self):
+        path = make_path([-1.0, -2.0, -3.0])
+        linear = 10 ** (np.array([-1.0, -2.0, -3.0]) / 10)
+        assert path.cum_out_linear[0] == pytest.approx(linear[0])
+        assert path.cum_in_linear[2] == pytest.approx(linear[0] * linear[1])
+        assert path.total_linear == pytest.approx(np.prod(linear))
+
+    def test_length(self):
+        assert len(make_path([-1.0, -1.0])) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkPath(0, 1, [], [])
+
+    def test_mismatched_losses_rejected(self):
+        traversal = Traversal(0, WG_IN, WG_OUT, TraversalState.PASSIVE)
+        with pytest.raises(ValueError):
+            NetworkPath(0, 1, [traversal], [-1.0, -2.0])

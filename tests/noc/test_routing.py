@@ -1,0 +1,109 @@
+"""Dimension-order routing tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.noc import GATEWAY, XYRouting, YXRouting, mesh, torus
+
+
+class TestXYOnMesh:
+    def test_gateway_endpoints(self):
+        hops = XYRouting().route(mesh(3, 3), 0, 8)
+        assert hops[0].in_dir == GATEWAY
+        assert hops[-1].out_dir == GATEWAY
+
+    def test_x_before_y(self):
+        # 0=(0,0) -> 8=(2,2): east twice, then north twice.
+        hops = XYRouting().route(mesh(3, 3), 0, 8)
+        directions = [h.out_dir for h in hops[:-1]]
+        assert directions == ["E", "E", "N", "N"]
+
+    def test_straight_east(self):
+        hops = XYRouting().route(mesh(3, 3), 3, 5)
+        assert [h.tile for h in hops] == [3, 4, 5]
+
+    def test_straight_south(self):
+        hops = XYRouting().route(mesh(3, 3), 7, 1)
+        assert [h.out_dir for h in hops[:-1]] == ["S", "S"]
+
+    def test_hop_count_is_manhattan(self):
+        topology = mesh(4, 4)
+        routing = XYRouting()
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                hops = routing.route(topology, src, dst)
+                src_row, src_col = topology.tile_coords(src)
+                dst_row, dst_col = topology.tile_coords(dst)
+                manhattan = abs(src_row - dst_row) + abs(src_col - dst_col)
+                assert len(hops) == manhattan + 1
+
+    def test_self_route_rejected(self):
+        with pytest.raises(RoutingError):
+            XYRouting().route(mesh(3, 3), 4, 4)
+
+    def test_tile_out_of_range(self):
+        with pytest.raises(RoutingError):
+            XYRouting().route(mesh(3, 3), 0, 9)
+
+    def test_transit_ports_consistent(self):
+        hops = XYRouting().route(mesh(4, 4), 0, 15)
+        for previous, current in zip(hops, hops[1:]):
+            # Leaving east means arriving from the west, and so on.
+            expected_in = {"E": "W", "W": "E", "N": "S", "S": "N"}[previous.out_dir]
+            assert current.in_dir == expected_in
+
+
+class TestYXOnMesh:
+    def test_y_before_x(self):
+        hops = YXRouting().route(mesh(3, 3), 0, 8)
+        directions = [h.out_dir for h in hops[:-1]]
+        assert directions == ["N", "N", "E", "E"]
+
+    def test_same_length_as_xy(self):
+        topology = mesh(4, 4)
+        for src, dst in ((0, 15), (3, 12), (5, 10)):
+            assert len(XYRouting().route(topology, src, dst)) == len(
+                YXRouting().route(topology, src, dst)
+            )
+
+
+class TestXYOnTorus:
+    def test_wrap_shortens_path(self):
+        topology = torus(4, 4)
+        hops = XYRouting().route(topology, 0, 3)  # one wrap hop west
+        assert len(hops) == 2
+        assert hops[0].out_dir == "W"
+
+    def test_tie_breaks_positive(self):
+        topology = torus(4, 4)
+        # Distance 2 either way in a ring of 4: prefer east.
+        hops = XYRouting().route(topology, 0, 2)
+        assert [h.out_dir for h in hops[:-1]] == ["E", "E"]
+
+    @given(
+        st.integers(min_value=0, max_value=24),
+        st.integers(min_value=0, max_value=24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_torus_never_longer_than_mesh(self, src, dst):
+        if src == dst:
+            return
+        torus_hops = XYRouting().route(torus(5, 5), src, dst)
+        mesh_hops = XYRouting().route(mesh(5, 5), src, dst)
+        assert len(torus_hops) <= len(mesh_hops)
+
+    @given(
+        st.integers(min_value=0, max_value=24),
+        st.integers(min_value=0, max_value=24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_route_reaches_destination(self, src, dst):
+        if src == dst:
+            return
+        hops = XYRouting().route(torus(5, 5), src, dst)
+        assert hops[-1].tile == dst
+        assert hops[0].tile == src

@@ -1,0 +1,132 @@
+"""Topology graph tests (Def. 2): meshes, tori, degenerate grids."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.noc import line, mesh, opposite_direction, ring, torus
+
+
+class TestMesh:
+    def test_tile_count(self):
+        assert mesh(3, 4).n_tiles == 12
+
+    def test_index_round_trip(self):
+        topology = mesh(4, 4)
+        for index in range(topology.n_tiles):
+            row, col = topology.tile_coords(index)
+            assert topology.tile_index(row, col) == index
+
+    def test_corner_has_two_neighbors(self):
+        topology = mesh(3, 3)
+        assert len(topology.neighbors(0)) == 2
+
+    def test_center_has_four_neighbors(self):
+        topology = mesh(3, 3)
+        assert len(topology.neighbors(4)) == 4
+
+    def test_link_directions(self):
+        topology = mesh(2, 2)
+        link = topology.link(0, "E")
+        assert link.dst == 1
+        assert link.in_dir == "W"
+        link = topology.link(0, "N")
+        assert link.dst == 2  # row-major with row 0 in the south
+
+    def test_no_wrap_links(self):
+        topology = mesh(3, 3)
+        assert not topology.has_link(2, "E")  # east edge
+        assert not topology.has_link(8, "N")  # north edge
+
+    def test_link_count(self):
+        # 2 * (rows*(cols-1) + cols*(rows-1)) directed links.
+        topology = mesh(4, 4)
+        assert len(list(topology.links())) == 2 * (4 * 3 + 4 * 3)
+
+    def test_mesh_link_length_one_pitch(self):
+        for link in mesh(3, 3).links():
+            assert link.length_units == 1.0
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_neighbors_are_mutual(self, rows, cols):
+        if rows * cols < 2:
+            return
+        topology = mesh(rows, cols)
+        for tile in range(topology.n_tiles):
+            for neighbor in topology.neighbors(tile):
+                assert tile in topology.neighbors(neighbor)
+
+
+class TestTorus:
+    def test_every_tile_has_four_neighbors(self):
+        topology = torus(3, 3)
+        for tile in range(topology.n_tiles):
+            assert len(topology.neighbors(tile)) == 4
+
+    def test_wrap_link(self):
+        topology = torus(3, 3)
+        link = topology.link(2, "E")  # east edge wraps to column 0
+        assert link.dst == 0
+        assert link.in_dir == "W"
+
+    def test_folded_torus_links_two_pitches(self):
+        for link in torus(3, 3).links():
+            assert link.length_units == 2.0
+
+    def test_link_count(self):
+        assert len(list(torus(3, 3).links())) == 4 * 9
+
+    def test_two_wide_torus_rejected(self):
+        with pytest.raises(TopologyError, match="wraparound"):
+            torus(2, 4)
+
+
+class TestDegenerateGrids:
+    def test_line(self):
+        topology = line(4)
+        assert topology.n_tiles == 4
+        assert topology.neighbors(0) == (1,)
+        assert topology.neighbors(1) == (0, 2)
+
+    def test_ring(self):
+        topology = ring(5)
+        for tile in range(5):
+            assert len(topology.neighbors(tile)) == 2
+        assert topology.has_link(4, "E")
+
+    def test_single_tile_rejected(self):
+        with pytest.raises(TopologyError):
+            line(1)
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(TopologyError):
+            mesh(0, 5)
+
+
+class TestGraphView:
+    def test_networkx_export(self):
+        g = mesh(3, 3).graph()
+        assert g.number_of_nodes() == 9
+        assert g.number_of_edges() == 24
+
+    def test_signatures_distinct(self):
+        assert mesh(3, 3).signature != torus(3, 3).signature
+        assert mesh(3, 3).signature != mesh(3, 4).signature
+
+
+class TestDirections:
+    def test_opposites(self):
+        assert opposite_direction("N") == "S"
+        assert opposite_direction("E") == "W"
+        assert opposite_direction("W") == "E"
+        assert opposite_direction("S") == "N"
+
+    def test_unknown_direction(self):
+        with pytest.raises(TopologyError):
+            opposite_direction("X")
+
+    def test_missing_link_raises(self):
+        with pytest.raises(TopologyError, match="no link"):
+            mesh(2, 2).link(1, "E")

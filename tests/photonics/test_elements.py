@@ -1,0 +1,152 @@
+"""Element behaviour tests: the transfer rules of paper Fig. 2 / eqs. (1).
+
+Every equation of the simplified model gets a direct check.
+"""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.photonics import (
+    A_IN,
+    A_OUT,
+    B_IN,
+    B_OUT,
+    WG_IN,
+    WG_OUT,
+    ElementKind,
+    TraversalState,
+    db_to_linear,
+    is_valid_traversal,
+    passive_loss_db,
+    straight_output,
+    traversal_emissions,
+    traversal_loss_db,
+)
+
+PASSIVE = TraversalState.PASSIVE
+ON = TraversalState.ON
+
+
+class TestLosses:
+    def test_eq_1a_ppse_off_through(self, params):
+        loss = traversal_loss_db(ElementKind.PPSE, A_IN, A_OUT, PASSIVE, params)
+        assert loss == params.ppse_off_loss_db
+
+    def test_eq_1c_ppse_on_drop(self, params):
+        loss = traversal_loss_db(ElementKind.PPSE, A_IN, B_OUT, ON, params)
+        assert loss == params.ppse_on_loss_db
+
+    def test_eq_1e_cpse_off_through(self, params):
+        loss = traversal_loss_db(ElementKind.CPSE, A_IN, A_OUT, PASSIVE, params)
+        assert loss == params.cpse_off_loss_db
+
+    def test_eq_1g_cpse_on_drop(self, params):
+        loss = traversal_loss_db(ElementKind.CPSE, A_IN, B_OUT, ON, params)
+        assert loss == params.cpse_on_loss_db
+
+    def test_eq_1i_crossing_straight(self, params):
+        loss = traversal_loss_db(ElementKind.CROSSING, A_IN, A_OUT, PASSIVE, params)
+        assert loss == params.crossing_loss_db
+
+    def test_waveguide_propagation(self, params):
+        loss = traversal_loss_db(
+            ElementKind.WAVEGUIDE, WG_IN, WG_OUT, PASSIVE, params, length_cm=2.0
+        )
+        assert loss == pytest.approx(-0.548)
+
+    def test_crossing_perpendicular_direction_same_loss(self, params):
+        loss = traversal_loss_db(ElementKind.CROSSING, B_IN, B_OUT, PASSIVE, params)
+        assert loss == params.crossing_loss_db
+
+
+class TestEmissions:
+    def test_eq_1b_ppse_off_drop_leak(self, params):
+        (emission,) = traversal_emissions(
+            ElementKind.PPSE, A_IN, A_OUT, PASSIVE, params
+        )
+        assert emission.coefficient_db == params.pse_off_crosstalk_db
+        assert emission.out_port == B_OUT
+
+    def test_eq_1d_ppse_on_through_leak(self, params):
+        (emission,) = traversal_emissions(ElementKind.PPSE, A_IN, B_OUT, ON, params)
+        assert emission.coefficient_db == params.pse_on_crosstalk_db
+        assert emission.out_port == A_OUT
+
+    def test_eq_1f_cpse_off_drop_leak_is_kpoff_plus_kc(self, params):
+        (emission,) = traversal_emissions(
+            ElementKind.CPSE, A_IN, A_OUT, PASSIVE, params
+        )
+        expected = db_to_linear(params.pse_off_crosstalk_db) + db_to_linear(
+            params.crossing_crosstalk_db
+        )
+        assert db_to_linear(emission.coefficient_db) == pytest.approx(expected)
+        assert emission.out_port == B_OUT
+
+    def test_eq_1h_cpse_on_through_leak(self, params):
+        (emission,) = traversal_emissions(ElementKind.CPSE, A_IN, B_OUT, ON, params)
+        assert emission.coefficient_db == params.pse_on_crosstalk_db
+        assert emission.out_port == A_OUT
+
+    def test_eq_1j_crossing_leak(self, params):
+        (emission,) = traversal_emissions(
+            ElementKind.CROSSING, A_IN, A_OUT, PASSIVE, params
+        )
+        assert emission.coefficient_db == params.crossing_crosstalk_db
+        assert emission.out_port == B_OUT
+
+    def test_cpse_crossing_guide_passive_leaks_only_kc(self, params):
+        """Add-port resonant noise is neglected: the crossing guide of a
+        CPSE leaks at the crossing grade, not the ring grade."""
+        (emission,) = traversal_emissions(
+            ElementKind.CPSE, B_IN, B_OUT, PASSIVE, params
+        )
+        assert emission.coefficient_db == params.crossing_crosstalk_db
+        assert emission.out_port == A_OUT
+
+    def test_waveguide_emits_nothing(self, params):
+        assert traversal_emissions(
+            ElementKind.WAVEGUIDE, WG_IN, WG_OUT, PASSIVE, params
+        ) == ()
+
+
+class TestValidity:
+    def test_waveguide_only_forward(self):
+        assert is_valid_traversal(ElementKind.WAVEGUIDE, WG_IN, WG_OUT, PASSIVE)
+        assert not is_valid_traversal(ElementKind.WAVEGUIDE, WG_OUT, WG_IN, PASSIVE)
+
+    def test_crossing_cannot_turn(self):
+        assert not is_valid_traversal(ElementKind.CROSSING, A_IN, B_OUT, ON)
+
+    def test_cpse_off_cannot_turn(self):
+        assert not is_valid_traversal(ElementKind.CPSE, A_IN, B_OUT, PASSIVE)
+
+    def test_cpse_on_add_direction_turn_is_modelled(self):
+        assert is_valid_traversal(ElementKind.CPSE, B_IN, A_OUT, ON)
+
+    def test_invalid_traversal_raises(self, params):
+        with pytest.raises(ModelError, match="invalid traversal"):
+            traversal_loss_db(ElementKind.CROSSING, A_IN, B_OUT, ON, params)
+
+    def test_invalid_emission_raises(self, params):
+        with pytest.raises(ModelError):
+            traversal_emissions(ElementKind.PPSE, A_IN, B_OUT, PASSIVE, params)
+
+
+class TestStraightOutput:
+    def test_a_guide(self):
+        assert straight_output(ElementKind.CPSE, A_IN) == A_OUT
+
+    def test_b_guide(self):
+        assert straight_output(ElementKind.CROSSING, B_IN) == B_OUT
+
+    def test_waveguide(self):
+        assert straight_output(ElementKind.WAVEGUIDE, WG_IN) == WG_OUT
+
+    def test_bad_port_raises(self):
+        with pytest.raises(ModelError):
+            straight_output(ElementKind.CPSE, A_OUT)
+
+    def test_passive_loss_matches_traversal(self, params):
+        assert passive_loss_db(ElementKind.CPSE, B_IN, params) == traversal_loss_db(
+            ElementKind.CPSE, B_IN, B_OUT, PASSIVE, params
+        )

@@ -1,0 +1,56 @@
+"""Component library tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics import ComponentLibrary, PhysicalParameters, default_library
+
+
+class TestComponentLibrary:
+    def test_fresh_library_contains_table_i(self):
+        library = ComponentLibrary()
+        assert "date16" in library
+        assert library.get("date16") == PhysicalParameters()
+
+    def test_get_default(self):
+        library = ComponentLibrary()
+        assert library.get() == PhysicalParameters()
+
+    def test_register_and_get(self):
+        library = ComponentLibrary()
+        custom = PhysicalParameters(crossing_loss_db=-0.1)
+        library.register("lossy", custom)
+        assert library.get("lossy") is custom
+        assert len(library) == 2
+
+    def test_register_duplicate_rejected(self):
+        library = ComponentLibrary()
+        library.register("x", PhysicalParameters())
+        with pytest.raises(ConfigurationError, match="already exists"):
+            library.register("x", PhysicalParameters())
+
+    def test_register_duplicate_with_overwrite(self):
+        library = ComponentLibrary()
+        library.register("x", PhysicalParameters())
+        custom = PhysicalParameters(crossing_loss_db=-0.2)
+        library.register("x", custom, overwrite=True)
+        assert library.get("x") is custom
+
+    def test_empty_name_rejected(self):
+        library = ComponentLibrary()
+        with pytest.raises(ConfigurationError):
+            library.register("", PhysicalParameters())
+
+    def test_unknown_entry_lists_known(self):
+        library = ComponentLibrary()
+        with pytest.raises(ConfigurationError, match="date16"):
+            library.get("missing")
+
+    def test_names_sorted(self):
+        library = ComponentLibrary()
+        library.register("zzz", PhysicalParameters())
+        library.register("aaa", PhysicalParameters())
+        assert list(library.names()) == ["aaa", "date16", "zzz"]
+
+    def test_default_library_is_shared(self):
+        assert default_library() is default_library()

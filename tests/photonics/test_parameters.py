@@ -1,0 +1,90 @@
+"""Physical parameter tests: Table I defaults, overrides, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics import TABLE_I_ROWS, PhysicalParameters
+
+
+class TestTableIDefaults:
+    """The defaults must reproduce the paper's Table I exactly."""
+
+    def test_crossing_loss(self, params):
+        assert params.crossing_loss_db == -0.04
+
+    def test_propagation_loss(self, params):
+        assert params.propagation_loss_db_per_cm == -0.274
+
+    def test_ppse_off_loss(self, params):
+        assert params.ppse_off_loss_db == -0.005
+
+    def test_ppse_on_loss(self, params):
+        assert params.ppse_on_loss_db == -0.5
+
+    def test_cpse_off_loss(self, params):
+        assert params.cpse_off_loss_db == -0.045
+
+    def test_cpse_on_loss(self, params):
+        assert params.cpse_on_loss_db == -0.5
+
+    def test_crossing_crosstalk(self, params):
+        assert params.crossing_crosstalk_db == -40.0
+
+    def test_pse_off_crosstalk(self, params):
+        assert params.pse_off_crosstalk_db == -20.0
+
+    def test_pse_on_crosstalk(self, params):
+        assert params.pse_on_crosstalk_db == -25.0
+
+    def test_table_rows_match_attributes(self, params):
+        for (description, notation, value), reference in zip(
+            params.table_rows(), TABLE_I_ROWS
+        ):
+            assert description == reference[0]
+            assert notation == reference[1]
+            assert value == reference[3]
+
+    def test_table_has_nine_rows(self, params):
+        assert len(list(params.table_rows())) == 9
+
+
+class TestLinearViews:
+    def test_crossing_loss_linear(self, params):
+        assert params.crossing_loss_linear == pytest.approx(10 ** (-0.04 / 10))
+
+    def test_pse_off_crosstalk_linear(self, params):
+        assert params.pse_off_crosstalk_linear == pytest.approx(0.01)
+
+    def test_crossing_crosstalk_linear(self, params):
+        assert params.crossing_crosstalk_linear == pytest.approx(1e-4)
+
+
+class TestPropagation:
+    def test_one_cm(self, params):
+        assert params.propagation_loss_db(1.0) == pytest.approx(-0.274)
+
+    def test_zero_length(self, params):
+        assert params.propagation_loss_db(0.0) == 0.0
+
+    def test_negative_length_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            params.propagation_loss_db(-0.1)
+
+
+class TestOverrides:
+    def test_with_overrides_changes_value(self, params):
+        modified = params.with_overrides(crossing_loss_db=-0.08)
+        assert modified.crossing_loss_db == -0.08
+        assert params.crossing_loss_db == -0.04  # original untouched
+
+    def test_unknown_override_rejected(self, params):
+        with pytest.raises(ConfigurationError, match="unknown physical parameter"):
+            params.with_overrides(not_a_parameter=-1.0)
+
+    def test_positive_coefficient_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be <= 0"):
+            PhysicalParameters(crossing_loss_db=0.5)
+
+    def test_as_dict_round_trip(self, params):
+        rebuilt = PhysicalParameters(**params.as_dict())
+        assert rebuilt == params

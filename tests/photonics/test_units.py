@@ -1,0 +1,95 @@
+"""Unit conversion tests, including round-trip property tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.photonics import (
+    combine_losses_db,
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    mw_to_dbm,
+    sum_powers_db,
+)
+
+
+class TestDbLinear:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_minus_ten_db_is_tenth(self):
+        assert db_to_linear(-10.0) == pytest.approx(0.1)
+
+    def test_minus_three_db_is_half(self):
+        assert db_to_linear(-3.0103) == pytest.approx(0.5, rel=1e-4)
+
+    def test_linear_to_db_of_unity(self):
+        assert linear_to_db(1.0) == 0.0
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ModelError):
+            linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ModelError):
+            linear_to_db(-0.5)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, value_db):
+        assert linear_to_db(db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+    @given(
+        st.floats(min_value=-50.0, max_value=0.0),
+        st.floats(min_value=-50.0, max_value=0.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cascade_multiplies_in_linear(self, a_db, b_db):
+        cascade = db_to_linear(a_db) * db_to_linear(b_db)
+        assert linear_to_db(cascade) == pytest.approx(a_db + b_db, abs=1e-9)
+
+
+class TestAbsolutePower:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == 1.0
+
+    def test_ten_dbm_is_ten_mw(self):
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+
+    def test_mw_to_dbm_round_trip(self):
+        assert mw_to_dbm(dbm_to_mw(-17.3)) == pytest.approx(-17.3)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            mw_to_dbm(0.0)
+
+
+class TestAggregation:
+    def test_combine_losses_adds(self):
+        assert combine_losses_db(-1.0, -2.0, -0.5) == pytest.approx(-3.5)
+
+    def test_combine_no_losses_is_zero(self):
+        assert combine_losses_db() == 0.0
+
+    def test_sum_powers_of_equal_terms(self):
+        # Two equal powers sum to +3.01 dB over one.
+        assert sum_powers_db(-20.0, -20.0) == pytest.approx(-16.9897, abs=1e-3)
+
+    def test_sum_powers_dominated_by_larger(self):
+        total = sum_powers_db(-10.0, -60.0)
+        assert total == pytest.approx(-10.0, abs=0.01)
+
+    def test_sum_powers_requires_terms(self):
+        with pytest.raises(ModelError):
+            sum_powers_db()
+
+    @given(st.lists(st.floats(min_value=-80, max_value=0), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_at_least_max(self, terms):
+        assert sum_powers_db(*terms) >= max(terms) - 1e-9

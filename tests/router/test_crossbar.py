@@ -1,0 +1,63 @@
+"""Crossbar router tests."""
+
+import pytest
+
+from repro.photonics import TraversalState
+from repro.router import XY_TURNS, build_crossbar, build_reduced_crossbar
+
+
+@pytest.fixture(scope="module")
+def crossbar(params):
+    return build_crossbar(params)
+
+
+@pytest.fixture(scope="module")
+def reduced(params):
+    return build_reduced_crossbar(params)
+
+
+class TestFullCrossbar:
+    def test_twenty_rings(self, crossbar):
+        assert crossbar.ring_count == 20
+
+    def test_five_plain_crossings(self, crossbar):
+        # The same-direction (U-turn) sites stay plain crossings.
+        assert crossbar.crossing_count == 5
+
+    def test_every_non_uturn_connection(self, crossbar):
+        directions = ("N", "E", "S", "W", "L")
+        for src in directions:
+            for dst in directions:
+                expected = src != dst
+                assert crossbar.has_connection(f"{src}_in", f"{dst}_out") == expected
+
+    def test_supports_y_to_x_turns(self, crossbar):
+        """Unlike Crux — this is what makes it pair with YX routing."""
+        assert crossbar.has_connection("N_in", "E_out")
+        assert crossbar.has_connection("S_in", "W_out")
+
+    def test_exactly_one_on_ring_everywhere(self, crossbar):
+        for (in_port, out_port) in crossbar.connections():
+            steps = crossbar.connection(in_port, out_port)
+            assert sum(1 for s in steps if s.state is TraversalState.ON) == 1
+
+    def test_losses_heavier_than_crux(self, crossbar, params):
+        from repro.router import build_crux
+
+        crux = build_crux(params)
+        assert crossbar.connection_loss_db("W_in", "E_out") < crux.connection_loss_db(
+            "W_in", "E_out"
+        )
+
+
+class TestReducedCrossbar:
+    def test_sixteen_rings(self, reduced):
+        assert reduced.ring_count == len(XY_TURNS)
+
+    def test_only_xy_connections(self, reduced):
+        connections = set(reduced.connections())
+        expected = {(f"{s}_in", f"{d}_out") for s, d in XY_TURNS}
+        assert connections == expected
+
+    def test_crossing_count_complements_rings(self, reduced):
+        assert reduced.ring_count + reduced.crossing_count == 25

@@ -1,0 +1,100 @@
+"""Crux router reconstruction tests: the characteristics DESIGN.md promises."""
+
+import pytest
+
+from repro.photonics import ElementKind, TraversalState
+from repro.router import CRUX_CONNECTIONS, build_crux, crux_layout
+
+
+@pytest.fixture(scope="module")
+def crux(params):
+    return build_crux(params)
+
+
+class TestStructure:
+    def test_twelve_rings(self, crux):
+        """Crux is a 12-microring router."""
+        assert crux.ring_count == 12
+
+    def test_all_rings_are_crossing_pses(self, crux):
+        kinds = {
+            e.kind for e in crux.elements
+            if e.kind in (ElementKind.CPSE, ElementKind.PPSE)
+        }
+        assert kinds == {ElementKind.CPSE}
+
+    def test_has_gateway_crossings(self, crux):
+        """The injection/ejection guides cross at plain crossings."""
+        assert crux.crossing_count >= 4
+
+    def test_five_input_five_output_ports(self, crux):
+        assert set(crux.input_ports) == {"W_in", "E_in", "N_in", "S_in", "L_in"}
+        assert set(crux.output_ports) == {"W_out", "E_out", "N_out", "S_out", "L_out"}
+
+
+class TestConnections:
+    def test_all_xy_connections_exist(self, crux):
+        for in_port, out_port in CRUX_CONNECTIONS:
+            assert crux.has_connection(in_port, out_port), (in_port, out_port)
+
+    def test_no_y_to_x_turns(self, crux):
+        """Crux is DOR-optimized: Y-to-X turns do not exist."""
+        for in_port in ("N_in", "S_in"):
+            for out_port in ("E_out", "W_out"):
+                assert not crux.has_connection(in_port, out_port)
+
+    def test_no_u_turns(self, crux):
+        for direction in ("N", "E", "S", "W"):
+            assert not crux.has_connection(f"{direction}_in", f"{direction}_out")
+
+    @pytest.mark.parametrize("in_port,out_port", CRUX_CONNECTIONS)
+    def test_exactly_one_ring_on_per_connection(self, crux, in_port, out_port):
+        """Every Crux connection switches exactly one microring ON, except
+        the straight transits which are fully passive."""
+        steps = crux.connection(in_port, out_port)
+        on_count = sum(1 for s in steps if s.state is TraversalState.ON)
+        straight = (in_port, out_port) in (
+            ("W_in", "E_out"), ("E_in", "W_out"),
+            ("N_in", "S_out"), ("S_in", "N_out"),
+        )
+        assert on_count == (0 if straight else 1)
+
+
+class TestLosses:
+    def test_straight_transit_is_cheapest(self, crux):
+        straight = crux.connection_loss_db("W_in", "E_out")
+        for in_port, out_port in CRUX_CONNECTIONS:
+            assert crux.connection_loss_db(in_port, out_port) <= straight + 1e-12
+
+    def test_straight_transit_loss_small(self, crux):
+        """X transit passes 4 OFF rings: about -0.18 dB plus propagation."""
+        loss = crux.connection_loss_db("W_in", "E_out")
+        assert -0.30 < loss < -0.17
+
+    def test_turn_loss_dominated_by_on_ring(self, crux, params):
+        loss = crux.connection_loss_db("W_in", "S_out")
+        assert params.cpse_on_loss_db - 0.4 < loss < params.cpse_on_loss_db
+
+    def test_transits_symmetric(self, crux):
+        assert crux.connection_loss_db("W_in", "E_out") == pytest.approx(
+            crux.connection_loss_db("E_in", "W_out"), abs=1e-9
+        )
+
+    def test_all_losses_negative(self, crux):
+        for in_port, out_port in CRUX_CONNECTIONS:
+            assert crux.connection_loss_db(in_port, out_port) < 0
+
+
+class TestLayout:
+    def test_layout_has_six_guides(self):
+        assert len(crux_layout().waveguides) == 6
+
+    def test_layout_has_twelve_rings(self):
+        assert len(crux_layout().rings) == 12
+
+    def test_custom_unit_scales_propagation(self, params):
+        small = build_crux(params, unit_cm=0.001)
+        large = build_crux(params, unit_cm=0.01)
+        assert small.connection_loss_db("W_in", "E_out") > large.connection_loss_db(
+            "W_in", "E_out"
+        )

@@ -1,0 +1,108 @@
+"""Geometry primitive tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.router.geometry import Point, Polyline, segment_intersection
+
+
+class TestSegmentIntersection:
+    def test_perpendicular_cross(self):
+        hit = segment_intersection(
+            Point(0, 1), Point(2, 1), Point(1, 0), Point(1, 2)
+        )
+        assert hit == Point(1.0, 1.0)
+
+    def test_disjoint_parallel(self):
+        assert segment_intersection(
+            Point(0, 0), Point(2, 0), Point(0, 1), Point(2, 1)
+        ) is None
+
+    def test_disjoint_perpendicular(self):
+        assert segment_intersection(
+            Point(0, 0), Point(1, 0), Point(5, -1), Point(5, 1)
+        ) is None
+
+    def test_collinear_overlap_rejected(self):
+        with pytest.raises(LayoutError, match="collinear"):
+            segment_intersection(
+                Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0)
+            )
+
+    def test_collinear_disjoint_ok(self):
+        assert segment_intersection(
+            Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)
+        ) is None
+
+    def test_endpoint_touch_rejected(self):
+        with pytest.raises(LayoutError, match="endpoint"):
+            segment_intersection(
+                Point(0, 0), Point(2, 0), Point(1, 0), Point(1, 2)
+            )
+
+    def test_diagonal_cross(self):
+        hit = segment_intersection(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+        assert hit.is_close(Point(1, 1))
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_crossing_point_on_both_segments(self, tx, ty):
+        hit = segment_intersection(
+            Point(0, ty), Point(1, ty), Point(tx, 0), Point(tx, 1)
+        )
+        assert hit.is_close(Point(tx, ty), tolerance=1e-9)
+
+
+class TestPolyline:
+    def test_length_of_l_shape(self):
+        polyline = Polyline([Point(0, 0), Point(3, 0), Point(3, 4)])
+        assert polyline.length == pytest.approx(7.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(LayoutError):
+            Polyline([Point(0, 0)])
+
+    def test_zero_segment_rejected(self):
+        with pytest.raises(LayoutError, match="zero-length"):
+            Polyline([Point(0, 0), Point(0, 0), Point(1, 0)])
+
+    def test_self_intersection_rejected(self):
+        with pytest.raises(LayoutError, match="self-intersecting"):
+            Polyline(
+                [Point(0, 0), Point(2, 0), Point(2, 2), Point(1, 2), Point(1, -1)]
+            )
+
+    def test_arclength_on_first_segment(self):
+        polyline = Polyline([Point(0, 0), Point(4, 0), Point(4, 4)])
+        assert polyline.arclength_of(Point(1.5, 0)) == pytest.approx(1.5)
+
+    def test_arclength_on_second_segment(self):
+        polyline = Polyline([Point(0, 0), Point(4, 0), Point(4, 4)])
+        assert polyline.arclength_of(Point(4, 2)) == pytest.approx(6.0)
+
+    def test_arclength_off_polyline_rejected(self):
+        polyline = Polyline([Point(0, 0), Point(4, 0)])
+        with pytest.raises(LayoutError, match="does not lie"):
+            polyline.arclength_of(Point(1, 1))
+
+    def test_intersections_with(self):
+        a = Polyline([Point(0, 1), Point(5, 1)])
+        b = Polyline([Point(2, 0), Point(2, 3), Point(4, 3)])
+        hits = a.intersections_with(b)
+        assert len(hits) == 1
+        assert hits[0].is_close(Point(2, 1))
+
+    def test_multiple_intersections(self):
+        a = Polyline([Point(0, 1), Point(5, 1)])
+        zigzag = Polyline(
+            [Point(1, 0), Point(1, 2), Point(3, 2), Point(3, 0)]
+        )
+        hits = a.intersections_with(zigzag)
+        assert len(hits) == 2

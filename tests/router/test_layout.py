@@ -1,0 +1,181 @@
+"""Layout compiler tests on small hand-checkable drawings."""
+
+import pytest
+
+from repro.errors import ConfigurationError, LayoutError
+from repro.photonics import A_IN, A_OUT, B_IN, B_OUT, ElementKind, TraversalState
+from repro.router import RingSpec, RouterLayout, WaveguideSpec, compile_layout
+from repro.router.geometry import Point
+
+
+def simple_cross_layout(with_ring: bool) -> RouterLayout:
+    """Two perpendicular guides, optionally coupled by a ring."""
+    waveguides = (
+        WaveguideSpec("h", (Point(0, 1), Point(4, 1)), "W_in", "E_out"),
+        WaveguideSpec("v", (Point(2, 0), Point(2, 3)), "S_in", "N_out"),
+    )
+    rings = (
+        (RingSpec("r", "h", "v", ElementKind.CPSE),) if with_ring else ()
+    )
+    return RouterLayout("toy", waveguides, rings, unit_cm=0.01)
+
+
+class TestCompileCrossing:
+    def test_plain_crossing_created(self, params):
+        spec = compile_layout(simple_cross_layout(with_ring=False), params)
+        assert spec.crossing_count == 1
+        assert spec.ring_count == 0
+
+    def test_element_count(self, params):
+        # Each guide contributes 2 waveguide stretches around the site.
+        spec = compile_layout(simple_cross_layout(with_ring=False), params)
+        assert len(spec.elements) == 5
+
+    def test_straight_connections_exist(self, params):
+        spec = compile_layout(simple_cross_layout(with_ring=False), params)
+        assert spec.has_connection("W_in", "E_out")
+        assert spec.has_connection("S_in", "N_out")
+        assert not spec.has_connection("W_in", "N_out")
+
+    def test_straight_loss(self, params):
+        spec = compile_layout(simple_cross_layout(with_ring=False), params)
+        # 4 units of waveguide at 0.01 cm/unit plus one crossing.
+        expected = params.propagation_loss_db(0.04) + params.crossing_loss_db
+        assert spec.connection_loss_db("W_in", "E_out") == pytest.approx(expected)
+
+    def test_wiring_chains_input_to_output(self, params):
+        from repro.photonics import straight_output
+
+        spec = compile_layout(simple_cross_layout(with_ring=False), params)
+        element, in_port = spec.inputs["W_in"]
+        for _hop in range(10):
+            out_port = straight_output(spec.elements[element].kind, in_port)
+            if (element, out_port) in spec.outputs:
+                assert spec.outputs[(element, out_port)] == "E_out"
+                return
+            element, in_port = spec.wiring[(element, out_port)]
+        pytest.fail("W_in never reached an output port")
+
+
+class TestCompileRing:
+    def test_ring_replaces_crossing(self, params):
+        spec = compile_layout(simple_cross_layout(with_ring=True), params)
+        assert spec.ring_count == 1
+        assert spec.crossing_count == 0
+
+    def test_turn_connection_appears(self, params):
+        spec = compile_layout(simple_cross_layout(with_ring=True), params)
+        assert spec.has_connection("W_in", "N_out")
+        steps = spec.connection("W_in", "N_out")
+        states = [s.state for s in steps]
+        assert states.count(TraversalState.ON) == 1
+
+    def test_turn_loss(self, params):
+        spec = compile_layout(simple_cross_layout(with_ring=True), params)
+        # 2 units on h + ON ring + 2 units on v.
+        expected = params.propagation_loss_db(0.04) + params.cpse_on_loss_db
+        assert spec.connection_loss_db("W_in", "N_out") == pytest.approx(expected)
+
+    def test_straight_passes_ring_off(self, params):
+        spec = compile_layout(simple_cross_layout(with_ring=True), params)
+        expected = params.propagation_loss_db(0.04) + params.cpse_off_loss_db
+        assert spec.connection_loss_db("W_in", "E_out") == pytest.approx(expected)
+
+    def test_unknown_connection_raises(self, params):
+        spec = compile_layout(simple_cross_layout(with_ring=True), params)
+        with pytest.raises(ConfigurationError, match="no connection"):
+            spec.connection("N_out", "W_in")
+
+
+class TestLayoutValidation:
+    def test_duplicate_waveguide_names(self, params):
+        layout = RouterLayout(
+            "bad",
+            (
+                WaveguideSpec("w", (Point(0, 0), Point(1, 0)), "a_in", "a_out"),
+                WaveguideSpec("w", (Point(0, 1), Point(1, 1)), "b_in", "b_out"),
+            ),
+        )
+        with pytest.raises(LayoutError, match="duplicate waveguide"):
+            compile_layout(layout, params)
+
+    def test_duplicate_port_names(self, params):
+        layout = RouterLayout(
+            "bad",
+            (
+                WaveguideSpec("w1", (Point(0, 0), Point(1, 0)), "p_in", "p_out"),
+                WaveguideSpec("w2", (Point(0, 1), Point(1, 1)), "p_in", "q_out"),
+            ),
+        )
+        with pytest.raises(LayoutError, match="duplicate input port"):
+            compile_layout(layout, params)
+
+    def test_ring_on_unknown_guide(self, params):
+        layout = RouterLayout(
+            "bad",
+            (WaveguideSpec("w", (Point(0, 0), Point(1, 0)), "a_in", "a_out"),),
+            (RingSpec("r", "w", "nope", ElementKind.CPSE),),
+        )
+        with pytest.raises(LayoutError, match="unknown waveguide"):
+            compile_layout(layout, params)
+
+    def test_ring_on_non_crossing_guides(self, params):
+        layout = RouterLayout(
+            "bad",
+            (
+                WaveguideSpec("w1", (Point(0, 0), Point(1, 0)), "a_in", "a_out"),
+                WaveguideSpec("w2", (Point(0, 1), Point(1, 1)), "b_in", "b_out"),
+            ),
+            (RingSpec("r", "w1", "w2", ElementKind.CPSE),),
+        )
+        with pytest.raises(LayoutError, match="do not cross"):
+            compile_layout(layout, params)
+
+    def test_ring_coupling_same_guide(self, params):
+        layout = RouterLayout(
+            "bad",
+            (WaveguideSpec("w", (Point(0, 0), Point(1, 0)), "a_in", "a_out"),),
+            (RingSpec("r", "w", "w", ElementKind.CPSE),),
+        )
+        with pytest.raises(LayoutError, match="distinct guides"):
+            compile_layout(layout, params)
+
+    def test_ppse_needs_positions(self, params):
+        layout = RouterLayout(
+            "bad",
+            (
+                WaveguideSpec("w1", (Point(0, 0), Point(4, 0)), "a_in", "a_out"),
+                WaveguideSpec("w2", (Point(4, 1), Point(0, 1)), "b_in", "b_out"),
+            ),
+            (RingSpec("r", "w1", "w2", ElementKind.PPSE),),
+        )
+        with pytest.raises(LayoutError, match="pos_a and pos_b"):
+            compile_layout(layout, params)
+
+    def test_nonpositive_unit(self, params):
+        layout = RouterLayout(
+            "bad",
+            (WaveguideSpec("w", (Point(0, 0), Point(1, 0)), "a_in", "a_out"),),
+            unit_cm=0.0,
+        )
+        with pytest.raises(LayoutError, match="unit_cm"):
+            compile_layout(layout, params)
+
+
+class TestParallelPSE:
+    def test_ppse_layout_compiles_and_turns(self, params):
+        layout = RouterLayout(
+            "ppse_toy",
+            (
+                WaveguideSpec("fwd", (Point(0, 0), Point(4, 0)), "a_in", None),
+                WaveguideSpec("back", (Point(4, 1), Point(0, 1)), "b_in", "b_out"),
+            ),
+            (RingSpec("r", "fwd", "back", ElementKind.PPSE, pos_a=2.0, pos_b=2.0),),
+            unit_cm=0.01,
+        )
+        spec = compile_layout(layout, params)
+        assert spec.ring_count == 1
+        assert spec.has_connection("a_in", "b_out")
+        # 2 units on fwd, drop, 2 units on back.
+        expected = params.propagation_loss_db(0.04) + params.ppse_on_loss_db
+        assert spec.connection_loss_db("a_in", "b_out") == pytest.approx(expected)

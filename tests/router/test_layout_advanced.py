@@ -1,0 +1,93 @@
+"""Layout compiler edge cases: disambiguation, blind guides, terminators."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.photonics import ElementKind
+from repro.router import RingSpec, RouterLayout, WaveguideSpec, compile_layout
+from repro.router.geometry import Point
+
+
+def double_cross_layout(ring_at=None):
+    """A guide crossing another twice (U-shape): ambiguous ring site."""
+    waveguides = (
+        WaveguideSpec("h", (Point(0, 1), Point(6, 1)), "W_in", "E_out"),
+        WaveguideSpec(
+            "u",
+            (Point(1, 0), Point(1, 2), Point(3, 2), Point(3, 0)),
+            "U_in",
+            None,
+        ),
+    )
+    rings = (
+        (RingSpec("r", "h", "u", ElementKind.CPSE, at=ring_at),)
+        if ring_at is not None
+        else (RingSpec("r", "h", "u", ElementKind.CPSE),)
+    )
+    return RouterLayout("double", waveguides, rings, unit_cm=0.01)
+
+
+class TestMultiCrossing:
+    def test_ambiguous_ring_rejected(self, params):
+        with pytest.raises(LayoutError, match="disambiguate"):
+            compile_layout(double_cross_layout(), params)
+
+    def test_ring_at_disambiguates(self, params):
+        spec = compile_layout(double_cross_layout(Point(1, 1)), params)
+        assert spec.ring_count == 1
+        assert spec.crossing_count == 1
+
+    def test_ring_at_wrong_point_rejected(self, params):
+        with pytest.raises(LayoutError, match="no crossing at"):
+            compile_layout(double_cross_layout(Point(5, 1)), params)
+
+    def test_disambiguated_turn_works(self, params):
+        spec = compile_layout(double_cross_layout(Point(1, 1)), params)
+        # W_in can turn at (1,1) onto the U guide heading up-and-around.
+        assert spec.has_connection("W_in", "E_out")
+
+
+class TestBlindGuides:
+    def test_terminated_guide_absorbs(self, params):
+        """A signal turning onto a terminated guide reaches no output."""
+        layout = RouterLayout(
+            "absorb",
+            (
+                WaveguideSpec("h", (Point(0, 1), Point(4, 1)), "W_in", "E_out"),
+                WaveguideSpec("stub", (Point(2, 0), Point(2, 3)), None, None),
+            ),
+            (RingSpec("r", "h", "stub", ElementKind.CPSE),),
+            unit_cm=0.01,
+        )
+        spec = compile_layout(layout, params)
+        # The stub has no ports, so the only connection is the through path.
+        assert list(spec.connections()) == [("W_in", "E_out")]
+
+    def test_blind_start_only_reachable_via_ring(self, params):
+        layout = RouterLayout(
+            "spur",
+            (
+                WaveguideSpec("h", (Point(0, 1), Point(4, 1)), "W_in", "E_out"),
+                WaveguideSpec("drop", (Point(2, 2), Point(2, -1)), None, "D_out"),
+            ),
+            (RingSpec("r", "h", "drop", ElementKind.CPSE),),
+            unit_cm=0.01,
+        )
+        spec = compile_layout(layout, params)
+        assert spec.has_connection("W_in", "D_out")
+        assert spec.has_connection("W_in", "E_out")
+        # nothing can start from the drop guide
+        assert all(in_port == "W_in" for in_port, _ in spec.connections())
+
+
+class TestDeterminism:
+    def test_compilation_is_deterministic(self, params):
+        from repro.router.crux import crux_layout
+
+        a = compile_layout(crux_layout(), params)
+        b = compile_layout(crux_layout(), params)
+        assert [e.label for e in a.elements] == [e.label for e in b.elements]
+        assert a.wiring == b.wiring
+        assert a.connections().keys() == b.connections().keys()
+        for key in a.connections():
+            assert a.connection(*key) == b.connection(*key)

@@ -1,0 +1,42 @@
+"""Router registry tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics import PhysicalParameters
+from repro.router import (
+    available_routers,
+    build_crux,
+    build_router,
+    register_router,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_routers()
+        assert "crux" in names
+        assert "crossbar" in names
+        assert "reduced_crossbar" in names
+
+    def test_build_by_name(self, params):
+        spec = build_router("crux", params)
+        assert spec.name == "crux"
+        assert spec.ring_count == 12
+
+    def test_unknown_router(self, params):
+        with pytest.raises(ConfigurationError, match="unknown router"):
+            build_router("does_not_exist", params)
+
+    def test_register_custom(self, params):
+        register_router("crux_alias_for_test", build_crux, overwrite=True)
+        spec = build_router("crux_alias_for_test", params)
+        assert spec.ring_count == 12
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_router("crux", build_crux)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_router("", build_crux)

@@ -1,0 +1,138 @@
+"""CLI smoke tests driving the real entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfoCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "crux" in output
+        assert "r-pbla" in output
+        assert "vopd" in output
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Kp,off" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestEvaluate:
+    def test_random_mapping(self, capsys):
+        assert main(["evaluate", "--app", "pip", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "worst-case SNR" in output
+        assert "insertion loss" in output
+
+    def test_per_edge(self, capsys):
+        assert main(["evaluate", "--app", "pip", "--seed", "1", "--per-edge"]) == 0
+        assert "->" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["evaluate", "--app", "pip", "--seed", "1", "--report"]) == 0
+        output = capsys.readouterr().out
+        assert "mapping report: pip" in output
+        assert "noise into" in output
+
+    def test_explicit_mapping(self, tmp_path, capsys):
+        placement = {
+            task: tile
+            for tile, task in enumerate(
+                ["inp_mem1", "hs", "vs", "jug1", "op_disp",
+                 "inp_mem2", "jug2", "mem2"]
+            )
+        }
+        path = tmp_path / "mapping.json"
+        path.write_text(json.dumps(placement))
+        assert main(
+            ["evaluate", "--app", "pip", "--mapping-json", str(path)]
+        ) == 0
+
+    def test_cg_json_input(self, tmp_path, capsys):
+        from repro.appgraph import pipeline_cg, save_cg_json
+
+        path = tmp_path / "chain.json"
+        save_cg_json(pipeline_cg(4), path)
+        assert main(["evaluate", "--cg-json", str(path), "--seed", "2"]) == 0
+
+
+class TestOptimize:
+    def test_optimize_and_export_mapping(self, tmp_path, capsys):
+        out = tmp_path / "best.json"
+        code = main(
+            [
+                "optimize", "--app", "pip", "--strategy", "rs",
+                "--budget", "200", "--seed", "1", "--mapping-out", str(out),
+            ]
+        )
+        assert code == 0
+        placement = json.loads(out.read_text())
+        assert len(placement) == 8
+
+    def test_optimize_loss_objective(self, capsys):
+        code = main(
+            [
+                "optimize", "--app", "pip", "--objective", "loss",
+                "--strategy", "r-pbla", "--budget", "300", "--seed", "2",
+            ]
+        )
+        assert code == 0
+        assert "worst loss" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--apps", "pip", "--samples", "200"]) == 0
+        assert "pip" in capsys.readouterr().out
+
+    def test_fig3_curves(self, capsys):
+        assert main(
+            ["fig3", "--apps", "pip", "--samples", "100", "--curves"]
+        ) == 0
+        assert "cumulative" in capsys.readouterr().out
+
+    def test_table2_small(self, capsys):
+        assert main(
+            ["table2", "--apps", "pip", "--budget", "200", "--with-paper"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "TABLE II" in output
+        assert "(38.58)" in output
+
+    def test_scalability_small(self, capsys):
+        assert main(["scalability", "--sides", "2", "--budget", "150"]) == 0
+        assert "laser" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_json(self, capsys):
+        assert main(["export", "--app", "mwd", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "mwd"
+
+    def test_dot(self, capsys):
+        assert main(["export", "--app", "pip", "--format", "dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_edges(self, capsys):
+        assert main(["export", "--app", "pip", "--format", "edges"]) == 0
+        assert "inp_mem1 hs" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_domain_error_returns_2(self, capsys, tmp_path):
+        from repro.appgraph import save_cg_json, load_benchmark
+
+        # VOPD (16 tasks) cannot fit a 3x3 grid: eq. (2) violation.
+        assert main(
+            ["optimize", "--app", "vopd", "--side", "3", "--budget", "10"]
+        ) == 2
+        assert "error" in capsys.readouterr().err

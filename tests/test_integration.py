@@ -1,0 +1,136 @@
+"""End-to-end integration tests exercising the public API as a user would."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DesignSpaceExplorer,
+    Mapping,
+    MappingProblem,
+    PhotonicNoC,
+    PowerBudget,
+    load_benchmark,
+    mesh,
+    required_laser_power_dbm,
+    torus,
+)
+
+
+class TestQuickstartFlow:
+    """The README quickstart, verified."""
+
+    def test_full_flow(self):
+        cg = load_benchmark("vopd")
+        network = PhotonicNoC(mesh(4, 4), router="crux")
+        problem = MappingProblem(cg, network, objective="snr")
+        result = DesignSpaceExplorer(problem).run("r-pbla", budget=2000, seed=1)
+        assert result.best_metrics.worst_snr_db > 5.0
+        assert result.best_metrics.worst_insertion_loss_db < 0.0
+        laser = required_laser_power_dbm(
+            result.best_metrics.worst_insertion_loss_db, PowerBudget()
+        )
+        assert laser < 0.0  # small meshes need modest laser power
+
+
+class TestOptimizationQuality:
+    def test_optimized_beats_median_random(self, pip_cg, mesh3_network):
+        """The paper's core claim end-to-end: optimization significantly
+        improves the worst-case SNR over typical random mappings."""
+        from repro.core import MappingEvaluator
+        from repro.core.mapping import random_assignment_batch
+
+        problem = MappingProblem(pip_cg, mesh3_network, "snr")
+        evaluator = MappingEvaluator(problem)
+        rng = np.random.default_rng(0)
+        sample = evaluator.evaluate_batch(
+            random_assignment_batch(512, 8, 9, rng)
+        )
+        median_random = float(np.median(sample.worst_snr_db))
+        explorer = DesignSpaceExplorer(problem)
+        optimized = explorer.run("r-pbla", budget=4000, seed=1)
+        assert optimized.best_metrics.worst_snr_db > median_random + 5.0
+
+    def test_loss_objective_trades_against_snr(self, pip_cg, mesh3_network):
+        """Optimizing loss and optimizing SNR pick different champions."""
+        snr_explorer = DesignSpaceExplorer(
+            MappingProblem(pip_cg, mesh3_network, "snr")
+        )
+        loss_explorer = DesignSpaceExplorer(
+            MappingProblem(pip_cg, mesh3_network, "loss")
+        )
+        best_snr = snr_explorer.run("r-pbla", budget=4000, seed=2)
+        best_loss = loss_explorer.run("r-pbla", budget=4000, seed=2)
+        assert (
+            best_loss.best_metrics.worst_insertion_loss_db
+            >= best_snr.best_metrics.worst_insertion_loss_db - 1e-9
+        )
+
+    def test_torus_reduces_worst_loss_for_spread_mappings(self, params):
+        """Torus wrap-around shortens worst paths for corner-heavy
+        mappings (the paper's mesh/torus comparison direction)."""
+        cg = load_benchmark("263enc_mp3enc")
+        mesh_net = PhotonicNoC(mesh(4, 4), params=params)
+        torus_net = PhotonicNoC(torus(4, 4), params=params)
+        mapping = Mapping(cg, np.arange(12), 16)
+        from repro.core import MappingEvaluator
+
+        mesh_metrics = MappingEvaluator(
+            MappingProblem(cg, mesh_net, "loss")
+        ).evaluate(mapping)
+        torus_metrics = MappingEvaluator(
+            MappingProblem(cg, torus_net, "loss")
+        ).evaluate(mapping)
+        # identical mapping: the torus never lengthens the worst path
+        assert (
+            torus_metrics.worst_insertion_loss_db
+            >= mesh_metrics.worst_insertion_loss_db - 0.3
+        )
+
+
+class TestArchitectureSweep:
+    def test_all_router_topology_combinations_evaluate(self, params, pip_cg):
+        for router in ("crux", "crossbar", "reduced_crossbar"):
+            for build in (mesh, torus):
+                network = PhotonicNoC(build(3, 3), router=router, params=params)
+                problem = MappingProblem(pip_cg, network, "snr")
+                metrics = problem.evaluator().evaluate(np.arange(8))
+                assert metrics.worst_insertion_loss_db < 0
+
+    def test_crux_beats_crossbar_on_transit_loss(self, params):
+        """Crux's DOR optimization shows up on straight multi-hop paths:
+        its passive transits are far cheaper than crossbar ring hops."""
+        from repro.noc import line
+
+        crux_net = PhotonicNoC(line(4), router="crux", params=params)
+        xbar_net = PhotonicNoC(line(4), router="crossbar", params=params)
+        assert crux_net.path(0, 3).loss_db > xbar_net.path(0, 3).loss_db + 1.0
+
+
+class TestCustomExtension:
+    def test_user_defined_router_end_to_end(self, params, pip_cg):
+        """The paper's extensibility claim: a new router drawing works
+        through the whole stack without core changes."""
+        from repro.router import (
+            RingSpec,
+            RouterLayout,
+            WaveguideSpec,
+            register_router,
+        )
+        from repro.router.crux import crux_layout
+        from repro.router.layout import compile_layout
+
+        def build_variant(parameters):
+            layout = crux_layout(unit_cm=0.002)  # denser variant
+            return compile_layout(
+                RouterLayout("crux_dense", layout.waveguides, layout.rings, 0.002),
+                parameters,
+            )
+
+        register_router("crux_dense_test", build_variant, overwrite=True)
+        network = PhotonicNoC(mesh(3, 3), router="crux_dense_test", params=params)
+        metrics = (
+            MappingProblem(pip_cg, network, "snr")
+            .evaluator()
+            .evaluate(np.arange(8))
+        )
+        assert metrics.worst_insertion_loss_db < 0
