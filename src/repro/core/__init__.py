@@ -8,6 +8,7 @@ extensions).
 """
 
 from repro.core.annealing import SimulatedAnnealing
+from repro.core.delta import DeltaEvaluator
 from repro.core.dse import DesignSpaceExplorer
 from repro.core.evaluator import (
     BatchMetrics,
@@ -33,6 +34,7 @@ from repro.core.tabu import TabuSearch
 
 __all__ = [
     "SimulatedAnnealing",
+    "DeltaEvaluator",
     "DesignSpaceExplorer",
     "BatchMetrics",
     "EdgeMetrics",

@@ -16,8 +16,10 @@ import math
 
 import numpy as np
 
+from repro.core.delta import DeltaEvaluator, score_neighbourhood
 from repro.core.evaluator import MappingEvaluator
-from repro.core.mapping import random_assignment, random_assignment_batch
+from repro.core.mapping import random_assignment_batch
+from repro.core.moves import Move, apply_move
 from repro.core.result import OptimizationResult
 from repro.core.strategy import BestTracker, MappingStrategy
 from repro.errors import OptimizationError
@@ -44,10 +46,9 @@ class SimulatedAnnealing(MappingStrategy):
         self.final_temperature_ratio = float(final_temperature_ratio)
         self.batch_size = int(batch_size)
 
-    def _propose(self, assignment: np.ndarray, n_tiles: int,
-                 rng: np.random.Generator) -> np.ndarray:
-        """One random swap/relocation neighbour."""
-        proposal = assignment.copy()
+    def _propose_move(self, assignment: np.ndarray, n_tiles: int,
+                      rng: np.random.Generator) -> Move:
+        """One random swap/relocation move (task, target tile, other)."""
         task = int(rng.integers(0, len(assignment)))
         tile = int(rng.integers(0, n_tiles))
         if tile == assignment[task]:
@@ -56,13 +57,18 @@ class SimulatedAnnealing(MappingStrategy):
                 (task + 1 + rng.integers(0, len(assignment) - 1))
                 % len(assignment)
             )
-            proposal[task], proposal[other] = assignment[other], assignment[task]
-            return proposal
+            return (task, int(assignment[other]), other)
         holder = np.nonzero(assignment == tile)[0]
         if len(holder):
-            proposal[int(holder[0])] = assignment[task]
-        proposal[task] = tile
-        return proposal
+            return (task, tile, int(holder[0]))
+        return (task, tile, -1)
+
+    def _propose(self, assignment: np.ndarray, n_tiles: int,
+                 rng: np.random.Generator) -> np.ndarray:
+        """One random swap/relocation neighbour."""
+        return apply_move(
+            assignment, self._propose_move(assignment, n_tiles, rng)
+        )
 
     def _run(
         self,
@@ -71,6 +77,7 @@ class SimulatedAnnealing(MappingStrategy):
         rng: np.random.Generator,
     ) -> OptimizationResult:
         tracker = BestTracker(evaluator)
+        engine = DeltaEvaluator(evaluator) if self._use_delta else None
         samples = min(self.calibration_samples, max(2, budget // 4))
         calibration = random_assignment_batch(
             samples, evaluator.n_tasks, evaluator.n_tiles, rng
@@ -81,6 +88,10 @@ class SimulatedAnnealing(MappingStrategy):
         initial_temperature = max(spread, 1e-3)
         current = calibration[int(np.argmax(calibration_scores))].copy()
         current_score = float(calibration_scores.max())
+        if engine is not None:
+            # The incumbent's score was already paid for by the
+            # calibration batch; don't charge the reset again.
+            engine.reset(current, count=False)
 
         total_steps = max(1, budget - samples)
         cooling = self.final_temperature_ratio ** (1.0 / total_steps)
@@ -88,15 +99,20 @@ class SimulatedAnnealing(MappingStrategy):
         step = 0
         while evaluator.evaluations < budget:
             count = min(self.batch_size, budget - evaluator.evaluations)
-            proposals = np.stack(
-                [self._propose(current, evaluator.n_tiles, rng)
-                 for _ in range(count)]
-            )
-            scores = evaluator.evaluate_batch(proposals).score
+            base = current
+            moves = [self._propose_move(base, evaluator.n_tiles, rng)
+                     for _ in range(count)]
+            scores = score_neighbourhood(engine, evaluator, base, moves)
+            # Every proposal is a neighbour of the batch's base, so an
+            # acceptance replaces the incumbent with base + that move;
+            # only the last accepted move survives the batch and only it
+            # needs committing to the delta engine.
+            accepted = None
             for k in range(count):
-                delta = float(scores[k]) - current_score
-                if delta >= 0 or rng.random() < math.exp(delta / temperature):
-                    current = proposals[k]
+                gain = float(scores[k]) - current_score
+                if gain >= 0 or rng.random() < math.exp(gain / temperature):
+                    accepted = k
+                    current = apply_move(base, moves[k])
                     current_score = float(scores[k])
                     tracker.offer(current, current_score)
                 temperature = max(
@@ -104,4 +120,6 @@ class SimulatedAnnealing(MappingStrategy):
                     initial_temperature * self.final_temperature_ratio,
                 )
                 step += 1
+            if engine is not None and accepted is not None:
+                engine.commit(moves[accepted])
         return tracker.result(self.name)

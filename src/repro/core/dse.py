@@ -9,6 +9,7 @@ paper's Table II.
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, Iterable, Optional, Union
 
 import numpy as np
@@ -24,17 +25,29 @@ __all__ = ["DesignSpaceExplorer"]
 
 
 class DesignSpaceExplorer:
-    """Runs mapping optimization strategies on one problem instance."""
+    """Runs mapping optimization strategies on one problem instance.
 
-    def __init__(self, problem: MappingProblem, dtype=np.float64) -> None:
+    ``use_delta`` (default True) lets local-search strategies score
+    neighbourhoods through the incremental
+    :class:`~repro.core.delta.DeltaEvaluator`; pass ``use_delta=False``
+    (or override per call) as the escape hatch that forces every
+    candidate through the full evaluator. Evaluation counting is
+    identical either way, so budgets stay comparable.
+    """
+
+    def __init__(
+        self, problem: MappingProblem, dtype=np.float64, use_delta: bool = True
+    ) -> None:
         self.problem = problem
         self.evaluator = MappingEvaluator(problem, dtype=dtype)
+        self.use_delta = bool(use_delta)
 
     def run(
         self,
         strategy: Union[str, MappingStrategy],
         budget: int = 20_000,
         seed: Optional[int] = None,
+        use_delta: Optional[bool] = None,
         **hyperparameters,
     ) -> OptimizationResult:
         """Run one strategy within ``budget`` mapping evaluations."""
@@ -45,6 +58,19 @@ class DesignSpaceExplorer:
                 "pass hyperparameters only when naming the strategy"
             )
         rng = np.random.default_rng(seed)
+        flag = self.use_delta if use_delta is None else bool(use_delta)
+        # Third-party strategies registered before the delta engine may
+        # implement the original optimize(evaluator, budget, rng)
+        # contract; only pass the flag to strategies that accept it.
+        parameters = inspect.signature(strategy.optimize).parameters
+        accepts_flag = "use_delta" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values()
+        )
+        if accepts_flag:
+            return strategy.optimize(
+                self.evaluator, budget, rng, use_delta=flag
+            )
         return strategy.optimize(self.evaluator, budget, rng)
 
     def compare(
@@ -52,6 +78,7 @@ class DesignSpaceExplorer:
         strategies: Iterable[str] = PAPER_STRATEGIES,
         budget: int = 20_000,
         seed: Optional[int] = None,
+        use_delta: Optional[bool] = None,
     ) -> Dict[str, OptimizationResult]:
         """Run several strategies under the same budget and seed base.
 
@@ -62,5 +89,7 @@ class DesignSpaceExplorer:
         results: Dict[str, OptimizationResult] = {}
         for index, name in enumerate(strategies):
             strategy_seed = None if seed is None else seed + 7919 * index
-            results[name] = self.run(name, budget=budget, seed=strategy_seed)
+            results[name] = self.run(
+                name, budget=budget, seed=strategy_seed, use_delta=use_delta
+            )
         return results

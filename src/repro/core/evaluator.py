@@ -14,6 +14,15 @@ sharing the victim's source task (one transmitter) or destination task
 The evaluator also counts evaluations: the paper compares optimization
 algorithms under the same search effort, and the evaluation count is this
 reproduction's effort currency (DESIGN.md §4).
+
+This is the *full* evaluator: every candidate pays the O(E^2) masked
+noise contraction regardless of how similar it is to the previous one.
+Local-search strategies exploring one-move neighbourhoods should prefer
+:class:`~repro.core.delta.DeltaEvaluator`, which wraps this class,
+maintains per-edge state for one incumbent, and scores a move in
+O(E * affected edges) — falling back to the full path here on resets,
+periodic refreshes, and ``use_delta=False``. Evaluation counts are
+charged to this evaluator either way.
 """
 
 from __future__ import annotations

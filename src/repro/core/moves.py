@@ -1,0 +1,49 @@
+"""Swap/relocation move primitives shared by the local-search strategies.
+
+A move is a ``(task, target_tile, other_task)`` triple: ``other_task`` is
+-1 when the target tile is empty (a relocation) and the partner task
+index otherwise (a swap). Historically these lived in
+:mod:`repro.core.pbla` (which still re-exports them); they sit in their
+own module so the delta-evaluation engine and the strategies can share
+them without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["Move", "swap_moves", "apply_move"]
+
+Move = Tuple[int, int, int]  # (task, new tile, other task or -1)
+
+
+def swap_moves(assignment: np.ndarray, n_tiles: int) -> List[Move]:
+    """All admitted moves from an assignment.
+
+    Returns (task, target_tile, other_task) triples; ``other_task`` is -1
+    when the target tile is empty (a relocation) and the partner task index
+    otherwise (a swap).
+    """
+    n_tasks = len(assignment)
+    occupied = {int(tile): task for task, tile in enumerate(assignment)}
+    empty_tiles = [t for t in range(n_tiles) if t not in occupied]
+    moves: List[Move] = []
+    for task in range(n_tasks):
+        for tile in empty_tiles:
+            moves.append((task, tile, -1))
+    for task_a in range(n_tasks):
+        for task_b in range(task_a + 1, n_tasks):
+            moves.append((task_a, int(assignment[task_b]), task_b))
+    return moves
+
+
+def apply_move(assignment: np.ndarray, move: Move) -> np.ndarray:
+    """A copy of ``assignment`` with one move applied."""
+    task, tile, other = move
+    result = assignment.copy()
+    if other >= 0:
+        result[other] = assignment[task]
+    result[task] = tile
+    return result

@@ -72,16 +72,34 @@ class MappingStrategy:
     #: Registry name; subclasses must override.
     name = "abstract"
 
+    #: Whether local-search strategies may score neighbourhoods through the
+    #: incremental :class:`~repro.core.delta.DeltaEvaluator` instead of the
+    #: full ``evaluate_batch`` path. Population strategies (RS, GA) have no
+    #: incumbent-relative moves and ignore the flag. Evaluation counts are
+    #: identical either way, so budget comparisons stay fair.
+    _use_delta = True
+
     def optimize(
         self,
         evaluator: MappingEvaluator,
         budget: int,
         rng: Optional[np.random.Generator] = None,
+        use_delta: bool = True,
     ) -> OptimizationResult:
-        """Search for the best mapping within ``budget`` evaluations."""
+        """Search for the best mapping within ``budget`` evaluations.
+
+        ``use_delta=False`` is the escape hatch that forces every
+        candidate through the full evaluator (bitwise-reference scoring
+        at O(E^2) per candidate). The flag is stashed on the instance
+        for ``_run`` (keeping the subclass contract unchanged), so a
+        single strategy instance is not re-entrant across concurrent
+        ``optimize`` calls — parallel DSE must use one instance per
+        worker.
+        """
         if budget < 1:
             raise OptimizationError(f"budget must be >= 1, got {budget}")
         rng = rng if rng is not None else np.random.default_rng()
+        self._use_delta = bool(use_delta)
         evaluator.reset_count()
         return self._run(evaluator, budget, rng)
 

@@ -5,6 +5,11 @@ each iteration evaluates a random sample of swap/relocation moves, discards
 recently reversed moves (the tabu list, keyed by (task, target tile))
 unless they beat the incumbent (aspiration), and takes the best admissible
 move even when it is uphill.
+
+Neighbourhoods are scored through the incremental
+:class:`~repro.core.delta.DeltaEvaluator` by default (identical scores and
+evaluation counts, O(E * affected) per move); ``use_delta=False`` restores
+the full batched evaluation.
 """
 
 from __future__ import annotations
@@ -13,9 +18,14 @@ from collections import deque
 
 import numpy as np
 
+from repro.core.delta import (
+    DeltaEvaluator,
+    incumbent_score,
+    score_neighbourhood,
+)
 from repro.core.evaluator import MappingEvaluator
 from repro.core.mapping import random_assignment
-from repro.core.pbla import apply_move, swap_moves
+from repro.core.moves import apply_move, swap_moves
 from repro.core.result import OptimizationResult
 from repro.core.strategy import BestTracker, MappingStrategy
 from repro.errors import OptimizationError
@@ -43,8 +53,9 @@ class TabuSearch(MappingStrategy):
         rng: np.random.Generator,
     ) -> OptimizationResult:
         tracker = BestTracker(evaluator)
+        engine = DeltaEvaluator(evaluator) if self._use_delta else None
         current = random_assignment(evaluator.n_tasks, evaluator.n_tiles, rng)
-        current_score = float(evaluator.evaluate_batch(current[None, :]).score[0])
+        current_score = incumbent_score(engine, evaluator, current)
         tracker.offer(current, current_score)
         tabu: deque = deque(maxlen=self.tenure)
         tabu_set = set()
@@ -66,8 +77,7 @@ class TabuSearch(MappingStrategy):
                 break
             picks = rng.choice(len(moves), size=sample_size, replace=False)
             sampled = [moves[int(p)] for p in picks]
-            candidates = np.stack([apply_move(current, m) for m in sampled])
-            scores = evaluator.evaluate_batch(candidates).score
+            scores = score_neighbourhood(engine, evaluator, current, sampled)
             order = np.argsort(scores)[::-1]
             chosen = None
             for index in order:
@@ -82,7 +92,9 @@ class TabuSearch(MappingStrategy):
             move = sampled[chosen]
             # Forbid undoing this move: moving the task back where it was.
             push_tabu((move[0], int(current[move[0]])))
-            current = candidates[chosen]
+            current = apply_move(current, move)
+            if engine is not None:
+                engine.commit(move)
             current_score = float(scores[chosen])
             tracker.offer(current, current_score)
         return tracker.result(self.name)

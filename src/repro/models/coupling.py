@@ -53,7 +53,22 @@ class CouplingModel:
         self.signal_linear = np.zeros(self.n_pairs, dtype=np.float64)
         self.insertion_loss_db = np.full(self.n_pairs, np.nan, dtype=np.float64)
         self.coupling_linear = np.zeros((self.n_pairs, self.n_pairs), dtype=dtype)
+        self._coupling_T: Optional[np.ndarray] = None
         self._build()
+
+    @property
+    def coupling_linear_T(self) -> np.ndarray:
+        """Contiguous transpose of :attr:`coupling_linear`, built lazily.
+
+        The delta evaluator gathers ``coupling_linear[v, a]`` with ``a``
+        fixed and ``v`` running over a victim set; on the row-major
+        ``coupling_linear`` that walk is one cache miss per element, on
+        the transpose it stays inside one row. Only delta users pay the
+        doubled memory.
+        """
+        if self._coupling_T is None:
+            self._coupling_T = np.ascontiguousarray(self.coupling_linear.T)
+        return self._coupling_T
 
     # -- indexing ----------------------------------------------------------------
 

@@ -87,6 +87,58 @@ class TestBatchEvaluation:
         with pytest.raises(MappingError):
             pip_evaluator.evaluate_batch(np.zeros((4, 3), dtype=int))
 
+    def test_too_wide_batch_rejected(self, pip_evaluator):
+        with pytest.raises(MappingError):
+            pip_evaluator.evaluate_batch(np.zeros((4, 9), dtype=int))
+
+    def test_one_dimensional_wrong_length_rejected(self, pip_evaluator):
+        with pytest.raises(MappingError):
+            pip_evaluator.evaluate_batch(np.arange(5))
+
+    def test_empty_batch_rejected(self, pip_evaluator):
+        with pytest.raises(MappingError):
+            pip_evaluator.evaluate_batch(np.empty((0,), dtype=int))
+
+    def test_chunked_equals_unchunked(self, pip_evaluator, rng, monkeypatch):
+        """A one-byte chunk budget forces single-mapping chunks; results
+        must match the unchunked evaluation (the einsum may reduce in a
+        different order per chunk shape, hence the 1e-12 tolerance; the
+        odd batch size exercises an uneven final chunk either way)."""
+        import repro.core.evaluator as evaluator_module
+
+        batch = random_assignment_batch(17, 8, 9, rng)
+        expected = pip_evaluator.evaluate_batch(batch)
+        monkeypatch.setattr(evaluator_module, "_CHUNK_BYTES", 1)
+        chunked = pip_evaluator.evaluate_batch(batch)
+        np.testing.assert_allclose(
+            chunked.score, expected.score, rtol=0, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            chunked.worst_insertion_loss_db,
+            expected.worst_insertion_loss_db,
+            rtol=0,
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            chunked.worst_snr_db, expected.worst_snr_db, rtol=0, atol=1e-12
+        )
+
+    def test_chunk_boundary_straddling(self, pip_evaluator, rng, monkeypatch):
+        """Chunk sizes that do not divide the batch leave a short tail."""
+        import repro.core.evaluator as evaluator_module
+
+        batch = random_assignment_batch(10, 8, 9, rng)
+        expected = pip_evaluator.evaluate_batch(batch)
+        # 3 mappings per chunk -> chunks of 3, 3, 3, 1.
+        n_edges = len(pip_evaluator._edges)
+        monkeypatch.setattr(
+            evaluator_module, "_CHUNK_BYTES", 3 * 8 * n_edges * n_edges
+        )
+        chunked = pip_evaluator.evaluate_batch(batch)
+        np.testing.assert_allclose(
+            chunked.score, expected.score, rtol=0, atol=1e-12
+        )
+
     def test_snr_capped_when_noiseless(self, params):
         """Two isolated communications on a big mesh: zero noise."""
         from repro.appgraph import CommunicationGraph
