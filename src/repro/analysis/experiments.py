@@ -237,13 +237,17 @@ def reproduce_table2(
     budget: int = 20_000,
     seed: int = 2016,
     router: str = "crux",
+    use_delta: bool = True,
+    n_workers: int = 1,
 ) -> Table2Result:
     """Run the Table II experiment.
 
     For every (application, topology, strategy) the SNR column comes from a
     crosstalk-objective run and the Loss column from a power-loss-objective
     run, each under the same evaluation budget — mirroring the paper's
-    equal-running-time protocol (DESIGN.md §4).
+    equal-running-time protocol (DESIGN.md §4). ``n_workers > 1`` runs the
+    per-strategy comparisons across a process pool; the results are
+    bit-identical to the sequential ones (see :mod:`repro.core.dse`).
     """
     cells: Dict[Tuple[str, str, str], Table2Cell] = {}
     for application in applications:
@@ -255,7 +259,9 @@ def reproduce_table2(
             best_loss: Dict[str, float] = {}
             for objective in (Objective.SNR, Objective.INSERTION_LOSS):
                 problem = MappingProblem(cg, network, objective)
-                explorer = DesignSpaceExplorer(problem)
+                explorer = DesignSpaceExplorer(
+                    problem, use_delta=use_delta, n_workers=n_workers
+                )
                 results = explorer.compare(strategies, budget=budget, seed=seed)
                 for strategy, result in results.items():
                     if objective is Objective.SNR:

@@ -129,12 +129,28 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--budget", type=int, default=20_000)
     optimize.add_argument("--seed", type=int, default=None)
     optimize.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallel DSE (default: 1, sequential)",
+    )
+    optimize.add_argument(
+        "--no-delta", action="store_true",
+        help="force full (non-incremental) evaluation of every candidate",
+    )
+    optimize.add_argument(
         "--mapping-out", metavar="FILE", help="write the best mapping as JSON"
     )
 
     table2 = subparsers.add_parser("table2", help="reproduce Table II")
     table2.add_argument("--budget", type=int, default=20_000)
     table2.add_argument("--seed", type=int, default=2016)
+    table2.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per strategy comparison (default: 1)",
+    )
+    table2.add_argument(
+        "--no-delta", action="store_true",
+        help="force full (non-incremental) evaluation of every candidate",
+    )
     table2.add_argument(
         "--apps", nargs="+", choices=BENCHMARK_NAMES, default=list(BENCHMARK_NAMES)
     )
@@ -202,7 +218,8 @@ def _cmd_evaluate(args) -> int:
     problem = MappingProblem(cg, network)
     evaluator = problem.evaluator()
     if args.mapping_json:
-        placement = json.loads(open(args.mapping_json).read())
+        with open(args.mapping_json) as handle:
+            placement = json.load(handle)
         mapping = Mapping.from_dict(cg, placement, problem.n_tiles)
     else:
         mapping = Mapping.random(cg, problem.n_tiles, np.random.default_rng(args.seed))
@@ -230,7 +247,9 @@ def _cmd_optimize(args) -> int:
     cg = _load_application(args)
     network = _build_network(args, cg)
     problem = MappingProblem(cg, network, args.objective)
-    explorer = DesignSpaceExplorer(problem)
+    explorer = DesignSpaceExplorer(
+        problem, use_delta=not args.no_delta, n_workers=args.workers
+    )
     result = explorer.run(args.strategy, budget=args.budget, seed=args.seed)
     print(result.summary())
     print("mapping (task -> tile):")
@@ -249,6 +268,8 @@ def _cmd_table2(args) -> int:
         budget=args.budget,
         seed=args.seed,
         router=args.router,
+        use_delta=not args.no_delta,
+        n_workers=args.workers,
     )
     print(result.format(with_paper=args.with_paper))
     return 0

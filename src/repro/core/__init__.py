@@ -19,6 +19,7 @@ from repro.core.evaluator import (
 from repro.core.genetic import GeneticAlgorithm, pmx_crossover
 from repro.core.mapping import Mapping, random_assignment, random_assignment_batch
 from repro.core.objectives import SNR_CAP_DB, Objective
+from repro.core.parallel import merge_chain_results, split_budget, spawn_seeds
 from repro.core.pbla import PriorityBasedListAlgorithm, apply_move, swap_moves
 from repro.core.problem import MappingProblem
 from repro.core.random_search import RandomSearch
@@ -50,6 +51,9 @@ __all__ = [
     "PriorityBasedListAlgorithm",
     "apply_move",
     "swap_moves",
+    "merge_chain_results",
+    "split_budget",
+    "spawn_seeds",
     "MappingProblem",
     "RandomSearch",
     "PAPER_STRATEGIES",

@@ -7,7 +7,9 @@ Included as one of the pluggable extension strategies the tool invites.
 
 The initial temperature is calibrated from the score spread of a small
 random sample, so the strategy works untouched across objectives whose
-scales differ (dB of SNR vs dB of loss).
+scales differ (dB of SNR vs dB of loss). Each run is one self-contained
+chain (calibration included), so a budget splits into independent chains
+(``chain_decomposable``) that parallel DSE can merge across workers.
 """
 
 from __future__ import annotations
@@ -31,6 +33,8 @@ class SimulatedAnnealing(MappingStrategy):
     """Metropolis search over tile swaps with geometric cooling."""
 
     name = "sa"
+    chain_decomposable = True  # chains are independent, calibration included
+    min_chain_budget = 2  # a chain pays >= 2 calibration evaluations
 
     def __init__(
         self,
@@ -78,7 +82,9 @@ class SimulatedAnnealing(MappingStrategy):
     ) -> OptimizationResult:
         tracker = BestTracker(evaluator)
         engine = DeltaEvaluator(evaluator) if self._use_delta else None
-        samples = min(self.calibration_samples, max(2, budget // 4))
+        # Clamp to the budget too: a budget of 1 must not pay a
+        # 2-evaluation calibration (std of one sample is simply 0).
+        samples = min(self.calibration_samples, max(2, budget // 4), budget)
         calibration = random_assignment_batch(
             samples, evaluator.n_tasks, evaluator.n_tiles, rng
         )
@@ -96,7 +102,6 @@ class SimulatedAnnealing(MappingStrategy):
         total_steps = max(1, budget - samples)
         cooling = self.final_temperature_ratio ** (1.0 / total_steps)
         temperature = initial_temperature
-        step = 0
         while evaluator.evaluations < budget:
             count = min(self.batch_size, budget - evaluator.evaluations)
             base = current
@@ -119,7 +124,6 @@ class SimulatedAnnealing(MappingStrategy):
                     temperature * cooling,
                     initial_temperature * self.final_temperature_ratio,
                 )
-                step += 1
             if engine is not None and accepted is not None:
                 engine.commit(moves[accepted])
         return tracker.result(self.name)

@@ -121,9 +121,7 @@ class DeltaEvaluator:
         self._n_tiles = evaluator.n_tiles
         self._edges = evaluator._edges
         self._E = len(self._edges)
-        self._maskf = evaluator._mask.astype(
-            evaluator.model.coupling_linear.dtype
-        )
+        self._maskf = evaluator._mask_linear  # read-only share, hoisted there
         # The mask is gathered both by victim row and by aggressor column;
         # a contiguous transpose keeps the column walk row-local (and does
         # not assume the serialization mask is symmetric).

@@ -5,15 +5,52 @@ strategy registry and the mapping evaluator: it runs a strategy by name
 under an evaluation budget, or runs several strategies under the *same*
 budget for a fair comparison — which is exactly the experiment of the
 paper's Table II.
+
+Parallel execution and the determinism contract
+-----------------------------------------------
+
+Both entry points accept ``n_workers`` (constructor default, per-call
+override). The guarantees, enforced by
+``tests/core/test_parallel_dse.py`` on top of the sequential guarantees
+of ``tests/core/test_dse_determinism.py``:
+
+* :meth:`compare` fans one worker task out per strategy. Every strategy's
+  RNG stream is spawned from ``np.random.SeedSequence(seed)`` by its
+  position in the strategy list — never from the worker count or the
+  scheduling order — so for a fixed seed the best scores, best
+  assignments, histories and evaluation counts are **bit-identical for
+  every** ``n_workers`` (including the sequential ``n_workers=1`` path).
+* :meth:`run` with ``n_workers > 1`` decomposes strategies that declare
+  :attr:`~repro.core.strategy.MappingStrategy.chain_decomposable`
+  (R-PBLA's random restarts, independent SA chains) into up to
+  ``n_workers`` independent chains over a near-even budget split (capped
+  so every chain covers the strategy's
+  :attr:`~repro.core.strategy.MappingStrategy.min_chain_budget` and the
+  merged spend never exceeds the budget), each chain seeded by
+  its spawn index; the merge (see
+  :func:`~repro.core.parallel.merge_chain_results`) is deterministic, so
+  results are bit-identical for a given ``(seed, n_workers)``.
+  ``n_workers=1`` takes today's sequential path unchanged. Strategies
+  without a chain decomposition (GA's single population, tabu's single
+  trajectory, RS's already-batched sampling) run sequentially whatever
+  ``n_workers`` says.
+* evaluation counts aggregate across workers into the returned
+  :class:`~repro.core.result.OptimizationResult`\\ s (chains sum), so
+  budget comparisons stay fair in every configuration.
+
+Workers share the read-only coupling matrices through
+``multiprocessing.shared_memory`` (fork inheritance as the fallback) and
+each worker builds its own strategy instance — ``optimize`` is documented
+non-reentrant, one instance must never serve two concurrent runs.
 """
 
 from __future__ import annotations
 
-import inspect
 from typing import Dict, Iterable, Optional, Union
 
 import numpy as np
 
+from repro.core import parallel as _parallel
 from repro.core.evaluator import MappingEvaluator
 from repro.core.problem import MappingProblem
 from repro.core.registry import PAPER_STRATEGIES, create_strategy
@@ -33,14 +70,39 @@ class DesignSpaceExplorer:
     (or override per call) as the escape hatch that forces every
     candidate through the full evaluator. Evaluation counting is
     identical either way, so budgets stay comparable.
+
+    ``n_workers`` (default 1, per-call override) fans work out across a
+    process pool — per-strategy runs in :meth:`compare`, independent
+    chains of decomposable strategies in :meth:`run`; see the module
+    docstring for the determinism contract.
     """
 
     def __init__(
-        self, problem: MappingProblem, dtype=np.float64, use_delta: bool = True
+        self,
+        problem: MappingProblem,
+        dtype=np.float64,
+        use_delta: bool = True,
+        n_workers: int = 1,
     ) -> None:
         self.problem = problem
+        self.dtype = np.dtype(dtype)
         self.evaluator = MappingEvaluator(problem, dtype=dtype)
         self.use_delta = bool(use_delta)
+        self.n_workers = self._check_workers(n_workers)
+
+    @staticmethod
+    def _check_workers(n_workers: int) -> int:
+        n_workers = int(n_workers)
+        if n_workers < 1:
+            raise OptimizationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        return n_workers
+
+    def _resolve_workers(self, n_workers: Optional[int]) -> int:
+        if n_workers is None:
+            return self.n_workers
+        return self._check_workers(n_workers)
 
     def run(
         self,
@@ -48,30 +110,63 @@ class DesignSpaceExplorer:
         budget: int = 20_000,
         seed: Optional[int] = None,
         use_delta: Optional[bool] = None,
+        n_workers: Optional[int] = None,
         **hyperparameters,
     ) -> OptimizationResult:
-        """Run one strategy within ``budget`` mapping evaluations."""
+        """Run one strategy within ``budget`` mapping evaluations.
+
+        With ``n_workers > 1`` and a
+        :attr:`~repro.core.strategy.MappingStrategy.chain_decomposable`
+        strategy, the budget is split into ``n_workers`` independent
+        seeded chains executed in parallel and merged; ``evaluations``
+        on the merged result is the summed per-chain spend.
+        """
         if isinstance(strategy, str):
             strategy = create_strategy(strategy, **hyperparameters)
         elif hyperparameters:
             raise OptimizationError(
                 "pass hyperparameters only when naming the strategy"
             )
-        rng = np.random.default_rng(seed)
         flag = self.use_delta if use_delta is None else bool(use_delta)
-        # Third-party strategies registered before the delta engine may
-        # implement the original optimize(evaluator, budget, rng)
-        # contract; only pass the flag to strategies that accept it.
-        parameters = inspect.signature(strategy.optimize).parameters
-        accepts_flag = "use_delta" in parameters or any(
-            p.kind is inspect.Parameter.VAR_KEYWORD
-            for p in parameters.values()
+        workers = self._resolve_workers(n_workers)
+        # Every chain must get at least the strategy's minimum spend, so
+        # the merged evaluation count never exceeds the budget. getattr:
+        # third-party strategies predating MappingStrategy's chain
+        # attributes are plain non-decomposable callables.
+        min_chain = getattr(strategy, "min_chain_budget", 1)
+        decomposable = getattr(strategy, "chain_decomposable", False)
+        n_chains = min(workers, budget // max(1, min_chain))
+        if workers > 1 and decomposable and n_chains >= 2:
+            return self._run_chains(strategy, budget, seed, flag, n_chains)
+        rng = np.random.default_rng(seed)
+        return _parallel.call_optimize(
+            strategy, self.evaluator, budget, rng, flag
         )
-        if accepts_flag:
-            return strategy.optimize(
-                self.evaluator, budget, rng, use_delta=flag
-            )
-        return strategy.optimize(self.evaluator, budget, rng)
+
+    def _run_chains(
+        self,
+        strategy: MappingStrategy,
+        budget: int,
+        seed,
+        use_delta: bool,
+        n_chains: int,
+    ) -> OptimizationResult:
+        """Fan ``n_chains`` independent chains of one strategy out and merge."""
+        budgets = _parallel.split_budget(budget, n_chains)
+        seeds = _parallel.spawn_seeds(seed, n_chains)
+        with _parallel.worker_pool(self.problem, self.dtype, n_chains) as pool:
+            futures = [
+                pool.submit(
+                    _parallel.run_strategy_task,
+                    strategy,
+                    chain_budget,
+                    chain_seed,
+                    use_delta,
+                )
+                for chain_budget, chain_seed in zip(budgets, seeds)
+            ]
+            chain_results = [future.result() for future in futures]
+        return _parallel.merge_chain_results(chain_results)
 
     def compare(
         self,
@@ -79,17 +174,45 @@ class DesignSpaceExplorer:
         budget: int = 20_000,
         seed: Optional[int] = None,
         use_delta: Optional[bool] = None,
+        n_workers: Optional[int] = None,
     ) -> Dict[str, OptimizationResult]:
         """Run several strategies under the same budget and seed base.
 
-        Every strategy receives its own deterministic RNG stream derived
-        from ``seed``, and exactly the same evaluation budget — the
-        reproducible analogue of the paper's equal-running-time comparison.
+        Every strategy receives its own deterministic RNG stream spawned
+        from ``np.random.SeedSequence(seed)`` by list position, and
+        exactly the same evaluation budget — the reproducible analogue of
+        the paper's equal-running-time comparison. With ``n_workers > 1``
+        the strategies run concurrently, one process-pool task each;
+        results stay bit-identical to the sequential loop because the
+        streams never depend on the worker count.
         """
+        names = list(strategies)
+        seeds = _parallel.spawn_seeds(seed, len(names))
+        flag = self.use_delta if use_delta is None else bool(use_delta)
+        workers = self._resolve_workers(n_workers)
         results: Dict[str, OptimizationResult] = {}
-        for index, name in enumerate(strategies):
-            strategy_seed = None if seed is None else seed + 7919 * index
-            results[name] = self.run(
-                name, budget=budget, seed=strategy_seed, use_delta=use_delta
-            )
+        if workers <= 1 or len(names) <= 1:
+            for name, strategy_seed in zip(names, seeds):
+                results[name] = self.run(
+                    name,
+                    budget=budget,
+                    seed=strategy_seed,
+                    use_delta=flag,
+                    n_workers=1,
+                )
+            return results
+        pool_size = min(workers, len(names))
+        with _parallel.worker_pool(self.problem, self.dtype, pool_size) as pool:
+            futures = {
+                name: pool.submit(
+                    _parallel.run_strategy_task,
+                    name,
+                    budget,
+                    strategy_seed,
+                    flag,
+                )
+                for name, strategy_seed in zip(names, seeds)
+            }
+            for name in names:
+                results[name] = futures[name].result()
         return results

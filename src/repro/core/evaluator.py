@@ -87,6 +87,9 @@ class MappingEvaluator:
         self.model = CouplingModel.for_network(problem.network, dtype=dtype)
         self._edges = self.cg.edge_array()
         self._mask = self.cg.serialization_mask()
+        # The noise contraction needs the mask at the coupling dtype;
+        # cast once here instead of once per evaluated chunk.
+        self._mask_linear = self._mask.astype(self.model.coupling_linear.dtype)
         self._bandwidths = self.cg.bandwidth_array()
         self._bandwidth_weights = self._bandwidths / self._bandwidths.sum()
         self.evaluations = 0
@@ -106,8 +109,7 @@ class MappingEvaluator:
                 f"batch has {assignments.shape[1]} tasks per mapping, "
                 f"expected {self.cg.n_tasks}"
             )
-        n_edges = len(self._edges)
-        chunk = max(1, _CHUNK_BYTES // max(1, 8 * n_edges * n_edges))
+        chunk = self._chunk_rows()
         worst_il = np.empty(n_mappings, dtype=np.float64)
         worst_snr = np.empty(n_mappings, dtype=np.float64)
         mean_snr = np.empty(n_mappings, dtype=np.float64)
@@ -125,6 +127,16 @@ class MappingEvaluator:
         score = self._score(worst_il, worst_snr, mean_snr, weighted_il)
         return BatchMetrics(worst_il, worst_snr, score)
 
+    def _chunk_rows(self) -> int:
+        """Mappings per chunk keeping the (M, E, E) gather within budget.
+
+        Sized by the coupling matrix's actual element width, so float32
+        models get twice the rows of float64 under the same byte budget.
+        """
+        n_edges = len(self._edges)
+        itemsize = self.model.coupling_linear.dtype.itemsize
+        return max(1, _CHUNK_BYTES // max(1, itemsize * n_edges * n_edges))
+
     def _edge_tables(self, assignments: np.ndarray):
         """(il, snr, noise, signal) tables of shape (M, E) for a chunk."""
         src_tiles = assignments[:, self._edges[:, 0]]
@@ -133,7 +145,7 @@ class MappingEvaluator:
         il = self.model.insertion_loss_db[pairs]
         signal = self.model.signal_linear[pairs]
         grid = self.model.coupling_linear[pairs[:, :, None], pairs[:, None, :]]
-        noise = np.einsum("mve,ve->mv", grid, self._mask.astype(grid.dtype))
+        noise = np.einsum("mve,ve->mv", grid, self._mask_linear)
         with np.errstate(divide="ignore"):
             snr = 10.0 * np.log10(signal / np.where(noise > 0.0, noise, 1.0))
         snr = np.where(noise > 0.0, snr, SNR_CAP_DB)

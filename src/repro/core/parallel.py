@@ -1,0 +1,215 @@
+"""Multi-process plumbing for the design-space exploration engine.
+
+:class:`~repro.core.dse.DesignSpaceExplorer` parallelizes two workloads:
+
+* the per-strategy runs of ``compare()`` — one worker task per strategy,
+  so the results are bit-identical to the sequential loop for *any*
+  worker count (each strategy's RNG stream depends only on the seed and
+  its position in the strategy list, never on scheduling);
+* the chain decomposition of a single ``run()`` for strategies that
+  declare ``chain_decomposable`` (R-PBLA's random restarts, independent
+  SA chains): the budget is split across ``n_workers`` independent
+  chains, each with its own spawned RNG stream, and the chain results are
+  merged deterministically — bit-identical for a given
+  ``(seed, n_workers)``.
+
+The heavy read-only state — the :class:`~repro.models.coupling.CouplingModel`
+matrices — is exported once into :mod:`multiprocessing.shared_memory` and
+attached by every worker (see :meth:`CouplingModel.export_shared`), so
+workers never pickle or rebuild the O(n_pairs^2) coupling matrix. When
+shared-memory segments are unavailable the pool falls back to plain fork
+inheritance (the parent's model cache is copy-on-write visible to forked
+children) or, at worst, a per-worker rebuild.
+
+Budget accounting: every worker task returns an
+:class:`~repro.core.result.OptimizationResult` whose ``evaluations`` field
+counts that task's actual spend; :func:`merge_chain_results` sums them, so
+a merged parallel run reports exactly what it consumed and budget
+comparisons against sequential runs stay fair.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.core.problem import MappingProblem
+from repro.core.registry import create_strategy
+from repro.core.result import OptimizationResult
+from repro.core.strategy import MappingStrategy
+from repro.errors import OptimizationError
+from repro.models.coupling import CouplingModel
+
+__all__ = [
+    "call_optimize",
+    "split_budget",
+    "spawn_seeds",
+    "merge_chain_results",
+    "worker_pool",
+    "run_strategy_task",
+]
+
+
+def call_optimize(
+    strategy: MappingStrategy,
+    evaluator: MappingEvaluator,
+    budget: int,
+    rng: np.random.Generator,
+    use_delta: bool,
+) -> OptimizationResult:
+    """Invoke ``strategy.optimize`` honouring the legacy signature.
+
+    Third-party strategies registered before the delta engine may
+    implement the original ``optimize(evaluator, budget, rng)`` contract;
+    only pass the flag to strategies that accept it.
+    """
+    import inspect
+
+    parameters = inspect.signature(strategy.optimize).parameters
+    accepts_flag = "use_delta" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    if accepts_flag:
+        return strategy.optimize(evaluator, budget, rng, use_delta=use_delta)
+    return strategy.optimize(evaluator, budget, rng)
+
+
+def spawn_seeds(
+    seed: Optional[int], n: int
+) -> List[Optional[np.random.SeedSequence]]:
+    """``n`` independent child seed sequences of ``seed``.
+
+    ``np.random.SeedSequence.spawn`` gives statistically independent
+    streams whatever the parent seed is — unlike arithmetic schemes such
+    as ``seed + 7919 * index``, whose streams collide across nearby
+    seeds. ``seed=None`` yields ``None`` children (fresh OS entropy per
+    run, the sequential convention).
+    """
+    if seed is None:
+        return [None] * n
+    return list(np.random.SeedSequence(seed).spawn(n))
+
+
+def split_budget(budget: int, n_chains: int) -> List[int]:
+    """Near-even budget split; earlier chains absorb the remainder."""
+    if n_chains < 1:
+        raise OptimizationError(f"need at least one chain, got {n_chains}")
+    base, extra = divmod(budget, n_chains)
+    return [base + (1 if i < extra else 0) for i in range(n_chains)]
+
+
+def merge_chain_results(
+    chain_results: Sequence[OptimizationResult],
+) -> OptimizationResult:
+    """Merge independent chains as if they had run back to back.
+
+    * the winner is the first chain reaching the maximum best score (ties
+      break on chain order, which is deterministic);
+    * ``evaluations`` sums the per-chain spends, so the merged result
+      reports exactly the budget consumed;
+    * ``history`` replays the chains in order with cumulative evaluation
+      offsets, keeping only strictly improving waypoints — the
+      convergence curve an equivalent sequential multi-start run would
+      have recorded;
+    * ``restarts`` sums the per-chain restarts plus one per extra chain
+      (every chain after the first began from a fresh random point).
+    """
+    if not chain_results:
+        raise OptimizationError("no chain produced a result")
+    winner = max(chain_results, key=lambda r: r.best_score)
+    history = []
+    best_so_far = -np.inf
+    offset = 0
+    for result in chain_results:
+        for evaluations, score in result.history:
+            if score > best_so_far:
+                best_so_far = score
+                history.append((offset + evaluations, score))
+        offset += result.evaluations
+    return OptimizationResult(
+        strategy=winner.strategy,
+        best_mapping=winner.best_mapping,
+        best_metrics=winner.best_metrics,
+        evaluations=offset,
+        history=history,
+        restarts=sum(r.restarts for r in chain_results)
+        + (len(chain_results) - 1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker process state
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process state, populated once by :func:`_init_worker`.
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(problem: MappingProblem, dtype_name: str, spec) -> None:
+    """Pool initializer: build this worker's evaluator exactly once.
+
+    When a :class:`~repro.models.coupling.SharedModelSpec` is provided the
+    coupling matrices are attached from shared memory and seeded into the
+    model cache, so the :class:`MappingEvaluator` constructor resolves to
+    them instead of rebuilding. Without a spec the cache may already hold
+    the model through fork inheritance; a spawned worker without either
+    rebuilds it (correct, just slower).
+    """
+    dtype = np.dtype(dtype_name)
+    if spec is not None:
+        model = CouplingModel.attach_shared(spec, problem.network)
+        CouplingModel.register(spec.cache_key, model)
+    _WORKER["evaluator"] = MappingEvaluator(problem, dtype=dtype)
+
+
+def run_strategy_task(
+    strategy: Union[str, MappingStrategy],
+    budget: int,
+    seed,
+    use_delta: bool,
+) -> OptimizationResult:
+    """One worker task: run one strategy (or one chain of one) to completion.
+
+    ``strategy`` is a registry name (instantiated here, so hyperparameter
+    defaults apply) or a pickled strategy instance — either way this
+    worker gets its own instance, which is what makes the non-reentrant
+    ``optimize`` contract (the ``_use_delta`` stash) safe under
+    parallelism. ``seed`` is an int, a ``SeedSequence`` or ``None``,
+    exactly as ``np.random.default_rng`` accepts.
+    """
+    evaluator = _WORKER["evaluator"]
+    if isinstance(strategy, str):
+        strategy = create_strategy(strategy)
+    rng = np.random.default_rng(seed)
+    return call_optimize(strategy, evaluator, budget, rng, use_delta)
+
+
+@contextlib.contextmanager
+def worker_pool(problem: MappingProblem, dtype, n_workers: int):
+    """A :class:`ProcessPoolExecutor` wired for DSE worker tasks.
+
+    Exports the coupling model to shared memory for the workers to
+    attach (falling back to fork inheritance when segments are
+    unavailable). The export is cached on the model and reused by later
+    pools; it outlives the pool and is unlinked by
+    :func:`repro.models.coupling.clear_model_cache` or at interpreter
+    exit.
+    """
+    model = CouplingModel.for_network(problem.network, dtype=dtype)
+    try:
+        spec = model.shared_export().spec
+    except Exception:  # segments unavailable: fork inheritance fallback
+        spec = None
+    executor = ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=(problem, np.dtype(dtype).name, spec),
+    )
+    try:
+        yield executor
+    finally:
+        executor.shutdown(wait=True)

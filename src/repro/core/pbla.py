@@ -21,7 +21,11 @@ Implementation notes:
 * moves are scored through the incremental
   :class:`~repro.core.delta.DeltaEvaluator` by default (identical scores
   and evaluation counts, O(E * affected) per move); ``use_delta=False``
-  restores the full batched evaluation.
+  restores the full batched evaluation;
+* the restarts are independent: no state carries across them except the
+  incumbent record, so a budget-``B`` run decomposes into ``k`` merged
+  runs of budget ``~B/k`` (``chain_decomposable``), which is what
+  parallel DSE exploits to spread one run across worker processes.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ class PriorityBasedListAlgorithm(MappingStrategy):
     """Steepest-descent over tile swaps with random restarts (R-PBLA)."""
 
     name = "r-pbla"
+    chain_decomposable = True  # restarts share nothing but the incumbent
 
     def _run(
         self,

@@ -79,6 +79,22 @@ class MappingStrategy:
     #: identical either way, so budget comparisons stay fair.
     _use_delta = True
 
+    #: Whether a budget-``B`` run of this strategy is equivalent to ``k``
+    #: independent runs of budget ``~B/k`` whose results are merged —
+    #: true for multi-start searches whose state does not span restarts
+    #: (R-PBLA's random restarts, independent SA chains), false when one
+    #: stateful trajectory or population consumes the whole budget (GA,
+    #: tabu). Parallel DSE (``DesignSpaceExplorer.run(n_workers=k)``)
+    #: only fans out strategies that set this; the rest run sequentially.
+    chain_decomposable = False
+
+    #: Smallest per-chain budget under which one chain still spends no
+    #: more than its budget (SA's temperature calibration needs 2
+    #: evaluations, for example). Chain decomposition never splits a
+    #: budget below this floor, so merged evaluation counts stay within
+    #: the requested budget and comparisons stay fair.
+    min_chain_budget = 1
+
     def optimize(
         self,
         evaluator: MappingEvaluator,

@@ -46,6 +46,29 @@ class TabuSearch(MappingStrategy):
         self.neighbourhood_size = int(neighbourhood_size)
         self.tenure = int(tenure)
 
+    @staticmethod
+    def _reversal_keys(move, current: np.ndarray):
+        """The (task, target tile) keys that would undo ``move``.
+
+        For a relocation that is the moved task returning to its old
+        tile; for a swap *both* tasks' returns go tabu. The same swap
+        can be expressed with either task as the primary ((a, old_a, b)
+        and (b, old_b, a) are one move), so keying only the primary
+        leaves the partner orientation admissible — today's
+        ``swap_moves`` happens to enumerate swaps lower-index-first,
+        which hides the exact next-iteration undo, but the ``Move``
+        contract allows either orientation (SA's proposer emits both).
+        While in tenure the partner's key also blocks any move it
+        *leads* back to its old tile (a relocation, or a swap with a
+        third task where it is the primary); admissibility keys on the
+        primary only, so it can still return as the partner of a third
+        task's move. Each swap consumes two tenure slots.
+        """
+        keys = [(move[0], int(current[move[0]]))]
+        if move[2] >= 0:
+            keys.append((move[2], int(current[move[2]])))
+        return keys
+
     def _run(
         self,
         evaluator: MappingEvaluator,
@@ -90,8 +113,8 @@ class TabuSearch(MappingStrategy):
             if chosen is None:
                 chosen = int(order[0])  # everything tabu: take the best anyway
             move = sampled[chosen]
-            # Forbid undoing this move: moving the task back where it was.
-            push_tabu((move[0], int(current[move[0]])))
+            for key in self._reversal_keys(move, current):
+                push_tabu(key)
             current = apply_move(current, move)
             if engine is not None:
                 engine.commit(move)

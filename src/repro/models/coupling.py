@@ -24,6 +24,7 @@ communication-graph level by the evaluator.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -38,9 +39,118 @@ from repro.photonics.elements import (
 )
 from repro.photonics.units import db_to_linear
 
-__all__ = ["CouplingModel", "clear_model_cache"]
+__all__ = [
+    "CouplingModel",
+    "SharedModelSpec",
+    "SharedCouplingModel",
+    "clear_model_cache",
+]
 
 _CACHE: Dict[str, "CouplingModel"] = {}
+
+
+@dataclass(frozen=True)
+class SharedModelSpec:
+    """Pickle-friendly handle describing an exported coupling model.
+
+    Carries everything a worker process needs to attach the parent's
+    matrices without rebuilding them: the shared-memory segment name, the
+    layout parameters, and the process-cache key under which the attached
+    model should be registered so that :meth:`CouplingModel.for_network`
+    finds it transparently.
+    """
+
+    shm_name: str
+    cache_key: str
+    n_tiles: int
+    dtype: str
+    with_transpose: bool
+
+    @property
+    def n_pairs(self) -> int:
+        return self.n_tiles * self.n_tiles
+
+    def _layout(self):
+        """(name, dtype, shape, offset) for each array in the segment."""
+        dtype = np.dtype(self.dtype)
+        n_pairs = self.n_pairs
+        layout = []
+        offset = 0
+        for name, dt, shape in (
+            ("signal_linear", np.dtype(np.float64), (n_pairs,)),
+            ("insertion_loss_db", np.dtype(np.float64), (n_pairs,)),
+            ("coupling_linear", dtype, (n_pairs, n_pairs)),
+        ):
+            layout.append((name, dt, shape, offset))
+            offset += dt.itemsize * int(np.prod(shape))
+        if self.with_transpose:
+            layout.append(("coupling_linear_T", dtype, (n_pairs, n_pairs), offset))
+            offset += dtype.itemsize * n_pairs * n_pairs
+        return layout, offset
+
+    @property
+    def nbytes(self) -> int:
+        return self._layout()[1]
+
+
+class SharedCouplingModel:
+    """Owner-side lifecycle handle for an exported coupling model.
+
+    Created by :meth:`CouplingModel.export_shared`; the owner keeps it
+    alive while worker processes are attached and calls :meth:`close`
+    (which also unlinks) once the pool has shut down. Usable as a context
+    manager.
+    """
+
+    def __init__(self, spec: SharedModelSpec, shm) -> None:
+        self.spec = spec
+        self._shm = shm
+
+    def close(self) -> None:
+        """Detach and remove the segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedCouplingModel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _attach_segment(name: str):
+    """Attach an existing shared-memory segment without claiming ownership.
+
+    Python < 3.13 registers every attached segment with the resource
+    tracker as if the attacher owned it: under ``spawn`` the attacher's
+    own tracker would unlink the segment (with a warning) when the
+    attacher exits, and under ``fork`` — where the tracker process is
+    shared with the exporter — an unregister-after-attach workaround
+    would cancel the *exporter's* registration and make its eventual
+    unlink double-unregister. Suppressing registration for the duration
+    of the attach is correct in both modes: only the exporting process
+    ever tracks (and unlinks) the segment.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
 
 
 class CouplingModel:
@@ -54,6 +164,7 @@ class CouplingModel:
         self.insertion_loss_db = np.full(self.n_pairs, np.nan, dtype=np.float64)
         self.coupling_linear = np.zeros((self.n_pairs, self.n_pairs), dtype=dtype)
         self._coupling_T: Optional[np.ndarray] = None
+        self._shared_handle: Optional["SharedCouplingModel"] = None
         self._build()
 
     @property
@@ -203,14 +314,114 @@ class CouplingModel:
                             (element, straight_output(elements[element].kind, in_port))
                         )
 
+    # -- multi-process sharing ---------------------------------------------------------
+
+    def export_shared(self, with_transpose: bool = True) -> SharedCouplingModel:
+        """Copy the read-only matrices into a shared-memory segment.
+
+        Returns the owner-side handle whose :attr:`~SharedCouplingModel.spec`
+        is what worker processes pass to :meth:`attach_shared`. With
+        ``with_transpose`` (the default) the contiguous transpose used by
+        the delta evaluator is exported too, so workers never build their
+        own copy. The owner must keep the handle alive while workers are
+        attached and :meth:`~SharedCouplingModel.close` it afterwards.
+
+        Raises whatever :mod:`multiprocessing.shared_memory` raises when
+        segments are unavailable (callers fall back to fork inheritance /
+        per-worker rebuilds).
+        """
+        from multiprocessing import shared_memory
+
+        spec = SharedModelSpec(
+            shm_name="",
+            cache_key=self.cache_key(self.network, self.coupling_linear.dtype),
+            n_tiles=self.n_tiles,
+            dtype=self.coupling_linear.dtype.name,
+            with_transpose=bool(with_transpose),
+        )
+        layout, nbytes = spec._layout()
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        spec = SharedModelSpec(
+            shm_name=shm.name,
+            cache_key=spec.cache_key,
+            n_tiles=spec.n_tiles,
+            dtype=spec.dtype,
+            with_transpose=spec.with_transpose,
+        )
+        sources = {
+            "signal_linear": self.signal_linear,
+            "insertion_loss_db": self.insertion_loss_db,
+            "coupling_linear": self.coupling_linear,
+        }
+        if with_transpose:
+            sources["coupling_linear_T"] = self.coupling_linear_T
+        for name, dt, shape, offset in layout:
+            view = np.ndarray(shape, dtype=dt, buffer=shm.buf, offset=offset)
+            view[...] = sources[name]
+        return SharedCouplingModel(spec, shm)
+
+    def shared_export(self) -> SharedCouplingModel:
+        """The cached shared-memory export of this model.
+
+        Copying the matrices into a segment costs real time on big
+        architectures (~1.3 s for a 64-tile mesh's 2 x 134 MB), so the
+        export is created once per process and reused by every worker
+        pool; the segment is unlinked by :func:`clear_model_cache` or at
+        interpreter exit, whichever comes first.
+        """
+        if self._shared_handle is None or self._shared_handle._shm is None:
+            self._shared_handle = self.export_shared()
+            _register_export(self._shared_handle)
+        return self._shared_handle
+
+    @classmethod
+    def attach_shared(
+        cls, spec: SharedModelSpec, network: PhotonicNoC
+    ) -> "CouplingModel":
+        """Attach to an exported model without rebuilding anything.
+
+        The returned instance's matrices are read-only views on the shared
+        segment; the segment handle is kept alive on the instance, and the
+        exporting process owns unlinking. Intended to run in pool workers
+        (see :mod:`repro.core.parallel`), which also seed the process
+        cache so :meth:`for_network` resolves to the attached model.
+        """
+        shm = _attach_segment(spec.shm_name)
+        layout, _ = spec._layout()
+        model = cls.__new__(cls)
+        model.network = network
+        model.n_tiles = spec.n_tiles
+        model.n_pairs = spec.n_pairs
+        model._coupling_T = None
+        model._shared_handle = None
+        model._shm = shm  # keeps the mapping alive as long as the model
+        for name, dt, shape, offset in layout:
+            view = np.ndarray(shape, dtype=dt, buffer=shm.buf, offset=offset)
+            view.flags.writeable = False
+            if name == "coupling_linear_T":
+                model._coupling_T = view
+            else:
+                setattr(model, name, view)
+        return model
+
     # -- caching ---------------------------------------------------------------------
+
+    @staticmethod
+    def cache_key(network: PhotonicNoC, dtype) -> str:
+        """Process-cache key of the model for ``network`` at ``dtype``."""
+        return f"{network.signature}|{np.dtype(dtype).name}"
+
+    @classmethod
+    def register(cls, key: str, model: "CouplingModel") -> None:
+        """Seed the process cache (worker-side of shared-memory attach)."""
+        _CACHE[key] = model
 
     @classmethod
     def for_network(
         cls, network: PhotonicNoC, dtype=np.float64, use_cache: bool = True
     ) -> "CouplingModel":
         """Build (or fetch from the process cache) the model for a network."""
-        key = f"{network.signature}|{np.dtype(dtype).name}"
+        key = cls.cache_key(network, dtype)
         if use_cache:
             cached = _CACHE.get(key)
             if cached is not None:
@@ -221,6 +432,25 @@ class CouplingModel:
         return model
 
 
+#: Shared-memory exports owned by this process, unlinked at exit.
+_EXPORTS: List[SharedCouplingModel] = []
+
+
+def _register_export(handle: SharedCouplingModel) -> None:
+    if not _EXPORTS:
+        import atexit
+
+        atexit.register(_close_exports)
+    _EXPORTS.append(handle)
+
+
+def _close_exports() -> None:
+    """Unlink every shared-memory export this process still owns."""
+    while _EXPORTS:
+        _EXPORTS.pop().close()
+
+
 def clear_model_cache() -> None:
-    """Drop all cached coupling models (mainly for tests)."""
+    """Drop all cached coupling models and their shared exports."""
+    _close_exports()
     _CACHE.clear()

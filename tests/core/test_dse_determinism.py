@@ -4,7 +4,10 @@ The paper's experiment is a budgeted comparison; for it to be
 reproducible, ``DesignSpaceExplorer.compare()`` with a fixed seed must
 return bit-identical best scores and assignments on every run — both on
 the delta-evaluation fast path and with the ``use_delta=False`` escape
-hatch.
+hatch. Per-strategy streams are spawned from
+``np.random.SeedSequence(seed)`` by list position (independent of the
+worker count; the parallel extension of these guarantees lives in
+``test_parallel_dse.py``).
 """
 
 import numpy as np

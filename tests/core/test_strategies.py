@@ -64,6 +64,12 @@ class TestSimulatedAnnealing:
         with pytest.raises(OptimizationError):
             SimulatedAnnealing(final_temperature_ratio=2.0)
 
+    def test_budget_of_one_not_overspent_by_calibration(self, explorer):
+        """Calibration is clamped to the budget: a budget of 1 spends
+        exactly 1 evaluation, not a 2-sample calibration batch."""
+        result = explorer.run("sa", budget=1, seed=0)
+        assert result.evaluations == 1
+
 
 class TestTabuSearch:
     def test_respects_budget(self, explorer):
@@ -81,6 +87,75 @@ class TestTabuSearch:
             TabuSearch(neighbourhood_size=0)
         with pytest.raises(OptimizationError):
             TabuSearch(tenure=0)
+
+    def test_reversal_keys_cover_both_swap_tasks(self):
+        """Undoing a swap can be keyed with either task as the primary
+        ((a, old_a, b) and (b, old_b, a) are the same swap), so both
+        tasks' return keys must go tabu; a relocation has one."""
+        from repro.core import TabuSearch
+
+        current = np.array([4, 7, 2, 0], dtype=np.int64)
+        swap = (1, 2, 2)  # task 1 onto task 2's tile
+        assert TabuSearch._reversal_keys(swap, current) == [(1, 7), (2, 2)]
+        relocation = (3, 5, -1)
+        assert TabuSearch._reversal_keys(relocation, current) == [(3, 0)]
+
+    @pytest.mark.parametrize("use_delta", [True, False])
+    def test_partner_cannot_undo_swap_next_iteration(
+        self, pip_cg, mesh3_network, monkeypatch, use_delta
+    ):
+        """Regression: with only the primary task's key pushed, a swap
+        expressed with the partner task as the primary — legal under the
+        ``Move`` contract, though today's ``swap_moves`` enumeration
+        happens to canonicalize orientation — was admissible on the very
+        next iteration and undid the move. Script two neighbourhoods — a
+        forced swap, then its partner-orientation reversal next to a
+        decoy — and require the search to take the decoy (the reversal
+        cannot aspire: the undone assignment's score never strictly
+        beats the incumbent best)."""
+        import repro.core.tabu as tabu_module
+
+        state = {"step": 0}
+
+        def scripted_moves(assignment, n_tiles):
+            step = state["step"]
+            state["step"] = step + 1
+            if step == 0:
+                state["initial"] = assignment.copy()
+                tile0, tile1 = int(assignment[0]), int(assignment[1])
+                occupied = {int(tile) for tile in assignment}
+                state["empty"] = next(
+                    tile for tile in range(n_tiles) if tile not in occupied
+                )
+                # Swap tasks 0 and 1 with task 1 as the primary...
+                return [(1, tile0, 0)]
+            if step == 1:
+                # ...then offer the same swap with task 0 as the primary
+                # (the partner-orientation undo) plus a decoy relocation.
+                tile0 = int(state["initial"][0])
+                return [(0, tile0, 1), (2, state["empty"], -1)]
+            return []  # ends the search
+
+        trail = []
+        real_apply = tabu_module.apply_move
+
+        def recording_apply(assignment, move):
+            result = real_apply(assignment, move)
+            trail.append(result.copy())
+            return result
+
+        monkeypatch.setattr(tabu_module, "swap_moves", scripted_moves)
+        monkeypatch.setattr(tabu_module, "apply_move", recording_apply)
+        problem = MappingProblem(pip_cg, mesh3_network)
+        # Seed 1: the reversal scores strictly higher than the decoy, so
+        # a bookkeeping hole would make the search take the undo.
+        DesignSpaceExplorer(problem, use_delta=use_delta).run(
+            "tabu", budget=16, seed=1
+        )
+        assert len(trail) == 2
+        assert not np.array_equal(trail[1], state["initial"]), (
+            "the partner-orientation reversal undid the swap"
+        )
 
 
 class TestRegistry:
@@ -142,6 +217,31 @@ class TestRegistry:
         register_strategy("legacy_signature_test", LegacyStrategy,
                           overwrite=True)
         result = explorer.run("legacy_signature_test", budget=10, seed=0)
+        assert result.evaluations == 1
+
+    def test_duck_typed_strategy_without_chain_attributes(self, explorer):
+        """A plugin that does not subclass MappingStrategy has none of
+        the chain-decomposition attributes; the explorer must treat it
+        as non-decomposable (sequential) instead of raising, whatever
+        ``n_workers`` says."""
+
+        class DuckStrategy:
+            name = "duck_typed_test"
+
+            def optimize(self, evaluator, budget, rng=None):
+                rng = rng if rng is not None else np.random.default_rng()
+                evaluator.reset_count()
+                tracker = BestTracker(evaluator)
+                assignment = random_assignment(
+                    evaluator.n_tasks, evaluator.n_tiles, rng
+                )
+                score = evaluator.evaluate_batch(assignment[None, :]).score[0]
+                tracker.offer(assignment, float(score))
+                return tracker.result(self.name)
+
+        register_strategy("duck_typed_test", DuckStrategy, overwrite=True)
+        result = explorer.run("duck_typed_test", budget=10, seed=0,
+                              n_workers=4)
         assert result.evaluations == 1
 
 

@@ -87,6 +87,26 @@ class TestOptimize:
         assert code == 0
         assert "worst loss" in capsys.readouterr().out
 
+    def test_optimize_no_delta_escape_hatch(self, capsys):
+        code = main(
+            [
+                "optimize", "--app", "pip", "--strategy", "tabu",
+                "--budget", "150", "--seed", "3", "--no-delta",
+            ]
+        )
+        assert code == 0
+        assert "evaluations" in capsys.readouterr().out
+
+    def test_optimize_parallel_workers(self, capsys):
+        code = main(
+            [
+                "optimize", "--app", "pip", "--strategy", "r-pbla",
+                "--budget", "120", "--seed", "4", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "evaluations" in capsys.readouterr().out
+
 
 class TestExperiments:
     def test_fig3_small(self, capsys):
