@@ -4,6 +4,9 @@ The paper compares the algorithms under one fixed (equal-time) budget;
 this ablation sweeps the budget to show the crossing behaviour: RS
 plateaus early, GA and R-PBLA keep converting evaluations into quality —
 context for where the paper's single-budget snapshot sits.
+
+Paper artefact: none (ablation around Table II's fixed budget).
+Expected runtime: ~2 minutes at the reduced default budget.
 """
 
 import pytest

@@ -3,6 +3,9 @@
 Not a paper table — a design-choice bench DESIGN.md calls out: how much of
 the result depends on the Crux reconstruction? The full crossbar pays ~4x
 Crux's transit loss; the reduced crossbar sits between.
+
+Paper artefact: none (design-choice ablation around every experiment).
+Expected runtime: ~1 minute.
 """
 
 import numpy as np

@@ -4,6 +4,9 @@ On a symmetric fabric (the full crossbar supports all turns) the two
 dimension orders are mirror images; the ablation confirms the model treats
 them symmetrically — and that the choice matters per-mapping even though
 the aggregate statistics match.
+
+Paper artefact: none (design-choice ablation).
+Expected runtime: ~1 minute.
 """
 
 import numpy as np

@@ -4,6 +4,9 @@ Worst-case loss/SNR and required laser power versus mesh size, for random
 vs optimized mappings. The paper's claim — mapping optimization "enables
 improved network scalability" — shows up as the optimized laser-power
 curve growing much more slowly with size.
+
+Paper artefact: the abstract's scalability claim.
+Expected runtime: ~2 minutes.
 """
 
 from benchmarks.conftest import run_once

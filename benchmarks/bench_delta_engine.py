@@ -18,6 +18,9 @@ and under pytest-benchmark like the other benches::
 
 The ``--sides 8`` row is the headline: a fully occupied 64-tile mesh,
 where delta scoring is expected to be >= 3x the full evaluator.
+
+Paper artefact: none (engineering bench for the §II-D search engine).
+Expected runtime: ~1-2 minutes; seconds with ``--smoke`` (CI mode).
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ coupling-model build or the vectorized evaluator are caught:
 
 * coupling-model construction per architecture (paths + emission walks),
 * mapping-evaluation throughput (the optimizers' inner loop).
+
+Paper artefact: none (engineering regression bench).
+Expected runtime: ~1 minute.
 """
 
 import numpy as np

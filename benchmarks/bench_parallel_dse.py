@@ -22,6 +22,9 @@ machine actually exposes at least ``--workers`` CPUs to this process —
 on a 1-core container the parallel path cannot physically beat the
 sequential one, so the bench reports the measurement and skips the
 assertion instead of failing spuriously. Determinism is always enforced.
+
+Paper artefact: none (engineering bench for the Table II machinery).
+Expected runtime: ~2-5 minutes; seconds with ``--quick`` (CI mode).
 """
 
 from __future__ import annotations

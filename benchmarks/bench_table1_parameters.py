@@ -3,6 +3,9 @@
 The table is pure data, so this bench doubles as the timing of the
 parameter-and-element layer (table rendering plus a Crux compile, which
 consumes every Table I coefficient).
+
+Paper artefact: Table I.
+Expected runtime: <1 second.
 """
 
 from repro.analysis import reproduce_table1

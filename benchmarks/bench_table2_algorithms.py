@@ -11,6 +11,9 @@ with ``-s``. The assertions encode the *shape* of the paper's table:
   regime (worst-case SNR below ~25 dB) while the loosely constrained
   applications reach much higher optima;
 * every loss column lies in the paper's -4..-1 dB band.
+
+Paper artefact: Table II.
+Expected runtime: ~2-5 minutes at the reduced default budget.
 """
 
 import pytest

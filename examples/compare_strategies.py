@@ -7,6 +7,9 @@ the VOPD/mesh crosstalk problem, printing final quality and convergence
 waypoints.
 
 Run:  python examples/compare_strategies.py [--app vopd] [--budget N]
+
+Reproduces: the protocol of paper Table II on a single problem.
+Expected runtime: ~1 minute at the default budget.
 """
 
 import argparse

@@ -13,6 +13,9 @@ without any changes in the tool core". This example does all three:
 4. runs the whole stack on the MWD application with all three plugins.
 
 Run:  python examples/custom_architecture.py
+
+Reproduces: no paper artefact — the extensibility claim of §II, exercised.
+Expected runtime: ~10 seconds.
 """
 
 import numpy as np

@@ -10,6 +10,9 @@ This is the one-minute tour of the public API:
 5. translate the result into a laser power requirement.
 
 Run:  python examples/quickstart.py
+
+Reproduces: the tool flow of paper Fig. 1 on one application.
+Expected runtime: ~1 second.
 """
 
 from repro import (

@@ -9,6 +9,9 @@ Run:  python examples/reproduce_table2.py [--budget N] [--seed S] [--apps ...]
 
 The default budget (100000 evaluations per strategy run) takes a few
 minutes; use --budget 5000 for a quick look.
+
+Reproduces: paper Table II.
+Expected runtime: ~15-45 minutes at the default budget on one core.
 """
 
 import argparse

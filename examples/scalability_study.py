@@ -10,6 +10,9 @@ power, and reports the largest feasible network under a fixed power
 budget for each strategy.
 
 Run:  python examples/scalability_study.py [--sides 3 4 5 6] [--budget N]
+
+Reproduces: no paper figure — the abstract's scalability claim, quantified.
+Expected runtime: ~5 minutes at the default sides and budget.
 """
 
 import argparse

@@ -13,6 +13,7 @@ plus CDF extraction (Fig. 3 plots the cumulative probability curves).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -78,23 +79,59 @@ def random_mapping_distribution(
     n_samples: int = 100_000,
     seed: Optional[int] = None,
     batch_size: int = 4096,
+    n_workers: int = 1,
 ) -> DistributionResult:
-    """Sample random mappings and record both worst-case metrics."""
+    """Sample random mappings and record both worst-case metrics.
+
+    Parameters
+    ----------
+    cg : CommunicationGraph
+        The application whose mapping distribution is sampled.
+    network : PhotonicNoC
+        Target architecture (the paper uses mesh + Crux).
+    n_samples : int, optional
+        Number of random mappings (default 100,000, as in Fig. 3).
+    seed : int, optional
+        RNG seed; samples are generated in the parent process, so the
+        sample set depends only on the seed, never on ``n_workers``.
+    batch_size : int, optional
+        Mappings generated and submitted per step (default 4096).
+    n_workers : int, optional
+        Shard width for batch evaluation (default 1, sequential). The
+        loop keeps two batches in flight — workers score one batch while
+        the parent generates the next — and results are written back by
+        submission offset, so the returned distribution is
+        **bit-identical for any** ``n_workers``.
+
+    Returns
+    -------
+    DistributionResult
+        Per-sample worst-case SNR and power loss, plus CDF extraction.
+    """
     if n_samples < 1:
         raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
     problem = MappingProblem(cg, network, Objective.SNR)
-    evaluator = MappingEvaluator(problem)
+    evaluator = MappingEvaluator(problem, n_workers=n_workers)
     rng = np.random.default_rng(seed)
     snr = np.empty(n_samples, dtype=np.float64)
     loss = np.empty(n_samples, dtype=np.float64)
+
+    def collect(offset: int, count: int, handle) -> None:
+        metrics = handle.result()
+        snr[offset : offset + count] = metrics.worst_snr_db
+        loss[offset : offset + count] = metrics.worst_insertion_loss_db
+
+    pending = deque()  # (offset, count, handle); bounded in-flight window
     done = 0
     while done < n_samples:
         count = min(batch_size, n_samples - done)
         batch = random_assignment_batch(
             count, evaluator.n_tasks, evaluator.n_tiles, rng
         )
-        metrics = evaluator.evaluate_batch(batch)
-        snr[done : done + count] = metrics.worst_snr_db
-        loss[done : done + count] = metrics.worst_insertion_loss_db
+        pending.append((done, count, evaluator.submit_batch(batch)))
         done += count
+        if len(pending) >= 2:
+            collect(*pending.popleft())
+    while pending:
+        collect(*pending.popleft())
     return DistributionResult(cg.name, n_samples, snr, loss)

@@ -164,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--samples", type=int, default=100_000)
     fig3.add_argument("--seed", type=int, default=2016)
     fig3.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharding the batch evaluations "
+             "(default: 1, sequential; results are identical either way)",
+    )
+    fig3.add_argument(
         "--apps", nargs="+", choices=BENCHMARK_NAMES, default=list(BENCHMARK_NAMES)
     )
     fig3.add_argument(
@@ -277,7 +282,8 @@ def _cmd_table2(args) -> int:
 
 def _cmd_fig3(args) -> int:
     results = reproduce_fig3(
-        applications=args.apps, n_samples=args.samples, seed=args.seed
+        applications=args.apps, n_samples=args.samples, seed=args.seed,
+        n_workers=args.workers,
     )
     print(format_fig3(results))
     if args.curves:

@@ -15,12 +15,14 @@ from repro.core.evaluator import (
     EdgeMetrics,
     MappingEvaluator,
     MappingMetrics,
+    PendingBatch,
 )
 from repro.core.genetic import GeneticAlgorithm, pmx_crossover
 from repro.core.mapping import Mapping, random_assignment, random_assignment_batch
 from repro.core.objectives import SNR_CAP_DB, Objective
 from repro.core.parallel import merge_chain_results, split_budget, spawn_seeds
 from repro.core.pbla import PriorityBasedListAlgorithm, apply_move, swap_moves
+from repro.core.pool import get_pool, release_pools, shutdown_pools
 from repro.core.problem import MappingProblem
 from repro.core.random_search import RandomSearch
 from repro.core.registry import (
@@ -41,6 +43,7 @@ __all__ = [
     "EdgeMetrics",
     "MappingEvaluator",
     "MappingMetrics",
+    "PendingBatch",
     "GeneticAlgorithm",
     "pmx_crossover",
     "Mapping",
@@ -54,6 +57,9 @@ __all__ = [
     "merge_chain_results",
     "split_budget",
     "spawn_seeds",
+    "get_pool",
+    "release_pools",
+    "shutdown_pools",
     "MappingProblem",
     "RandomSearch",
     "PAPER_STRATEGIES",

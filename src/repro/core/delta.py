@@ -161,6 +161,7 @@ class DeltaEvaluator:
 
     @property
     def evaluator(self) -> MappingEvaluator:
+        """The wrapped full evaluator (budget counting happens there)."""
         return self._ev
 
     @property

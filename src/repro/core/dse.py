@@ -42,6 +42,19 @@ Workers share the read-only coupling matrices through
 ``multiprocessing.shared_memory`` (fork inheritance as the fallback) and
 each worker builds its own strategy instance — ``optimize`` is documented
 non-reentrant, one instance must never serve two concurrent runs.
+
+Since PR 3 the executors are *persistent* (:mod:`repro.core.pool`): one
+lazily created pool per (CG, network, dtype, n_workers) key serves
+``compare()`` fan-outs, chain decompositions **and** the row sharding of
+giant ``evaluate_batch`` calls, instead of a fresh pool per call. Batch
+strategies (random search, the GA) declare
+:attr:`~repro.core.strategy.MappingStrategy.batch_shardable`; for those,
+``run(n_workers=k)`` shards their population scoring across the pool and
+overlaps candidate generation with evaluation via
+:meth:`~repro.core.evaluator.MappingEvaluator.submit_batch` — still
+bit-identical to the sequential run for any worker count. Call
+:meth:`DesignSpaceExplorer.close` (or use the explorer as a context
+manager) to release the pools deterministically.
 """
 
 from __future__ import annotations
@@ -51,6 +64,7 @@ from typing import Dict, Iterable, Optional, Union
 import numpy as np
 
 from repro.core import parallel as _parallel
+from repro.core import pool as _pool
 from repro.core.evaluator import MappingEvaluator
 from repro.core.problem import MappingProblem
 from repro.core.registry import PAPER_STRATEGIES, create_strategy
@@ -115,11 +129,44 @@ class DesignSpaceExplorer:
     ) -> OptimizationResult:
         """Run one strategy within ``budget`` mapping evaluations.
 
+        Parameters
+        ----------
+        strategy : str or MappingStrategy
+            Registry name (``"rs"``, ``"ga"``, ``"r-pbla"``, ``"sa"``,
+            ``"tabu"``, or a user-registered one) or an instance.
+        budget : int, optional
+            Mapping-evaluation budget, the fair-comparison currency
+            (default 20,000, the paper's Table II budget).
+        seed : int, optional
+            RNG seed; ``None`` draws fresh OS entropy.
+        use_delta : bool, optional
+            Override the explorer's delta-evaluation default for this
+            run.
+        n_workers : int, optional
+            Override the explorer's worker count for this run.
+        **hyperparameters
+            Forwarded to the strategy constructor (only when ``strategy``
+            is a name).
+
+        Returns
+        -------
+        OptimizationResult
+            Best mapping, metrics, convergence history and the exact
+            evaluation spend.
+
+        Notes
+        -----
         With ``n_workers > 1`` and a
         :attr:`~repro.core.strategy.MappingStrategy.chain_decomposable`
         strategy, the budget is split into ``n_workers`` independent
-        seeded chains executed in parallel and merged; ``evaluations``
-        on the merged result is the summed per-chain spend.
+        seeded chains executed in parallel and merged (bit-identical per
+        ``(seed, n_workers)``); ``evaluations`` on the merged result is
+        the summed per-chain spend. For
+        :attr:`~repro.core.strategy.MappingStrategy.batch_shardable`
+        strategies (RS, GA) the population scoring is sharded across the
+        persistent pool instead — **bit-identical to the sequential run
+        for any** ``n_workers``. Other strategies run sequentially
+        whatever ``n_workers`` says.
         """
         if isinstance(strategy, str):
             strategy = create_strategy(strategy, **hyperparameters)
@@ -139,6 +186,20 @@ class DesignSpaceExplorer:
         if workers > 1 and decomposable and n_chains >= 2:
             return self._run_chains(strategy, budget, seed, flag, n_chains)
         rng = np.random.default_rng(seed)
+        shardable = getattr(strategy, "batch_shardable", False)
+        if workers > 1 and shardable:
+            # Batch strategies (RS, GA) shard their population scoring
+            # across the persistent pool instead: set the evaluator's
+            # default shard width for the duration of this run.
+            # Bit-identical to sequential for any worker count.
+            previous = self.evaluator.n_workers
+            self.evaluator.n_workers = workers
+            try:
+                return _parallel.call_optimize(
+                    strategy, self.evaluator, budget, rng, flag
+                )
+            finally:
+                self.evaluator.n_workers = previous
         return _parallel.call_optimize(
             strategy, self.evaluator, budget, rng, flag
         )
@@ -154,18 +215,23 @@ class DesignSpaceExplorer:
         """Fan ``n_chains`` independent chains of one strategy out and merge."""
         budgets = _parallel.split_budget(budget, n_chains)
         seeds = _parallel.spawn_seeds(seed, n_chains)
-        with _parallel.worker_pool(self.problem, self.dtype, n_chains) as pool:
-            futures = [
-                pool.submit(
-                    _parallel.run_strategy_task,
-                    strategy,
-                    chain_budget,
-                    chain_seed,
-                    use_delta,
-                )
-                for chain_budget, chain_seed in zip(budgets, seeds)
-            ]
+        pool = _pool.get_pool(self.problem, self.dtype, n_chains)
+        futures = [
+            pool.submit(
+                _parallel.run_strategy_task,
+                strategy,
+                chain_budget,
+                chain_seed,
+                use_delta,
+                self.problem.objective,
+            )
+            for chain_budget, chain_seed in zip(budgets, seeds)
+        ]
+        try:
             chain_results = [future.result() for future in futures]
+        except Exception:
+            pool.broken = True  # dead worker: next get_pool rebuilds
+            raise
         return _parallel.merge_chain_results(chain_results)
 
     def compare(
@@ -178,13 +244,35 @@ class DesignSpaceExplorer:
     ) -> Dict[str, OptimizationResult]:
         """Run several strategies under the same budget and seed base.
 
-        Every strategy receives its own deterministic RNG stream spawned
-        from ``np.random.SeedSequence(seed)`` by list position, and
-        exactly the same evaluation budget — the reproducible analogue of
-        the paper's equal-running-time comparison. With ``n_workers > 1``
-        the strategies run concurrently, one process-pool task each;
-        results stay bit-identical to the sequential loop because the
-        streams never depend on the worker count.
+        Parameters
+        ----------
+        strategies : iterable of str, optional
+            Strategy registry names (default: the paper's RS, GA,
+            R-PBLA).
+        budget : int, optional
+            Evaluation budget granted to *each* strategy (default
+            20,000).
+        seed : int, optional
+            Base seed; every strategy receives its own stream spawned
+            from ``np.random.SeedSequence(seed)`` by list position.
+        use_delta : bool, optional
+            Override the explorer's delta-evaluation default.
+        n_workers : int, optional
+            Override the explorer's worker count.
+
+        Returns
+        -------
+        dict of str to OptimizationResult
+            One result per strategy name, in input order.
+
+        Notes
+        -----
+        This is the reproducible analogue of the paper's
+        equal-running-time comparison (Table II). With ``n_workers > 1``
+        the strategies run concurrently, one persistent-pool task each;
+        results are **bit-identical for every** ``n_workers`` because
+        the RNG streams depend only on the seed and the list position,
+        never on the worker count or scheduling order.
         """
         names = list(strategies)
         seeds = _parallel.spawn_seeds(seed, len(names))
@@ -202,17 +290,48 @@ class DesignSpaceExplorer:
                 )
             return results
         pool_size = min(workers, len(names))
-        with _parallel.worker_pool(self.problem, self.dtype, pool_size) as pool:
-            futures = {
-                name: pool.submit(
-                    _parallel.run_strategy_task,
-                    name,
-                    budget,
-                    strategy_seed,
-                    flag,
-                )
-                for name, strategy_seed in zip(names, seeds)
-            }
+        pool = _pool.get_pool(self.problem, self.dtype, pool_size)
+        futures = {
+            name: pool.submit(
+                _parallel.run_strategy_task,
+                name,
+                budget,
+                strategy_seed,
+                flag,
+                self.problem.objective,
+            )
+            for name, strategy_seed in zip(names, seeds)
+        }
+        try:
             for name in names:
                 results[name] = futures[name].result()
+        except Exception:
+            pool.broken = True  # dead worker: next get_pool rebuilds
+            raise
         return results
+
+    def close(self) -> None:
+        """Release the persistent worker pools serving this problem.
+
+        Pools created by parallel :meth:`run` / :meth:`compare` calls (or
+        by sharded batch evaluation through this explorer's evaluator)
+        stay warm for reuse; ``close()`` shuts the ones keyed to this
+        problem down deterministically — worker processes exit and their
+        shared-memory attachments are dropped before the exporting
+        process unlinks the segments at interpreter exit, so no
+        resource-tracker warning is ever emitted. Idempotent, and the
+        explorer remains usable afterwards (the next parallel call builds
+        a fresh pool). Also available as a context manager::
+
+            with DesignSpaceExplorer(problem, n_workers=4) as explorer:
+                results = explorer.compare(budget=20_000, seed=2016)
+        """
+        _pool.release_pools(self.problem)
+
+    def __enter__(self) -> "DesignSpaceExplorer":
+        """Enter a ``with`` block; :meth:`close` runs on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Release this problem's pools on ``with``-block exit."""
+        self.close()

@@ -23,6 +23,21 @@ maintains per-edge state for one incumbent, and scores a move in
 O(E * affected edges) — falling back to the full path here on resets,
 periodic refreshes, and ``use_delta=False``. Evaluation counts are
 charged to this evaluator either way.
+
+Sharded and asynchronous batches (PR 3)
+---------------------------------------
+:meth:`MappingEvaluator.evaluate_batch` accepts ``n_workers``: with more
+than one worker the assignment matrix is split into row shards scored by
+a persistent process pool (:mod:`repro.core.pool`) and merged into one
+:class:`BatchMetrics` that is **bit-identical to the sequential result
+for any worker count** — every reduction in the metric pipeline runs
+within a row, so shard boundaries cannot change values.
+:meth:`MappingEvaluator.submit_batch` is the asynchronous variant: it
+returns a :class:`PendingBatch` immediately, letting callers (random
+search, the GA, the Fig. 3 distribution sweep) generate the next batch
+while workers score the current one. Evaluation counts are charged when
+a pending batch's result is collected, so collection order reproduces
+the sequential counter exactly.
 """
 
 from __future__ import annotations
@@ -39,10 +54,21 @@ from repro.core.problem import MappingProblem
 from repro.errors import MappingError
 from repro.models.coupling import CouplingModel
 
-__all__ = ["EdgeMetrics", "MappingMetrics", "BatchMetrics", "MappingEvaluator"]
+__all__ = [
+    "EdgeMetrics",
+    "MappingMetrics",
+    "BatchMetrics",
+    "PendingBatch",
+    "MappingEvaluator",
+]
 
 #: Target bytes per evaluation chunk (keeps the (M, E, E) gather bounded).
 _CHUNK_BYTES = 64 * 1024 * 1024
+
+#: Minimum rows per worker shard: below this the process round-trip costs
+#: more than the numpy work it ships, so batch submission falls back to
+#: the inline path (results are bit-identical either way).
+MIN_SHARD_ROWS = 64
 
 
 @dataclass(frozen=True)
@@ -76,14 +102,110 @@ class BatchMetrics:
     score: np.ndarray
 
 
-class MappingEvaluator:
-    """Matrix-backed evaluator for a :class:`MappingProblem`."""
+class PendingBatch:
+    """Handle for an in-flight (possibly sharded) batch evaluation.
 
-    def __init__(self, problem: MappingProblem, dtype=np.float64) -> None:
+    Returned by :meth:`MappingEvaluator.submit_batch`. Holds either the
+    already-computed metric tables (eager path: one worker, or a batch
+    too small to shard) or one future per row shard submitted to the
+    persistent pool.
+
+    Evaluation counting happens in :meth:`result`, exactly once per
+    batch: callers that pipeline submissions therefore reproduce the
+    sequential evaluation counter — and so the optimizers' convergence
+    histories — bit for bit, as long as they collect results in
+    submission order.
+    """
+
+    def __init__(self, evaluator, n_mappings, tables=None, futures=None, pool=None):
+        self._evaluator = evaluator
+        self._n = int(n_mappings)
+        self._tables = tables
+        self._futures = futures
+        self._pool = pool  # keeps the pool referenced while in flight
+        self._metrics: Optional[BatchMetrics] = None
+
+    def done(self) -> bool:
+        """Whether :meth:`result` would return without blocking."""
+        if self._metrics is not None or self._futures is None:
+            return True
+        return all(future.done() for future in self._futures)
+
+    def result(self) -> BatchMetrics:
+        """Collect (blocking if needed) and return the batch metrics.
+
+        Returns
+        -------
+        BatchMetrics
+            Per-row worst insertion loss, worst SNR and objective score,
+            bit-identical to the sequential ``evaluate_batch`` result.
+
+        Notes
+        -----
+        The first call charges the batch to the evaluator's evaluation
+        counter; later calls return the cached metrics without
+        re-charging.
+        """
+        if self._metrics is None:
+            if self._futures is not None:
+                try:
+                    parts = [future.result() for future in self._futures]
+                except Exception:
+                    if self._pool is not None:
+                        self._pool.broken = True
+                    raise
+                tables = tuple(
+                    np.concatenate(columns) for columns in zip(*parts)
+                )
+                self._futures = None
+            else:
+                tables = self._tables
+            self._tables = None
+            worst_il, worst_snr, mean_snr, weighted_il = tables
+            self._evaluator.evaluations += self._n
+            score = self._evaluator._score(
+                worst_il, worst_snr, mean_snr, weighted_il
+            )
+            self._metrics = BatchMetrics(worst_il, worst_snr, score)
+        return self._metrics
+
+
+class MappingEvaluator:
+    """Matrix-backed evaluator for a :class:`MappingProblem`.
+
+    Reduces a mapping evaluation to numpy gathers over the precomputed
+    :class:`~repro.models.coupling.CouplingModel` matrices, and counts
+    every evaluation (the reproduction's search-effort currency).
+
+    Parameters
+    ----------
+    problem : MappingProblem
+        The problem instance (CG + network + objective) to evaluate for.
+    dtype : numpy dtype-like, optional
+        Dtype of the coupling matrix (default ``float64``; ``float32``
+        halves the memory of the O(n_pairs^2) matrix at reduced noise
+        precision).
+    n_workers : int, optional
+        Default shard width of :meth:`evaluate_batch` /
+        :meth:`submit_batch` (default 1, fully sequential). Any value
+        yields bit-identical metrics; larger values only pay off for
+        large batches (thousands of rows).
+
+    Attributes
+    ----------
+    evaluations : int
+        Number of mapping evaluations charged so far (see
+        :meth:`reset_count`).
+    """
+
+    def __init__(
+        self, problem: MappingProblem, dtype=np.float64, n_workers: int = 1
+    ) -> None:
         self.problem = problem
         self.cg = problem.cg
         self.network = problem.network
         self.objective = problem.objective
+        self.dtype = np.dtype(dtype)
         self.model = CouplingModel.for_network(problem.network, dtype=dtype)
         self._edges = self.cg.edge_array()
         self._mask = self.cg.serialization_mask()
@@ -92,23 +214,142 @@ class MappingEvaluator:
         self._mask_linear = self._mask.astype(self.model.coupling_linear.dtype)
         self._bandwidths = self.cg.bandwidth_array()
         self._bandwidth_weights = self._bandwidths / self._bandwidths.sum()
+        self.n_workers = self._check_workers(n_workers)
         self.evaluations = 0
+
+    @staticmethod
+    def _check_workers(n_workers: int) -> int:
+        n_workers = int(n_workers)
+        if n_workers < 1:
+            raise MappingError(f"n_workers must be >= 1, got {n_workers}")
+        return n_workers
 
     # -- batch evaluation ---------------------------------------------------------
 
-    def evaluate_batch(self, assignments: np.ndarray) -> BatchMetrics:
-        """Evaluate a (M, n_tasks) batch of assignments.
-
-        Assignments are trusted to be valid (injective, in range); use
-        :meth:`evaluate` / :class:`Mapping` at API boundaries.
-        """
+    def _check_batch(self, assignments: np.ndarray) -> np.ndarray:
+        """Coerce a batch to ``(M, n_tasks)`` int64, or raise."""
         assignments = np.atleast_2d(np.asarray(assignments, dtype=np.int64))
-        n_mappings = assignments.shape[0]
         if assignments.shape[1] != self.cg.n_tasks:
             raise MappingError(
                 f"batch has {assignments.shape[1]} tasks per mapping, "
                 f"expected {self.cg.n_tasks}"
             )
+        return assignments
+
+    def evaluate_batch(
+        self,
+        assignments: np.ndarray,
+        n_workers: Optional[int] = None,
+        min_shard_rows: Optional[int] = None,
+    ) -> BatchMetrics:
+        """Evaluate a ``(M, n_tasks)`` batch of assignments.
+
+        Parameters
+        ----------
+        assignments : numpy.ndarray
+            Batch of assignments, one row per mapping. Rows are trusted
+            to be valid (injective, in range); use :meth:`evaluate` /
+            :class:`~repro.core.mapping.Mapping` at API boundaries.
+        n_workers : int, optional
+            Number of row shards to score in the persistent process pool
+            (default: the evaluator's ``n_workers``). With one worker —
+            or a batch too small to shard — evaluation runs inline.
+        min_shard_rows : int, optional
+            Floor on rows per shard (default :data:`MIN_SHARD_ROWS`):
+            when the batch cannot give at least this many rows to two
+            shards it runs inline instead, because the process
+            round-trip would cost more than the numpy work it ships.
+            Pass 1 to force sharding of any batch.
+
+        Returns
+        -------
+        BatchMetrics
+            Per-row worst insertion loss, worst SNR and objective score.
+
+        Notes
+        -----
+        **Bit-identical for any** ``n_workers``: every reduction (noise
+        contraction, per-row minima/means, the bandwidth-weighted dot
+        product) runs within a row, so splitting rows across workers
+        cannot change any result, only the wall-clock time. The batch is
+        charged to :attr:`evaluations` exactly once either way.
+        """
+        return self.submit_batch(
+            assignments, n_workers=n_workers, min_shard_rows=min_shard_rows
+        ).result()
+
+    def submit_batch(
+        self,
+        assignments: np.ndarray,
+        n_workers: Optional[int] = None,
+        min_shard_rows: Optional[int] = None,
+    ) -> PendingBatch:
+        """Submit a batch for evaluation, returning immediately.
+
+        The asynchronous companion of :meth:`evaluate_batch`: with more
+        than one worker the row shards are queued on the persistent pool
+        and scored in the background, so the caller can generate the next
+        candidate batch while this one is being evaluated (random search,
+        the GA and the Fig. 3 sweep all pipeline this way — one slow
+        shard never stalls candidate generation).
+
+        Parameters
+        ----------
+        assignments : numpy.ndarray
+            Batch of assignments, one row per mapping (validated like
+            :meth:`evaluate_batch`; the data is snapshotted at submit
+            time, so the caller may reuse its buffer afterwards).
+        n_workers : int, optional
+            Shard width override (default: the evaluator's
+            ``n_workers``).
+        min_shard_rows : int, optional
+            Rows-per-shard floor, as in :meth:`evaluate_batch`.
+
+        Returns
+        -------
+        PendingBatch
+            Handle whose :meth:`PendingBatch.result` yields the
+            :class:`BatchMetrics`, bit-identical to the sequential path,
+            and charges :attr:`evaluations` on first collection.
+        """
+        assignments = self._check_batch(assignments)
+        n_mappings = assignments.shape[0]
+        workers = (
+            self.n_workers if n_workers is None else self._check_workers(n_workers)
+        )
+        floor = (
+            MIN_SHARD_ROWS if min_shard_rows is None else max(1, int(min_shard_rows))
+        )
+        n_shards = min(workers, n_mappings // floor)
+        if n_shards < 2:
+            return PendingBatch(
+                self, n_mappings, tables=self._evaluate_rows(assignments)
+            )
+        from repro.core import parallel as _parallel
+        from repro.core import pool as _pool
+
+        pool = _pool.get_pool(self.problem, self.dtype, workers)
+        bounds = np.linspace(0, n_mappings, n_shards + 1).astype(np.int64)
+        futures = [
+            # .copy(): the executor pickles lazily in a feeder thread, so
+            # snapshot each shard at submit time — callers may keep
+            # writing other rows of their buffer immediately.
+            pool.submit(
+                _parallel.evaluate_shard_task, assignments[start:stop].copy()
+            )
+            for start, stop in zip(bounds[:-1], bounds[1:])
+        ]
+        return PendingBatch(self, n_mappings, futures=futures, pool=pool)
+
+    def _evaluate_rows(self, assignments: np.ndarray):
+        """Score validated rows sequentially, without counting.
+
+        Returns the ``(worst_il, worst_snr, mean_snr, weighted_il)``
+        per-row metric tables; used by the inline path, and by pool
+        workers scoring one shard each (objective-free — the score is
+        applied by whoever collects the tables).
+        """
+        n_mappings = assignments.shape[0]
         chunk = self._chunk_rows()
         worst_il = np.empty(n_mappings, dtype=np.float64)
         worst_snr = np.empty(n_mappings, dtype=np.float64)
@@ -123,9 +364,7 @@ class MappingEvaluator:
                 mean_snr[start:stop],
                 weighted_il[start:stop],
             )
-        self.evaluations += n_mappings
-        score = self._score(worst_il, worst_snr, mean_snr, weighted_il)
-        return BatchMetrics(worst_il, worst_snr, score)
+        return worst_il, worst_snr, mean_snr, weighted_il
 
     def _chunk_rows(self) -> int:
         """Mappings per chunk keeping the (M, E, E) gather within budget.
@@ -145,7 +384,14 @@ class MappingEvaluator:
         il = self.model.insertion_loss_db[pairs]
         signal = self.model.signal_linear[pairs]
         grid = self.model.coupling_linear[pairs[:, :, None], pairs[:, None, :]]
-        noise = np.einsum("mve,ve->mv", grid, self._mask_linear)
+        # Masked noise contraction. NOT einsum: einsum's accumulation
+        # order varies with the batch size M (it blocks differently for
+        # small batches), which would break the bit-identical-for-any-
+        # shard-split guarantee of evaluate_batch. An in-place multiply
+        # plus a last-axis pairwise sum reduces each (m, v) row over a
+        # contiguous run whose order depends only on E.
+        grid *= self._mask_linear
+        noise = grid.sum(axis=2)
         with np.errstate(divide="ignore"):
             snr = 10.0 * np.log10(signal / np.where(noise > 0.0, noise, 1.0))
         snr = np.where(noise > 0.0, snr, SNR_CAP_DB)
@@ -203,12 +449,37 @@ class MappingEvaluator:
 
     @property
     def n_tiles(self) -> int:
+        """Number of tiles of the target architecture."""
         return self.problem.n_tiles
 
     @property
     def n_tasks(self) -> int:
+        """Number of tasks of the application CG."""
         return self.cg.n_tasks
 
     def reset_count(self) -> None:
         """Zero the evaluation counter (used between algorithm runs)."""
         self.evaluations = 0
+
+    def close(self) -> None:
+        """Release the persistent worker pools serving this problem.
+
+        Sharded :meth:`evaluate_batch` calls lazily create process pools
+        that otherwise stay warm until LRU eviction or interpreter exit;
+        ``close()`` shuts the ones for this problem (at this dtype) down
+        deterministically. Safe to call when no pool was ever created,
+        and the evaluator remains usable afterwards (a later sharded
+        call simply builds a fresh pool). Also usable as a context
+        manager: ``with MappingEvaluator(problem) as evaluator: ...``.
+        """
+        from repro.core import pool as _pool
+
+        _pool.release_pools(self.problem, self.dtype)
+
+    def __enter__(self) -> "MappingEvaluator":
+        """Enter a ``with`` block; :meth:`close` runs on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Release this problem's pools on ``with``-block exit."""
+        self.close()

@@ -59,9 +59,32 @@ def pmx_crossover(
 
 
 class GeneticAlgorithm(MappingStrategy):
-    """Tournament-selection GA with PMX crossover and swap mutation."""
+    """Tournament-selection GA with PMX crossover and swap mutation.
+
+    Parameters
+    ----------
+    population_size : int, optional
+        Individuals per generation (default 40).
+    tournament_size : int, optional
+        Contenders per tournament selection (default 3).
+    crossover_rate : float, optional
+        Probability a child is bred by PMX rather than cloned (default 0.9).
+    mutation_rate : float, optional
+        Probability a child receives one swap mutation (default 0.3).
+    elite_count : int, optional
+        Best-of-generation survivors copied unchanged (default 2).
+
+    Notes
+    -----
+    Generation scoring is submitted to the evaluator chunk by chunk
+    (see :meth:`~repro.core.evaluator.MappingEvaluator.submit_batch`),
+    so with a sharded evaluator the slow python-side breeding loop
+    overlaps with worker-side evaluation; results are bit-identical to
+    the sequential path for any shard width.
+    """
 
     name = "ga"
+    batch_shardable = True
 
     def __init__(
         self,
@@ -114,20 +137,35 @@ class GeneticAlgorithm(MappingStrategy):
         scores = metrics.score
         tracker.offer_batch(population[:, :n_tasks], scores)
         remaining = budget - population_size
+        # With a sharded evaluator, submit children for scoring chunk by
+        # chunk while later children are still being bred (the python-side
+        # PMX loop is slow enough to overlap); collection order and score
+        # values are identical, so results match the sequential path bit
+        # for bit.
+        chunk_count = max(1, min(evaluator.n_workers, 8))
         while remaining > 0:
             children_count = min(population_size - self.elite_count, remaining)
             children = np.empty((children_count, n_tiles), dtype=np.int64)
-            for k in range(children_count):
-                a = self._select(scores, rng)
-                if rng.random() < self.crossover_rate:
-                    b = self._select(scores, rng)
-                    child = pmx_crossover(population[a], population[b], rng)
-                else:
-                    child = population[a].copy()
-                if rng.random() < self.mutation_rate:
-                    self._mutate(child, rng)
-                children[k] = child
-            child_scores = evaluator.evaluate_batch(children[:, :n_tasks]).score
+            chunk = -(-children_count // chunk_count)
+            handles = []
+            for start in range(0, children_count, chunk):
+                stop = min(start + chunk, children_count)
+                for k in range(start, stop):
+                    a = self._select(scores, rng)
+                    if rng.random() < self.crossover_rate:
+                        b = self._select(scores, rng)
+                        child = pmx_crossover(population[a], population[b], rng)
+                    else:
+                        child = population[a].copy()
+                    if rng.random() < self.mutation_rate:
+                        self._mutate(child, rng)
+                    children[k] = child
+                handles.append(
+                    evaluator.submit_batch(children[start:stop, :n_tasks])
+                )
+            child_scores = np.concatenate(
+                [handle.result().score for handle in handles]
+            )
             tracker.offer_batch(children[:, :n_tasks], child_scores)
             remaining -= children_count
             # Elitist replacement: keep the best of the old generation.

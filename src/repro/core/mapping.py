@@ -62,6 +62,7 @@ class Mapping:
         }
 
     def occupied_tiles(self) -> np.ndarray:
+        """Sorted array of the tiles hosting a task."""
         return np.sort(self.assignment)
 
     # -- construction -------------------------------------------------------------

@@ -53,10 +53,12 @@ class Objective(Enum):
 
     @property
     def is_snr_based(self) -> bool:
+        """Whether this objective scores SNR (vs insertion loss)."""
         return self in (Objective.SNR, Objective.MEAN_SNR)
 
     @property
     def description(self) -> str:
+        """Human-readable one-line description of the objective."""
         return {
             Objective.SNR: "maximize worst-case SNR (crosstalk optimization)",
             Objective.INSERTION_LOSS: "maximize worst-case insertion loss "

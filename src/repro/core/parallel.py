@@ -21,6 +21,13 @@ shared-memory segments are unavailable the pool falls back to plain fork
 inheritance (the parent's model cache is copy-on-write visible to forked
 children) or, at worst, a per-worker rebuild.
 
+Since PR 3 the executors themselves are owned by :mod:`repro.core.pool`
+and persist across calls: workers are initialized with a *problem* (not
+an evaluator) and build evaluators lazily per objective via
+:func:`worker_evaluator`, and :func:`evaluate_shard_task` lets the same
+pool score row shards of one giant ``evaluate_batch`` call (see
+:meth:`repro.core.evaluator.MappingEvaluator.evaluate_batch`).
+
 Budget accounting: every worker task returns an
 :class:`~repro.core.result.OptimizationResult` whose ``evaluations`` field
 counts that task's actual spend; :func:`merge_chain_results` sums them, so
@@ -31,7 +38,6 @@ comparisons against sequential runs stay fair.
 from __future__ import annotations
 
 import contextlib
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -50,7 +56,9 @@ __all__ = [
     "spawn_seeds",
     "merge_chain_results",
     "worker_pool",
+    "worker_evaluator",
     "run_strategy_task",
+    "evaluate_shard_task",
 ]
 
 
@@ -150,20 +158,62 @@ _WORKER: Dict[str, object] = {}
 
 
 def _init_worker(problem: MappingProblem, dtype_name: str, spec) -> None:
-    """Pool initializer: build this worker's evaluator exactly once.
+    """Pool initializer: install this worker's problem and model once.
 
     When a :class:`~repro.models.coupling.SharedModelSpec` is provided the
     coupling matrices are attached from shared memory and seeded into the
-    model cache, so the :class:`MappingEvaluator` constructor resolves to
-    them instead of rebuilding. Without a spec the cache may already hold
-    the model through fork inheritance; a spawned worker without either
-    rebuilds it (correct, just slower).
+    model cache, so evaluator construction resolves to them instead of
+    rebuilding. Without a spec the cache may already hold the model
+    through fork inheritance; a spawned worker without either rebuilds it
+    (correct, just slower).
+
+    Evaluators themselves are built lazily per objective by
+    :func:`worker_evaluator`: the pool is keyed without the objective
+    (see :mod:`repro.core.pool`), so one warm pool serves e.g. both the
+    SNR and the power-loss pass of a Table II cell.
     """
     dtype = np.dtype(dtype_name)
     if spec is not None:
         model = CouplingModel.attach_shared(spec, problem.network)
         CouplingModel.register(spec.cache_key, model)
-    _WORKER["evaluator"] = MappingEvaluator(problem, dtype=dtype)
+    _WORKER.clear()
+    _WORKER["problem"] = problem
+    _WORKER["dtype"] = dtype
+    _WORKER["evaluators"] = {}
+
+
+def worker_evaluator(objective=None) -> MappingEvaluator:
+    """This worker's evaluator for ``objective`` (built once, then cached).
+
+    Parameters
+    ----------
+    objective : Objective or str, optional
+        Objective of the evaluator; defaults to the objective of the
+        problem the pool was initialized with. Building an evaluator for
+        a second objective is cheap — the coupling model is shared
+        through the process cache.
+
+    Returns
+    -------
+    MappingEvaluator
+        The cached per-objective evaluator of this worker process.
+    """
+    from repro.core.objectives import Objective
+
+    problem: MappingProblem = _WORKER["problem"]
+    objective = (
+        problem.objective if objective is None else Objective.parse(objective)
+    )
+    evaluators: Dict[object, MappingEvaluator] = _WORKER["evaluators"]
+    evaluator = evaluators.get(objective)
+    if evaluator is None:
+        if problem.objective is objective:
+            target = problem
+        else:
+            target = MappingProblem(problem.cg, problem.network, objective)
+        evaluator = MappingEvaluator(target, dtype=_WORKER["dtype"])
+        evaluators[objective] = evaluator
+    return evaluator
 
 
 def run_strategy_task(
@@ -171,45 +221,78 @@ def run_strategy_task(
     budget: int,
     seed,
     use_delta: bool,
+    objective=None,
 ) -> OptimizationResult:
     """One worker task: run one strategy (or one chain of one) to completion.
 
-    ``strategy`` is a registry name (instantiated here, so hyperparameter
-    defaults apply) or a pickled strategy instance — either way this
-    worker gets its own instance, which is what makes the non-reentrant
-    ``optimize`` contract (the ``_use_delta`` stash) safe under
-    parallelism. ``seed`` is an int, a ``SeedSequence`` or ``None``,
-    exactly as ``np.random.default_rng`` accepts.
+    Parameters
+    ----------
+    strategy : str or MappingStrategy
+        A registry name (instantiated here, so hyperparameter defaults
+        apply) or a pickled strategy instance — either way this worker
+        gets its own instance, which is what makes the non-reentrant
+        ``optimize`` contract (the ``_use_delta`` stash) safe under
+        parallelism.
+    budget : int
+        Evaluation budget for this run or chain.
+    seed : int, SeedSequence or None
+        Exactly as ``np.random.default_rng`` accepts.
+    use_delta : bool
+        Whether local-search strategies may use the incremental
+        delta evaluator.
+    objective : Objective or str, optional
+        Objective to optimize; defaults to the pool's initial problem
+        objective. Passed explicitly by the DSE because persistent pools
+        are shared across objectives.
+
+    Returns
+    -------
+    OptimizationResult
+        The completed run, with its actual evaluation spend.
     """
-    evaluator = _WORKER["evaluator"]
+    evaluator = worker_evaluator(objective)
     if isinstance(strategy, str):
         strategy = create_strategy(strategy)
     rng = np.random.default_rng(seed)
     return call_optimize(strategy, evaluator, budget, rng, use_delta)
 
 
+def evaluate_shard_task(assignments: np.ndarray):
+    """One worker task: score one shard of an ``evaluate_batch`` call.
+
+    Parameters
+    ----------
+    assignments : numpy.ndarray
+        ``(m, n_tasks)`` slice of the parent's batch (rows are trusted
+        valid, exactly like ``evaluate_batch``).
+
+    Returns
+    -------
+    tuple of numpy.ndarray
+        ``(worst_il, worst_snr, mean_snr, weighted_il)`` per-row metric
+        vectors. The objective-dependent score is applied by the parent,
+        which keeps this task — and therefore the pool — objective-free.
+
+    Notes
+    -----
+    Row results are independent of chunking and of shard boundaries
+    (every reduction runs within a row), so the parent's concatenation
+    is bit-identical to evaluating the whole batch sequentially.
+    """
+    evaluator = worker_evaluator()
+    return evaluator._evaluate_rows(np.asarray(assignments, dtype=np.int64))
+
+
 @contextlib.contextmanager
 def worker_pool(problem: MappingProblem, dtype, n_workers: int):
-    """A :class:`ProcessPoolExecutor` wired for DSE worker tasks.
+    """A process pool wired for DSE worker tasks (persistent since PR 3).
 
-    Exports the coupling model to shared memory for the workers to
-    attach (falling back to fork inheritance when segments are
-    unavailable). The export is cached on the model and reused by later
-    pools; it outlives the pool and is unlinked by
-    :func:`repro.models.coupling.clear_model_cache` or at interpreter
-    exit.
+    Yields the executor of the persistent pool from
+    :func:`repro.core.pool.get_pool`; the pool is *not* shut down when
+    the context exits — it stays warm for the next call and is closed by
+    the pool registry's LRU eviction, ``shutdown_pools()`` or interpreter
+    exit. Kept as a context manager for backward compatibility.
     """
-    model = CouplingModel.for_network(problem.network, dtype=dtype)
-    try:
-        spec = model.shared_export().spec
-    except Exception:  # segments unavailable: fork inheritance fallback
-        spec = None
-    executor = ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_init_worker,
-        initargs=(problem, np.dtype(dtype).name, spec),
-    )
-    try:
-        yield executor
-    finally:
-        executor.shutdown(wait=True)
+    from repro.core import pool as _pool
+
+    yield _pool.get_pool(problem, dtype, n_workers).executor

@@ -1,0 +1,268 @@
+"""Persistent, reusable worker pools for parallel evaluation and DSE.
+
+PR 2 introduced multi-process design-space exploration, but every
+``compare()`` call and every chain-decomposed ``run()`` built — and tore
+down — its own :class:`~concurrent.futures.ProcessPoolExecutor`. That is
+cheap under Linux ``fork`` but repays caching under ``spawn`` /
+``forkserver`` start methods (each worker re-imports numpy, ~1 s) and in
+many-cell sweeps such as ``reproduce_table2`` (32 problem instances, each
+formerly paying two pool builds).
+
+This module owns the pools instead:
+
+* :func:`get_pool` returns a lazily created :class:`PersistentPool` keyed
+  on ``(communication graph, network signature, coupling dtype,
+  n_workers)`` — everything the worker-side evaluator depends on *except*
+  the objective. Workers cache one evaluator per objective
+  (see :func:`repro.core.parallel.worker_evaluator`), so the two
+  objective passes of a Table II cell reuse one warm pool.
+* A small LRU (:data:`MAX_POOLS`) bounds the number of live pools;
+  evicted pools are shut down deterministically.
+* :func:`shutdown_pools` tears everything down; it is registered with
+  :mod:`atexit` the first time a pool is created, *after* the coupling
+  model's shared-memory export hook, so at interpreter exit the workers
+  terminate before the segments they attach are unlinked and the
+  resource tracker never sees a leaked segment.
+
+Determinism
+-----------
+Pools never change results: every entry point that uses them
+(:meth:`repro.core.evaluator.MappingEvaluator.evaluate_batch` sharding,
+:meth:`repro.core.dse.DesignSpaceExplorer.compare` / ``run``) is
+bit-identical to its sequential path for any ``n_workers``; the pool only
+decides *where* the arithmetic runs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import MappingProblem
+
+__all__ = [
+    "MAX_POOLS",
+    "PersistentPool",
+    "get_pool",
+    "pool_key",
+    "release_pools",
+    "shutdown_pools",
+]
+
+#: Maximum number of live pools; the least recently used one is shut down
+#: when the cap is hit. Each pool holds ``n_workers`` idle processes, so
+#: the cap bounds resident worker count during many-problem sweeps.
+MAX_POOLS = 3
+
+#: key -> pool, in least-recently-used-first order.
+_POOLS: "OrderedDict[Tuple, PersistentPool]" = OrderedDict()
+
+_ATEXIT_REGISTERED = False
+
+
+def _cg_fingerprint(problem: MappingProblem) -> str:
+    """Content hash of the communication graph a pool's workers serve.
+
+    Two :class:`~repro.appgraph.graph.CommunicationGraph` instances with
+    the same tasks, edges and bandwidths are interchangeable for pool
+    purposes even when they are distinct objects (e.g. re-loaded
+    benchmarks), so the key hashes content, not identity.
+    """
+    cg = problem.cg
+    digest = hashlib.sha1()
+    digest.update(cg.name.encode())
+    digest.update("\x00".join(cg.tasks).encode())
+    digest.update(np.ascontiguousarray(cg.edge_array()).tobytes())
+    digest.update(np.ascontiguousarray(cg.bandwidth_array()).tobytes())
+    return digest.hexdigest()
+
+
+def pool_key(problem: MappingProblem, dtype, n_workers: int) -> Tuple:
+    """The cache key of the pool serving ``problem`` at ``dtype``.
+
+    Parameters
+    ----------
+    problem : MappingProblem
+        The problem whose CG and network the workers must hold. The
+        objective is deliberately **excluded**: workers evaluate any
+        objective on demand, so objective flips reuse the warm pool.
+    dtype : numpy dtype-like
+        Coupling-matrix dtype of the evaluators the workers build.
+    n_workers : int
+        Pool size; pools of different sizes never alias.
+
+    Returns
+    -------
+    tuple
+        Hashable key for :data:`_POOLS`.
+    """
+    return (
+        _cg_fingerprint(problem),
+        problem.network.signature,
+        np.dtype(dtype).name,
+        int(n_workers),
+    )
+
+
+class PersistentPool:
+    """One reusable :class:`ProcessPoolExecutor` plus its wiring.
+
+    Workers are initialized once with the problem, the coupling dtype and
+    the shared-memory spec of the coupling model (fork-inheritance
+    fallback when segments are unavailable); afterwards every submitted
+    task — whole strategy runs, independent chains, or batch shards —
+    finds its evaluator warm in the worker process.
+
+    Not instantiated directly; use :func:`get_pool`.
+    """
+
+    def __init__(self, key: Tuple, problem: MappingProblem, dtype, n_workers: int):
+        from repro.core import parallel as _parallel
+        from repro.models.coupling import CouplingModel
+
+        self.key = key
+        self.problem = problem
+        self.dtype = np.dtype(dtype)
+        self.n_workers = int(n_workers)
+        self.broken = False
+        model = CouplingModel.for_network(problem.network, dtype=self.dtype)
+        try:
+            spec = model.shared_export().spec
+        except Exception:  # segments unavailable: fork inheritance fallback
+            spec = None
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_parallel._init_worker,
+            initargs=(problem, self.dtype.name, spec),
+        )
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor (raises after :meth:`close`)."""
+        if self._executor is None:
+            raise RuntimeError("pool has been shut down")
+        return self._executor
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Submit a task, marking the pool broken on executor failure.
+
+        A broken pool (a worker died mid-task) is dropped from the cache
+        on the next :func:`get_pool` call, which builds a fresh one.
+        """
+        try:
+            return self.executor.submit(fn, *args, **kwargs)
+        except Exception:
+            self.broken = True
+            raise
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the executor down (idempotent)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._executor is None else f"{self.n_workers} workers"
+        return f"PersistentPool({self.problem!r}, {state})"
+
+
+def get_pool(problem: MappingProblem, dtype, n_workers: int) -> PersistentPool:
+    """Fetch (or lazily create) the persistent pool for a problem.
+
+    Parameters
+    ----------
+    problem : MappingProblem
+        Problem the workers should serve; only its CG and network enter
+        the key (see :func:`pool_key`).
+    dtype : numpy dtype-like
+        Coupling-matrix dtype of the worker evaluators.
+    n_workers : int
+        Number of worker processes; must be >= 1.
+
+    Returns
+    -------
+    PersistentPool
+        A warm pool, freshly created only on the first call for this
+        key (or after the previous pool broke / was evicted).
+
+    Notes
+    -----
+    At most :data:`MAX_POOLS` pools stay alive; the least recently used
+    one is shut down (``wait=True``) to make room. All remaining pools
+    are shut down at interpreter exit, before the shared-memory segments
+    they attach are unlinked.
+    """
+    global _ATEXIT_REGISTERED
+    key = pool_key(problem, dtype, n_workers)
+    pool = _POOLS.get(key)
+    if pool is not None:
+        if not pool.broken:
+            _POOLS.move_to_end(key)
+            return pool
+        _POOLS.pop(key, None)
+        pool.close(wait=False)
+    pool = PersistentPool(key, problem, dtype, n_workers)
+    _POOLS[key] = pool
+    while len(_POOLS) > MAX_POOLS:
+        _, evicted = _POOLS.popitem(last=False)
+        evicted.close(wait=True)
+    if not _ATEXIT_REGISTERED:
+        # Registered after CouplingModel's export-unlink hook, so LIFO
+        # atexit order shuts workers down before segments are unlinked.
+        atexit.register(shutdown_pools)
+        _ATEXIT_REGISTERED = True
+    return pool
+
+
+def release_pools(
+    problem: Optional[MappingProblem] = None, dtype=None
+) -> int:
+    """Shut down pools serving ``problem`` (all pools when ``None``).
+
+    Parameters
+    ----------
+    problem : MappingProblem, optional
+        When given, only pools whose key matches this problem's CG and
+        network are closed; pools for other problems stay warm.
+    dtype : numpy dtype-like, optional
+        Further restrict the match to pools of this coupling dtype.
+
+    Returns
+    -------
+    int
+        Number of pools shut down.
+    """
+    if problem is None:
+        count = len(_POOLS)
+        shutdown_pools()
+        return count
+    fingerprint = _cg_fingerprint(problem)
+    signature = problem.network.signature
+    dtype_name = None if dtype is None else np.dtype(dtype).name
+    victims = [
+        key
+        for key in _POOLS
+        if key[0] == fingerprint
+        and key[1] == signature
+        and (dtype_name is None or key[2] == dtype_name)
+    ]
+    for key in victims:
+        _POOLS.pop(key).close(wait=True)
+    return len(victims)
+
+
+def shutdown_pools() -> None:
+    """Deterministically shut down every live pool (idempotent).
+
+    Called automatically at interpreter exit; call it explicitly (or use
+    ``DesignSpaceExplorer.close()`` / ``MappingEvaluator.close()``) to
+    reclaim the worker processes earlier, e.g. between pytest sessions.
+    """
+    while _POOLS:
+        _, pool = _POOLS.popitem(last=False)
+        pool.close(wait=True)

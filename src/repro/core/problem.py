@@ -40,10 +40,12 @@ class MappingProblem:
 
     @property
     def n_tasks(self) -> int:
+        """Number of tasks of the application CG."""
         return self.cg.n_tasks
 
     @property
     def n_tiles(self) -> int:
+        """Number of tiles of the target topology."""
         return self.network.topology.n_tiles
 
     def evaluator(self, dtype=None) -> "MappingEvaluator":

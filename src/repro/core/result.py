@@ -28,6 +28,7 @@ class OptimizationResult:
 
     @property
     def best_score(self) -> float:
+        """Objective score of the best mapping found."""
         return self.best_metrics.score
 
     def summary(self) -> str:

@@ -46,6 +46,7 @@ class BestTracker:
         return self.offer(assignments[index], float(scores[index]))
 
     def result(self, strategy_name: str, restarts: int = 0) -> OptimizationResult:
+        """Package the incumbent into an :class:`OptimizationResult`."""
         if self.best_assignment is None:
             raise OptimizationError(
                 f"{strategy_name}: no candidate was ever evaluated"
@@ -95,6 +96,16 @@ class MappingStrategy:
     #: the requested budget and comparisons stay fair.
     min_chain_budget = 1
 
+    #: Whether this strategy scores large candidate batches that are
+    #: worth sharding across the persistent worker pool — true for the
+    #: population strategies (RS, GA), whose ``evaluate_batch`` calls
+    #: span thousands of rows; false for local searches, whose small
+    #: neighbourhood batches would be dominated by IPC overhead.
+    #: ``DesignSpaceExplorer.run(n_workers=k)`` sets the evaluator's
+    #: shard width only for strategies that set this; results stay
+    #: bit-identical either way.
+    batch_shardable = False
+
     def optimize(
         self,
         evaluator: MappingEvaluator,
@@ -104,13 +115,34 @@ class MappingStrategy:
     ) -> OptimizationResult:
         """Search for the best mapping within ``budget`` evaluations.
 
-        ``use_delta=False`` is the escape hatch that forces every
-        candidate through the full evaluator (bitwise-reference scoring
-        at O(E^2) per candidate). The flag is stashed on the instance
-        for ``_run`` (keeping the subclass contract unchanged), so a
-        single strategy instance is not re-entrant across concurrent
-        ``optimize`` calls — parallel DSE must use one instance per
-        worker.
+        Parameters
+        ----------
+        evaluator : MappingEvaluator
+            The evaluator to score candidates with (and charge the
+            budget to). If its ``n_workers`` is above one, batch
+            strategies shard their scoring across the persistent worker
+            pool — results are bit-identical for any shard width.
+        budget : int
+            Maximum mapping evaluations to spend; must be >= 1.
+        rng : numpy.random.Generator, optional
+            Source of all randomness; ``None`` draws fresh OS entropy.
+        use_delta : bool, optional
+            ``False`` is the escape hatch that forces every candidate
+            through the full evaluator (bitwise-reference scoring at
+            O(E^2) per candidate).
+
+        Returns
+        -------
+        OptimizationResult
+            Best mapping found, its metrics, the convergence history and
+            the exact evaluation spend.
+
+        Notes
+        -----
+        The delta flag is stashed on the instance for ``_run`` (keeping
+        the subclass contract unchanged), so a single strategy instance
+        is **not re-entrant** across concurrent ``optimize`` calls —
+        parallel DSE uses one instance per worker.
         """
         if budget < 1:
             raise OptimizationError(f"budget must be >= 1, got {budget}")

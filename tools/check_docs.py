@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Documentation checks: README doctests, docstring coverage, doc headers.
+
+The docs CI job runs this script (see ``.github/workflows/ci.yml``); it
+needs ``PYTHONPATH=src`` so the README's doctest examples can import the
+package. Three checks, each printing its verdict:
+
+1. **README doctests** — every ``>>>`` example in ``README.md`` runs and
+   its output matches (the quickstart snippet, ~5 s).
+2. **Docstring coverage of the public core API** — every module, public
+   class, public function and public method under ``src/repro/core/``
+   has a docstring (the AST mirror of pydocstyle/ruff rules
+   D100-D103, which the CI job also runs via ruff when available).
+3. **Example / benchmark doc headers** — every ``examples/*.py`` and
+   ``benchmarks/*.py`` module states its paper artefact and expected
+   runtime in its module docstring, and every relative link in
+   ``README.md`` resolves.
+
+Exit status is non-zero when any check fails, so it slots into CI as-is.
+"""
+
+from __future__ import annotations
+
+import ast
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def check_readme_doctests() -> list:
+    """Run the README's ``>>>`` examples; return failure messages."""
+    results = doctest.testfile(
+        str(REPO / "README.md"), module_relative=False, verbose=False
+    )
+    if results.failed:
+        return [f"README.md: {results.failed}/{results.attempted} doctests failed"]
+    print(f"ok: README.md doctests ({results.attempted} examples)")
+    return []
+
+
+def _missing_docstrings(path: Path) -> list:
+    """D100-D103-style findings for one file: public defs lacking docstrings."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings = []
+    if ast.get_docstring(tree) is None and path.name != "__init__.py":
+        findings.append(f"{path}:1 missing module docstring")
+
+    def visit(node, inside_def: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                public = not child.name.startswith("_")
+                # Nested functions are helpers, not API (pydocstyle skips
+                # them too); methods of public classes are checked.
+                is_nested_function = inside_def and not isinstance(
+                    node, ast.ClassDef
+                )
+                if public and not is_nested_function:
+                    if ast.get_docstring(child) is None:
+                        kind = (
+                            "class" if isinstance(child, ast.ClassDef) else "function"
+                        )
+                        findings.append(
+                            f"{path}:{child.lineno} missing docstring on "
+                            f"public {kind} {child.name!r}"
+                        )
+                visit(child, inside_def=not isinstance(child, ast.ClassDef))
+    visit(tree, inside_def=False)
+    return findings
+
+
+def check_core_docstrings() -> list:
+    """Docstring coverage of ``src/repro/core/``."""
+    failures = []
+    files = sorted((REPO / "src" / "repro" / "core").glob("*.py"))
+    for path in files:
+        failures.extend(_missing_docstrings(path))
+    if not failures:
+        print(f"ok: docstring coverage of src/repro/core/ ({len(files)} files)")
+    return failures
+
+
+def check_doc_headers() -> list:
+    """Examples/benchmarks state artefact + runtime; README links resolve."""
+    failures = []
+    scripts = sorted((REPO / "examples").glob("*.py")) + sorted(
+        path
+        for path in (REPO / "benchmarks").glob("*.py")
+        if path.name != "conftest.py"
+    )
+    for path in scripts:
+        docstring = ast.get_docstring(ast.parse(path.read_text()))
+        if not docstring:
+            failures.append(f"{path}: missing module docstring")
+            continue
+        if "runtime" not in docstring.lower():
+            failures.append(f"{path}: docstring states no expected runtime")
+        if not re.search(r"(?i)(paper|fig\.|table|artefact|artifact)", docstring):
+            failures.append(f"{path}: docstring names no paper artefact")
+    readme = (REPO / "README.md").read_text()
+    for target in re.findall(r"\]\(((?!https?:)[^)#]+)\)", readme):
+        if not (REPO / target).exists():
+            failures.append(f"README.md: broken link {target!r}")
+    if not failures:
+        print(f"ok: doc headers on {len(scripts)} scripts, README links resolve")
+    return failures
+
+
+def main() -> int:
+    """Run all checks; print findings; non-zero exit on any failure."""
+    failures = (
+        check_readme_doctests() + check_core_docstrings() + check_doc_headers()
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        print(f"{len(failures)} documentation check(s) failed")
+        return 1
+    print("all documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
