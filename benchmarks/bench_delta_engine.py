@@ -38,6 +38,11 @@ from repro.core.delta import DeltaEvaluator
 from repro.core.mapping import random_assignment
 from repro.core.moves import apply_move, swap_moves
 
+try:  # script mode (python benchmarks/bench_delta_engine.py)
+    from common import add_json_argument, record_bench
+except ImportError:  # package mode (pytest from the repo root)
+    from benchmarks.common import add_json_argument, record_bench
+
 try:
     import pytest
 except ImportError:  # pragma: no cover - script mode without pytest
@@ -196,6 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--smoke", action="store_true",
         help="tiny problem, one fast round (CI wiring check)",
     )
+    add_json_argument(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         sides = [3]
@@ -223,6 +229,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(format_table(rows[-1:]).splitlines()[1])
     bad = [row for row in rows if row.max_divergence > 1e-9]
+    record_bench(
+        args,
+        "delta_engine",
+        params={
+            "sides": sides,
+            "neighbourhood": args.neighbourhood,
+            "iterations": args.iterations,
+            "smoke": bool(args.smoke),
+        },
+        rows=[
+            {
+                "side": row.side,
+                "n_tasks": row.n_tasks,
+                "n_edges": row.n_edges,
+                "full_ms_per_batch": row.full_ms,
+                "delta_ms_per_batch": row.delta_ms,
+                "speedup": row.speedup,
+                "max_divergence": row.max_divergence,
+            }
+            for row in rows
+        ],
+        passed=not bad,
+    )
     if bad:
         print(f"FAIL: delta/full divergence above 1e-9 on sides "
               f"{[row.side for row in bad]}")

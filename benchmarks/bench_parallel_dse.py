@@ -39,6 +39,11 @@ import numpy as np
 from repro.appgraph import random_cg
 from repro.core import DesignSpaceExplorer, MappingProblem
 
+try:  # script mode (python benchmarks/bench_parallel_dse.py)
+    from common import add_json_argument, record_bench
+except ImportError:  # package mode (pytest from the repo root)
+    from benchmarks.common import add_json_argument, record_bench
+
 COMPARE_STRATEGIES = ("rs", "ga", "r-pbla", "sa")
 
 
@@ -163,6 +168,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true",
         help="tiny problem, determinism checks only (CI wiring check)",
     )
+    add_json_argument(parser)
     args = parser.parse_args(argv)
     if args.quick:
         args.side = 3
@@ -200,6 +206,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{args.min_speedup:.1f}x floor"
                 )
                 failed = True
+    record_bench(
+        args,
+        "parallel_dse",
+        params={
+            "side": args.side,
+            "budget": args.budget,
+            "workers": args.workers,
+            "seed": args.seed,
+            "mode": args.mode,
+            "cpus_visible": _available_cpus(),
+            "quick": bool(args.quick),
+        },
+        rows=[
+            {
+                "label": row["label"],
+                "t_seq": row["t_seq"],
+                "t_par": row["t_par"],
+                "speedup": (
+                    row["t_seq"] / row["t_par"] if row["t_par"] > 0 else None
+                ),
+                "identical": row["identical"],
+            }
+            for row in rows
+        ],
+        passed=not failed,
+    )
     if failed:
         return 1
     if args.quick:

@@ -40,6 +40,11 @@ from repro.appgraph import grid_side_for, load_benchmark
 from repro.core import MappingEvaluator, MappingProblem, random_assignment_batch
 from repro.core.pool import shutdown_pools
 
+try:  # script mode (python benchmarks/bench_sharded_eval.py)
+    from common import add_json_argument, record_bench
+except ImportError:  # package mode (pytest from the repo root)
+    from benchmarks.common import add_json_argument, record_bench
+
 
 def _available_cpus() -> int:
     try:
@@ -145,6 +150,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true",
         help="tiny sample count, identity checks only (CI wiring check)",
     )
+    add_json_argument(parser)
     args = parser.parse_args(argv)
     if args.quick:
         args.app = "pip"
@@ -179,6 +185,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 failed = True
     shutdown_pools()
+    record_bench(
+        args,
+        "sharded_eval",
+        params={
+            "app": args.app,
+            "samples": args.samples,
+            "workers": args.workers,
+            "seed": args.seed,
+            "cpus_visible": _available_cpus(),
+            "quick": bool(args.quick),
+        },
+        rows=[
+            {
+                "label": row["label"],
+                "t_seq": row["t_seq"],
+                "t_par": row["t_par"],
+                "speedup": (
+                    row["t_seq"] / row["t_par"] if row["t_par"] > 0 else None
+                ),
+                "identical": row["identical"],
+            }
+            for row in rows
+        ],
+        passed=not failed,
+    )
     if failed:
         return 1
     if args.quick:

@@ -1,0 +1,112 @@
+"""Machine-readable benchmark output: ``BENCH_<name>.json`` writers.
+
+Every script bench grows a ``--json [PATH]`` flag through
+:func:`add_json_argument`; when set, :func:`record_bench` serializes the
+bench's measurements — timings, speedups, mesh/batch parameters — next to
+the git revision that produced them, so the perf trajectory of the
+reproduction is tracked run over run (CI uploads the files as artifacts).
+
+Not a paper artefact itself: shared plumbing for the benches that
+regenerate the paper's tables/figures and the engineering races.
+Expected runtime: negligible (a JSON dump).
+
+Usage from a bench::
+
+    parser = argparse.ArgumentParser(...)
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+    ...
+    record_bench(args, "sparse_backend", rows=rows, params={...})
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Optional
+
+
+def git_sha(repo_root: Optional[Path] = None) -> Optional[str]:
+    """The current git revision, or ``None`` outside a checkout."""
+    root = repo_root or Path(__file__).resolve().parent.parent
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or None
+        )
+    except Exception:
+        return None
+
+
+def add_json_argument(parser: argparse.ArgumentParser) -> None:
+    """Add the shared ``--json [PATH]`` flag to a bench's CLI.
+
+    Bare ``--json`` writes ``BENCH_<name>.json`` into the current
+    directory; ``--json some/dir`` writes it there; ``--json file.json``
+    (an explicit ``.json`` path) is used verbatim.
+    """
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable results as BENCH_<name>.json "
+        "(optionally into PATH, a directory or explicit .json file)",
+    )
+
+
+def bench_json_path(name: str, target: str) -> Path:
+    """Resolve the output path for bench ``name`` given the flag value."""
+    if target and target.endswith(".json"):
+        return Path(target)
+    base = Path(target) if target else Path(".")
+    return base / f"BENCH_{name}.json"
+
+
+def write_bench_json(name: str, payload: dict, target: str = "") -> Path:
+    """Write one bench's results, stamped with the git revision.
+
+    Parameters
+    ----------
+    name : str
+        Bench identifier; becomes the ``BENCH_<name>.json`` file name.
+    payload : dict
+        JSON-serializable measurements (timings, speedups, parameters).
+    target : str, optional
+        Directory or explicit ``.json`` path (see :func:`add_json_argument`).
+
+    Returns
+    -------
+    pathlib.Path
+        The file written.
+    """
+    path = bench_json_path(name, target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "bench": name,
+        "git_sha": git_sha(),
+        "created_unix": time.time(),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def record_bench(args: argparse.Namespace, name: str, **payload) -> Optional[Path]:
+    """Write the bench JSON when ``--json`` was passed; no-op otherwise."""
+    if getattr(args, "json", None) is None:
+        return None
+    path = write_bench_json(name, payload, args.json)
+    print(f"results written to {path}")
+    return path

@@ -9,6 +9,12 @@ knobs below can restore them here too:
   (default 4000; the paper-scale analogue is 100000+),
 * ``REPRO_BENCH_SAMPLES`` — random mappings for the Fig. 3 distributions
   (default 5000; the paper uses 100000).
+
+``--bench-json [PATH]`` is the pytest-suite counterpart of the script
+benches' ``--json`` flag: at session end the timing stats of every
+pytest-benchmark case are written to ``BENCH_pytest_suite.json``
+(``benchmarks/common.py`` format, git sha included), so CI can track the
+whole suite's perf trajectory as one artifact.
 """
 
 from __future__ import annotations
@@ -16,6 +22,52 @@ from __future__ import annotations
 import os
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="write the session's pytest-benchmark stats as "
+        "BENCH_pytest_suite.json (optionally into PATH)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    target = session.config.getoption("--bench-json", default=None)
+    benchsession = getattr(session.config, "_benchmarksession", None)
+    if target is None or benchsession is None:
+        return
+    try:  # package mode (python -m pytest from the repo root)
+        from benchmarks.common import write_bench_json
+    except ImportError:  # bare `pytest benchmarks`: repo root not on sys.path
+        import sys
+
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from common import write_bench_json
+
+    rows = []
+    for bench in getattr(benchsession, "benchmarks", []):
+        # ``bench`` is a pytest-benchmark Metadata: ``get`` resolves stat
+        # names against its Stats object (None when the case never ran).
+        if not hasattr(bench, "get"):
+            continue
+        rows.append(
+            {
+                "name": getattr(bench, "fullname", getattr(bench, "name", "?")),
+                "min_s": bench.get("min"),
+                "median_s": bench.get("median"),
+                "mean_s": bench.get("mean"),
+                "rounds": bench.get("rounds"),
+            }
+        )
+    path = write_bench_json(
+        "pytest_suite", {"rows": rows, "exitstatus": int(exitstatus)}, target
+    )
+    print(f"\nbenchmark stats written to {path}")
 
 
 def _env_int(name: str, default: int) -> int:

@@ -80,6 +80,8 @@ def random_mapping_distribution(
     seed: Optional[int] = None,
     batch_size: int = 4096,
     n_workers: int = 1,
+    dtype=np.float64,
+    backend: str = "auto",
 ) -> DistributionResult:
     """Sample random mappings and record both worst-case metrics.
 
@@ -102,6 +104,12 @@ def random_mapping_distribution(
         the parent generates the next — and results are written back by
         submission offset, so the returned distribution is
         **bit-identical for any** ``n_workers``.
+    dtype : numpy dtype-like, optional
+        Coupling-matrix dtype (default ``float64``; ``float32`` halves
+        both the dense and the CSR coupling memory).
+    backend : {"auto", "dense", "sparse"}, optional
+        Noise-contraction backend of the evaluator (default ``"auto"``,
+        selected by measured coupling density).
 
     Returns
     -------
@@ -111,7 +119,9 @@ def random_mapping_distribution(
     if n_samples < 1:
         raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
     problem = MappingProblem(cg, network, Objective.SNR)
-    evaluator = MappingEvaluator(problem, n_workers=n_workers)
+    evaluator = MappingEvaluator(
+        problem, dtype=dtype, n_workers=n_workers, backend=backend
+    )
     rng = np.random.default_rng(seed)
     snr = np.empty(n_samples, dtype=np.float64)
     loss = np.empty(n_samples, dtype=np.float64)

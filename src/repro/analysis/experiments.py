@@ -125,12 +125,17 @@ def reproduce_fig3(
     seed: int = 2016,
     router: str = "crux",
     n_workers: int = 1,
+    dtype=np.float64,
+    backend: str = "auto",
 ) -> Dict[str, DistributionResult]:
     """Fig. 3's experiment: random-mapping distributions on mesh + Crux.
 
     ``n_workers > 1`` shards each application's batch evaluations across
     the persistent worker pool (generation overlaps evaluation); the
     sampled distributions are bit-identical for any worker count.
+    ``dtype`` and ``backend`` configure the evaluator's coupling memory
+    and noise-contraction kernel (see
+    :class:`~repro.core.evaluator.MappingEvaluator`).
     """
     results: Dict[str, DistributionResult] = {}
     for index, name in enumerate(applications):
@@ -138,7 +143,7 @@ def reproduce_fig3(
         network = build_case_study_network("mesh", grid_side_for(cg), router)
         results[name] = random_mapping_distribution(
             cg, network, n_samples=n_samples, seed=seed + index,
-            n_workers=n_workers,
+            n_workers=n_workers, dtype=dtype, backend=backend,
         )
     return results
 
@@ -246,6 +251,8 @@ def reproduce_table2(
     router: str = "crux",
     use_delta: bool = True,
     n_workers: int = 1,
+    dtype=np.float64,
+    backend: str = "auto",
 ) -> Table2Result:
     """Run the Table II experiment.
 
@@ -255,6 +262,8 @@ def reproduce_table2(
     equal-running-time protocol (DESIGN.md §4). ``n_workers > 1`` runs the
     per-strategy comparisons across a process pool; the results are
     bit-identical to the sequential ones (see :mod:`repro.core.dse`).
+    ``dtype`` and ``backend`` configure each cell's evaluator (coupling
+    memory and noise-contraction kernel).
     """
     cells: Dict[Tuple[str, str, str], Table2Cell] = {}
     for application in applications:
@@ -267,7 +276,8 @@ def reproduce_table2(
             for objective in (Objective.SNR, Objective.INSERTION_LOSS):
                 problem = MappingProblem(cg, network, objective)
                 explorer = DesignSpaceExplorer(
-                    problem, use_delta=use_delta, n_workers=n_workers
+                    problem, dtype=dtype, use_delta=use_delta,
+                    n_workers=n_workers, backend=backend,
                 )
                 results = explorer.compare(strategies, budget=budget, seed=seed)
                 for strategy, result in results.items():

@@ -11,6 +11,7 @@ measures by how much.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -19,6 +20,7 @@ import numpy as np
 from repro.analysis.report import format_db, format_table
 from repro.appgraph.synthetic import random_cg
 from repro.core.dse import DesignSpaceExplorer
+from repro.core.mapping import random_assignment_batch
 from repro.core.objectives import Objective
 from repro.core.problem import MappingProblem
 from repro.models.power import PowerBudget, is_feasible, required_laser_power_dbm
@@ -52,12 +54,20 @@ def scalability_study(
     seed: int = 7,
     router: str = "crux",
     budget_model: Optional[PowerBudget] = None,
+    n_workers: int = 1,
 ) -> Tuple[ScalabilityRow, ...]:
     """Worst-case metrics vs mesh size, random vs optimized mapping.
 
     Each size gets a synthetic application filling ``fill_ratio`` of the
     tiles with roughly 1.5 edges per task — a fixed workload *shape* so the
     size trend is attributable to the network, not the application.
+
+    ``n_workers > 1`` parallelizes each optimization run (chain
+    decomposition) and shards the random-sample batch across the
+    persistent worker pool; because the pool key ignores the objective,
+    the loss run, the SNR run and the sampling of one mesh size all share
+    one warm pool. Explorers are closed per mesh size, so pools and
+    shared-memory exports never outlive the mesh they served.
     """
     budget_model = budget_model if budget_model is not None else PowerBudget()
     rows = []
@@ -68,23 +78,29 @@ def scalability_study(
         cg = random_cg(n_tasks, n_edges, seed=seed + side)
         network = PhotonicNoC(mesh(side, side), router=router)
 
-        loss_problem = MappingProblem(cg, network, Objective.INSERTION_LOSS)
-        loss_explorer = DesignSpaceExplorer(loss_problem)
-        optimized_loss = loss_explorer.run(strategy, budget=budget, seed=seed)
+        with contextlib.ExitStack() as stack:
+            loss_problem = MappingProblem(cg, network, Objective.INSERTION_LOSS)
+            loss_explorer = stack.enter_context(
+                DesignSpaceExplorer(loss_problem, n_workers=n_workers)
+            )
+            optimized_loss = loss_explorer.run(strategy, budget=budget, seed=seed)
 
-        snr_problem = MappingProblem(cg, network, Objective.SNR)
-        snr_explorer = DesignSpaceExplorer(snr_problem)
-        optimized_snr = snr_explorer.run(strategy, budget=budget, seed=seed)
+            snr_problem = MappingProblem(cg, network, Objective.SNR)
+            snr_explorer = stack.enter_context(
+                DesignSpaceExplorer(snr_problem, n_workers=n_workers)
+            )
+            optimized_snr = snr_explorer.run(strategy, budget=budget, seed=seed)
 
-        # "Random" columns report the *median-quality* random mapping (not
-        # the best of a search) — what a designer gets without optimizing.
-        from repro.core.mapping import random_assignment_batch
-
-        rng = np.random.default_rng(seed + 1000 * side)
-        sample = random_assignment_batch(
-            256, cg.n_tasks, network.topology.n_tiles, rng
-        )
-        sample_metrics = loss_explorer.evaluator.evaluate_batch(sample)
+            # "Random" columns report the *median-quality* random mapping
+            # (not the best of a search) — what a designer gets without
+            # optimizing.
+            rng = np.random.default_rng(seed + 1000 * side)
+            sample = random_assignment_batch(
+                256, cg.n_tasks, network.topology.n_tiles, rng
+            )
+            sample_metrics = loss_explorer.evaluator.evaluate_batch(
+                sample, n_workers=n_workers
+            )
         random_loss_db = float(np.median(sample_metrics.worst_insertion_loss_db))
         random_snr_db = float(np.median(sample_metrics.worst_snr_db))
         rows.append(

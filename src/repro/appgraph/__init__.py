@@ -29,7 +29,13 @@ from repro.appgraph.io import (
     load_cg_json,
     save_cg_json,
 )
-from repro.appgraph.synthetic import fork_join_cg, hub_cg, pipeline_cg, random_cg
+from repro.appgraph.synthetic import (
+    all_to_all_cg,
+    fork_join_cg,
+    hub_cg,
+    pipeline_cg,
+    random_cg,
+)
 
 __all__ = [
     "BENCHMARK_NAMES",
@@ -55,6 +61,7 @@ __all__ = [
     "save_cg_json",
     "fork_join_cg",
     "hub_cg",
+    "all_to_all_cg",
     "pipeline_cg",
     "random_cg",
 ]

@@ -9,7 +9,10 @@ These generators produce the common MPSoC traffic shapes:
 * :func:`hub_cg` — a shared-memory style hub exchanging data with
   satellites (the MPEG-4 shape);
 * :func:`random_cg` — a random weakly-connected DAG-ish graph with a
-  requested edge count, reproducible from a seed.
+  requested edge count, reproducible from a seed;
+* :func:`all_to_all_cg` — uniform traffic (every ordered pair), the
+  classic NoC stress workload and the edge-dense regime where the
+  evaluator's sparse coupling backend pays off.
 """
 
 from __future__ import annotations
@@ -21,7 +24,28 @@ import numpy as np
 from repro.appgraph.graph import CommunicationGraph
 from repro.errors import ConfigurationError
 
-__all__ = ["pipeline_cg", "fork_join_cg", "hub_cg", "random_cg"]
+__all__ = ["pipeline_cg", "fork_join_cg", "hub_cg", "random_cg", "all_to_all_cg"]
+
+
+def all_to_all_cg(n_tasks: int, bandwidth: float = 64.0) -> CommunicationGraph:
+    """Uniform traffic: every ordered task pair communicates.
+
+    The densest possible CG (``n_tasks * (n_tasks - 1)`` edges) — the
+    standard uniform-traffic stress pattern of NoC evaluation, and the
+    workload where the ``(M, E, E)`` dense noise grid grows quadratically
+    past memory while the sparse coupling backend keeps streaming
+    ``O(nnz)``.
+    """
+    if n_tasks < 2:
+        raise ConfigurationError("all-to-all traffic needs at least 2 tasks")
+    tasks = [f"t{i}" for i in range(n_tasks)]
+    edges = [
+        (a, b, bandwidth)
+        for a in range(n_tasks)
+        for b in range(n_tasks)
+        if a != b
+    ]
+    return CommunicationGraph(f"alltoall{n_tasks}", tasks, edges)
 
 
 def pipeline_cg(n_tasks: int, bandwidth: float = 64.0) -> CommunicationGraph:

@@ -48,6 +48,25 @@ from repro.router.registry import available_routers
 __all__ = ["main", "build_parser"]
 
 
+def _add_evaluator_arguments(parser: argparse.ArgumentParser) -> None:
+    """Evaluator knobs shared by the heavy-evaluation subcommands."""
+    parser.add_argument(
+        "--float32", action="store_true",
+        help="use float32 coupling matrices (halves dense and CSR memory "
+             "at reduced noise precision)",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "dense", "sparse"), default="auto",
+        help="noise-contraction backend: 'dense' gathers the (M, E, E) "
+             "grid, 'sparse' streams the CSR coupling rows, 'auto' "
+             "(default) picks by measured coupling density",
+    )
+
+
+def _evaluator_dtype(args: argparse.Namespace):
+    return np.float32 if args.float32 else np.float64
+
+
 def _add_architecture_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology", choices=("mesh", "torus"), default="mesh",
@@ -139,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--mapping-out", metavar="FILE", help="write the best mapping as JSON"
     )
+    _add_evaluator_arguments(optimize)
 
     table2 = subparsers.add_parser("table2", help="reproduce Table II")
     table2.add_argument("--budget", type=int, default=20_000)
@@ -159,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--with-paper", action="store_true",
         help="print the paper's numbers next to the measured ones",
     )
+    _add_evaluator_arguments(table2)
 
     fig3 = subparsers.add_parser("fig3", help="reproduce Fig. 3")
     fig3.add_argument("--samples", type=int, default=100_000)
@@ -174,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument(
         "--curves", action="store_true", help="also print ASCII CDF curves"
     )
+    _add_evaluator_arguments(fig3)
 
     scalability = subparsers.add_parser(
         "scalability", help="network scalability extension study"
@@ -183,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scalability.add_argument("--budget", type=int, default=4000)
     scalability.add_argument("--seed", type=int, default=7)
+    scalability.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes shared by the per-size runs and sampling "
+             "(default: 1, sequential)",
+    )
 
     export = subparsers.add_parser("export", help="dump a benchmark CG")
     export.add_argument("--app", choices=BENCHMARK_NAMES, required=True)
@@ -253,7 +280,8 @@ def _cmd_optimize(args) -> int:
     network = _build_network(args, cg)
     problem = MappingProblem(cg, network, args.objective)
     explorer = DesignSpaceExplorer(
-        problem, use_delta=not args.no_delta, n_workers=args.workers
+        problem, dtype=_evaluator_dtype(args), use_delta=not args.no_delta,
+        n_workers=args.workers, backend=args.backend,
     )
     result = explorer.run(args.strategy, budget=args.budget, seed=args.seed)
     print(result.summary())
@@ -275,6 +303,8 @@ def _cmd_table2(args) -> int:
         router=args.router,
         use_delta=not args.no_delta,
         n_workers=args.workers,
+        dtype=_evaluator_dtype(args),
+        backend=args.backend,
     )
     print(result.format(with_paper=args.with_paper))
     return 0
@@ -283,7 +313,8 @@ def _cmd_table2(args) -> int:
 def _cmd_fig3(args) -> int:
     results = reproduce_fig3(
         applications=args.apps, n_samples=args.samples, seed=args.seed,
-        n_workers=args.workers,
+        n_workers=args.workers, dtype=_evaluator_dtype(args),
+        backend=args.backend,
     )
     print(format_fig3(results))
     if args.curves:
@@ -298,7 +329,8 @@ def _cmd_fig3(args) -> int:
 
 def _cmd_scalability(args) -> int:
     rows = scalability_study(
-        sides=tuple(args.sides), budget=args.budget, seed=args.seed
+        sides=tuple(args.sides), budget=args.budget, seed=args.seed,
+        n_workers=args.workers,
     )
     print(format_scalability(rows))
     return 0

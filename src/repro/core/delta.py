@@ -58,6 +58,17 @@ Fallback to full evaluation happens in exactly three places:
 * strategies constructed with ``use_delta=False`` skip this module
   entirely and score candidates through ``evaluate_batch``.
 
+Backend awareness (PR 4): when the wrapped evaluator resolved to the
+sparse contraction backend, the dense row sums ``R[q] = sum_e C[q,
+pairs[e]]`` are produced by consuming the CSR rows of the coupling model
+(:meth:`~repro.models.coupling.CouplingCSR.row_dots` against the
+incumbent's pair counts) instead of walking rows of the dense transpose,
+and the per-commit updates read the affected coupling columns with a
+strided gather of the dense matrix. The ``O(n_pairs^2)`` contiguous
+transpose is therefore never built in sparse mode — on a 64-tile mesh
+that is 134 MB per process (3.4 GB on a 144-tile mesh) the delta path no
+longer costs.
+
 Evaluation accounting is unchanged: scoring ``k`` moves charges ``k``
 evaluations to the wrapped evaluator, a reset charges one (it replaces the
 full evaluation a strategy would otherwise spend on the new incumbent),
@@ -121,6 +132,10 @@ class DeltaEvaluator:
         self._n_tiles = evaluator.n_tiles
         self._edges = evaluator._edges
         self._E = len(self._edges)
+        # Sparse-backend evaluators share their CSR arrays: row sums come
+        # from CSR row dots instead of dense-transpose walks, so the
+        # O(n_pairs^2) transpose is never materialized in sparse mode.
+        self._csr = evaluator._csr if evaluator.backend == "sparse" else None
         self._maskf = evaluator._mask_linear  # read-only share, hoisted there
         # The mask is gathered both by victim row and by aggressor column;
         # a contiguous transpose keeps the column walk row-local (and does
@@ -226,8 +241,25 @@ class DeltaEvaluator:
         )
         # Row sums of the coupling matrix over the incumbent's pair
         # columns: R[q] = sum_e C[q, pairs[e]], the dense part of an
-        # affected victim's recomputed noise row.
-        self._rowsum = self._model.coupling_linear_T[self._pairs].sum(axis=0)
+        # affected victim's recomputed noise row. Sparse mode consumes
+        # the CSR rows (one O(nnz) stream against the incumbent's pair
+        # counts); dense mode walks rows of the contiguous transpose.
+        if self._csr is not None:
+            # Reuse the evaluator's lazy (nnz,) scratch: delta and full
+            # evaluation never run concurrently within one evaluator, so
+            # one buffer serves both instead of doubling ~nnz * 8 bytes.
+            if self._ev._value_scratch is None and self._csr.nnz:
+                self._ev._value_scratch = np.empty(
+                    self._csr.nnz, dtype=np.float64
+                )
+            counts = np.bincount(
+                self._pairs, minlength=self._model.n_pairs
+            ).astype(np.float64)
+            self._rowsum = self._csr.row_dots(
+                counts, scratch=self._ev._value_scratch
+            )
+        else:
+            self._rowsum = self._model.coupling_linear_T[self._pairs].sum(axis=0)
         # Magnitude of the terms the delta updates add and subtract —
         # the cancellation guard's scale. Captured here, where the row
         # sums are exact, NOT from per-move quantities (which may
@@ -293,12 +325,22 @@ class DeltaEvaluator:
         self._signal = signal[0, :n_edges].copy()
         self._noise = noise[0, :n_edges].copy()
         coupling = self._model.coupling_linear
-        coupling_T = self._model.coupling_linear_T
         # The moved edges changed their pair, so their victim columns and
-        # their contribution to the dense row sums must follow.
+        # their contribution to the dense row sums must follow. Dense
+        # mode reads the changed columns as rows of the contiguous
+        # transpose; sparse mode (which never builds the transpose) uses
+        # a strided column gather of the dense matrix — a few columns per
+        # commit, so the stride cost is negligible.
         self._cols_inc[:, idx] = coupling[self._pairs[idx], :].T
-        self._rowsum += coupling_T[self._pairs[idx]].sum(axis=0)
-        self._rowsum -= coupling_T[old_pairs].sum(axis=0)
+        if self._csr is not None:
+            self._rowsum += coupling[:, self._pairs[idx]].sum(
+                axis=1, dtype=np.float64
+            )
+            self._rowsum -= coupling[:, old_pairs].sum(axis=1, dtype=np.float64)
+        else:
+            coupling_T = self._model.coupling_linear_T
+            self._rowsum += coupling_T[self._pairs[idx]].sum(axis=0)
+            self._rowsum -= coupling_T[old_pairs].sum(axis=0)
         if other >= 0:
             self._assignment[other] = self._assignment[task]
         self._assignment[task] = tile

@@ -89,6 +89,12 @@ class DesignSpaceExplorer:
     process pool — per-strategy runs in :meth:`compare`, independent
     chains of decomposable strategies in :meth:`run`; see the module
     docstring for the determinism contract.
+
+    ``backend`` selects the noise-contraction implementation of the
+    underlying :class:`~repro.core.evaluator.MappingEvaluator`
+    (``"auto"``, ``"dense"`` or ``"sparse"``); the resolved choice also
+    decides which shared-memory flavour pool workers attach, so parallel
+    runs stay bit-identical to sequential ones per backend.
     """
 
     def __init__(
@@ -97,12 +103,18 @@ class DesignSpaceExplorer:
         dtype=np.float64,
         use_delta: bool = True,
         n_workers: int = 1,
+        backend: str = "auto",
     ) -> None:
         self.problem = problem
         self.dtype = np.dtype(dtype)
-        self.evaluator = MappingEvaluator(problem, dtype=dtype)
+        self.evaluator = MappingEvaluator(problem, dtype=dtype, backend=backend)
         self.use_delta = bool(use_delta)
         self.n_workers = self._check_workers(n_workers)
+
+    @property
+    def backend(self) -> str:
+        """The resolved contraction backend (``"dense"`` or ``"sparse"``)."""
+        return self.evaluator.backend
 
     @staticmethod
     def _check_workers(n_workers: int) -> int:
@@ -215,7 +227,7 @@ class DesignSpaceExplorer:
         """Fan ``n_chains`` independent chains of one strategy out and merge."""
         budgets = _parallel.split_budget(budget, n_chains)
         seeds = _parallel.spawn_seeds(seed, n_chains)
-        pool = _pool.get_pool(self.problem, self.dtype, n_chains)
+        pool = _pool.get_pool(self.problem, self.dtype, n_chains, self.backend)
         futures = [
             pool.submit(
                 _parallel.run_strategy_task,
@@ -290,7 +302,7 @@ class DesignSpaceExplorer:
                 )
             return results
         pool_size = min(workers, len(names))
-        pool = _pool.get_pool(self.problem, self.dtype, pool_size)
+        pool = _pool.get_pool(self.problem, self.dtype, pool_size, self.backend)
         futures = {
             name: pool.submit(
                 _parallel.run_strategy_task,

@@ -24,6 +24,32 @@ O(E * affected edges) — falling back to the full path here on resets,
 periodic refreshes, and ``use_delta=False``. Evaluation counts are
 charged to this evaluator either way.
 
+Dense and sparse contraction backends (PR 4)
+--------------------------------------------
+The noise contraction has two interchangeable implementations, selected
+by the ``backend`` constructor argument:
+
+* ``"dense"`` gathers the ``(M, E, E)`` coupling grid out of the dense
+  ``O(n_pairs^2)`` matrix and contracts it against the serialization
+  mask — best when the communication graph has few edges relative to the
+  coupling matrix's nonzero count (every paper benchmark).
+* ``"sparse"`` streams the CSR rows of the coupling matrix
+  (:meth:`repro.models.coupling.CouplingModel.csr`) once per mapping:
+  per victim edge it sums only that pair's nonzero aggressor columns,
+  restricted to the pairs the mapping actually uses, then subtracts the
+  few serialization-mask conflicts (with a cancellation guard that keeps
+  exactly-zero noise exact). Cost is ``O(nnz)`` per mapping instead of
+  ``O(E^2)`` gathers, which wins for edge-dense graphs — uniform /
+  all-to-all traffic on 8x8+ meshes — where the dense grid barely fits
+  in memory.
+* ``"auto"`` (the default) measures the model's nonzero count and picks
+  sparse when ``SPARSE_AUTO_FACTOR * E^2 >= nnz`` (the empirically
+  calibrated crossover of the two kernels' per-mapping cost).
+
+Either backend is bit-identical to itself for any ``n_workers`` (all
+reductions are row-local), and the two agree to tight tolerance — see
+``tests/core/test_sparse_backend.py``.
+
 Sharded and asynchronous batches (PR 3)
 ---------------------------------------
 :meth:`MappingEvaluator.evaluate_batch` accepts ``n_workers``: with more
@@ -69,6 +95,16 @@ _CHUNK_BYTES = 64 * 1024 * 1024
 #: more than the numpy work it ships, so batch submission falls back to
 #: the inline path (results are bit-identical either way).
 MIN_SHARD_ROWS = 64
+
+#: Recognized contraction backends.
+BACKENDS = ("auto", "dense", "sparse")
+
+#: ``backend="auto"`` picks the sparse contraction when
+#: ``SPARSE_AUTO_FACTOR * E^2 >= nnz``: the sparse kernel streams ~nnz
+#: coupling values per mapping while the dense kernel gathers ~E^2, and
+#: a streamed element costs roughly half a gathered one (measured on the
+#: 8x8-mesh races of ``benchmarks/bench_sparse_backend.py``).
+SPARSE_AUTO_FACTOR = 2.0
 
 
 @dataclass(frozen=True)
@@ -190,16 +226,26 @@ class MappingEvaluator:
         :meth:`submit_batch` (default 1, fully sequential). Any value
         yields bit-identical metrics; larger values only pay off for
         large batches (thousands of rows).
+    backend : {"auto", "dense", "sparse"}, optional
+        Noise-contraction implementation (default ``"auto"``: measured
+        density decides — see the module docstring). The resolved choice
+        is exposed as :attr:`backend` (never ``"auto"``).
 
     Attributes
     ----------
     evaluations : int
         Number of mapping evaluations charged so far (see
         :meth:`reset_count`).
+    backend : str
+        The resolved contraction backend, ``"dense"`` or ``"sparse"``.
     """
 
     def __init__(
-        self, problem: MappingProblem, dtype=np.float64, n_workers: int = 1
+        self,
+        problem: MappingProblem,
+        dtype=np.float64,
+        n_workers: int = 1,
+        backend: str = "auto",
     ) -> None:
         self.problem = problem
         self.cg = problem.cg
@@ -215,6 +261,14 @@ class MappingEvaluator:
         self._bandwidths = self.cg.bandwidth_array()
         self._bandwidth_weights = self._bandwidths / self._bandwidths.sum()
         self.n_workers = self._check_workers(n_workers)
+        self.backend = self._resolve_backend(backend)
+        if self.backend == "sparse":
+            self._csr = self.model.csr()
+            self._conf_idx, self._conf_w = self._conflict_tables()
+            n_pairs = self.model.n_pairs
+            self._w_scratch = np.zeros(n_pairs, dtype=np.float64)
+            self._rowdot_scratch = np.zeros(n_pairs, dtype=np.float64)
+            self._value_scratch: Optional[np.ndarray] = None  # (nnz,), lazy
         self.evaluations = 0
 
     @staticmethod
@@ -223,6 +277,37 @@ class MappingEvaluator:
         if n_workers < 1:
             raise MappingError(f"n_workers must be >= 1, got {n_workers}")
         return n_workers
+
+    def _resolve_backend(self, backend: str) -> str:
+        """Validate ``backend`` and resolve ``"auto"`` by measured density."""
+        if backend not in BACKENDS:
+            raise MappingError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if backend != "auto":
+            return backend
+        n_edges = len(self._edges)
+        if SPARSE_AUTO_FACTOR * n_edges * n_edges >= self.model.nnz:
+            return "sparse"
+        return "dense"
+
+    def _conflict_tables(self):
+        """Padded per-victim tables of serialized aggressor edges.
+
+        Row ``v`` lists the aggressor edge indices ``a`` with
+        ``mask[v, a] == 0`` (the serialized edges plus ``v`` itself) —
+        the only columns by which a victim's masked noise differs from
+        the plain sum over the mapping's pairs. Padding entries point at
+        edge 0 and carry weight 0, so vectorized gathers stay rectangular.
+        """
+        conflicts = [np.nonzero(~self._mask[v])[0] for v in range(len(self._edges))]
+        width = max(1, max((len(c) for c in conflicts), default=1))
+        conf_idx = np.zeros((len(conflicts), width), dtype=np.int64)
+        conf_w = np.zeros((len(conflicts), width), dtype=np.float64)
+        for v, c in enumerate(conflicts):
+            conf_idx[v, : len(c)] = c
+            conf_w[v, : len(c)] = 1.0
+        return conf_idx, conf_w
 
     # -- batch evaluation ---------------------------------------------------------
 
@@ -328,7 +413,7 @@ class MappingEvaluator:
         from repro.core import parallel as _parallel
         from repro.core import pool as _pool
 
-        pool = _pool.get_pool(self.problem, self.dtype, workers)
+        pool = _pool.get_pool(self.problem, self.dtype, workers, self.backend)
         bounds = np.linspace(0, n_mappings, n_shards + 1).astype(np.int64)
         futures = [
             # .copy(): the executor pickles lazily in a feeder thread, so
@@ -367,13 +452,19 @@ class MappingEvaluator:
         return worst_il, worst_snr, mean_snr, weighted_il
 
     def _chunk_rows(self) -> int:
-        """Mappings per chunk keeping the (M, E, E) gather within budget.
+        """Mappings per chunk keeping per-chunk transients within budget.
 
-        Sized by the coupling matrix's actual element width, so float32
-        models get twice the rows of float64 under the same byte budget.
+        Dense: the (M, E, E) gather dominates, sized by the coupling
+        matrix's actual element width (float32 models get twice the rows
+        of float64). Sparse: the per-mapping matvec reuses fixed scratch
+        buffers, so only the (M, E, K) conflict gather scales with the
+        chunk.
         """
         n_edges = len(self._edges)
         itemsize = self.model.coupling_linear.dtype.itemsize
+        if self.backend == "sparse":
+            width = max(1, n_edges * self._conf_idx.shape[1] * 3)
+            return max(1, _CHUNK_BYTES // (itemsize * width))
         return max(1, _CHUNK_BYTES // max(1, itemsize * n_edges * n_edges))
 
     def _edge_tables(self, assignments: np.ndarray):
@@ -383,19 +474,85 @@ class MappingEvaluator:
         pairs = self.model.pair_indices(src_tiles, dst_tiles)
         il = self.model.insertion_loss_db[pairs]
         signal = self.model.signal_linear[pairs]
-        grid = self.model.coupling_linear[pairs[:, :, None], pairs[:, None, :]]
-        # Masked noise contraction. NOT einsum: einsum's accumulation
-        # order varies with the batch size M (it blocks differently for
-        # small batches), which would break the bit-identical-for-any-
-        # shard-split guarantee of evaluate_batch. An in-place multiply
-        # plus a last-axis pairwise sum reduces each (m, v) row over a
-        # contiguous run whose order depends only on E.
-        grid *= self._mask_linear
-        noise = grid.sum(axis=2)
+        if self.backend == "sparse":
+            noise = self._sparse_noise(pairs)
+        else:
+            noise = self._dense_noise(pairs)
         with np.errstate(divide="ignore"):
             snr = 10.0 * np.log10(signal / np.where(noise > 0.0, noise, 1.0))
         snr = np.where(noise > 0.0, snr, SNR_CAP_DB)
         return il, snr, noise, signal
+
+    def _dense_noise(self, pairs: np.ndarray) -> np.ndarray:
+        """Masked noise contraction over the dense coupling matrix.
+
+        NOT einsum: einsum's accumulation order varies with the batch
+        size M (it blocks differently for small batches), which would
+        break the bit-identical-for-any-shard-split guarantee of
+        ``evaluate_batch``. An in-place multiply plus a last-axis
+        pairwise sum reduces each (m, v) row over a contiguous run whose
+        order depends only on E.
+        """
+        grid = self.model.coupling_linear[pairs[:, :, None], pairs[:, None, :]]
+        grid *= self._mask_linear
+        return grid.sum(axis=2)
+
+    def _sparse_noise(self, pairs: np.ndarray) -> np.ndarray:
+        """Masked noise contraction streaming the CSR coupling rows.
+
+        Per mapping ``m``: one CSR matvec against the 0/1 indicator of
+        the mapping's used pairs yields, for every victim pair, the sum
+        of its nonzero aggressor columns restricted to the mapping
+        (``O(nnz)`` streamed, no ``(M, E, E)`` grid); the few
+        serialization-mask conflicts are then gathered and subtracted
+        per victim edge. Both the matvec (sequential within a CSR row)
+        and the conflict sum (last-axis reduction of width K) have
+        reduction orders independent of chunk and shard boundaries, so
+        the sparse backend keeps the bit-identical-for-any-``n_workers``
+        guarantee.
+
+        The subtraction cancels exactly-equal magnitudes for victims
+        whose true masked noise is zero (isolated communications), which
+        would leave ~1e-19 residue and defeat the SNR cap; any entry
+        tiny relative to its unmasked sum is therefore recomputed as the
+        cancellation-free masked sum of non-negative couplings, which is
+        exactly 0.0 when the true noise is.
+        """
+        n_moves, n_edges = pairs.shape
+        csr = self._csr
+        if self._value_scratch is None and csr.nnz:
+            self._value_scratch = np.empty(csr.nnz, dtype=np.float64)
+        w = self._w_scratch
+        rowdot = self._rowdot_scratch
+        unmasked = np.empty((n_moves, n_edges), dtype=np.float64)
+        for m in range(n_moves):
+            w[pairs[m]] = 1.0
+            csr.row_dots(w, out=rowdot, scratch=self._value_scratch)
+            np.take(rowdot, pairs[m], out=unmasked[m])
+            w[pairs[m]] = 0.0
+        coupling = self.model.coupling_linear
+        # Conflict correction, accumulated one conflict column at a time:
+        # an (M, E, K) gather-then-sum would reduce a *non-contiguous*
+        # fancy-indexing result, and numpy's buffered reduction of
+        # non-contiguous arrays blocks across rows — last-ULP results
+        # would then depend on the chunk size, breaking the
+        # bit-identical-for-any-n_workers contract. K sequential
+        # elementwise adds are shape-independent by construction.
+        conflict = np.zeros_like(unmasked)
+        for k in range(self._conf_idx.shape[1]):
+            conflict_pairs = pairs[:, self._conf_idx[:, k]]
+            conflict += coupling[pairs, conflict_pairs] * self._conf_w[:, k]
+        noise = unmasked - conflict
+        suspect_m, suspect_v = np.nonzero(noise <= 1e-12 * unmasked)
+        if len(suspect_m):
+            grid_rows = np.ascontiguousarray(
+                coupling[pairs[suspect_m, suspect_v][:, None], pairs[suspect_m]]
+            ) * self._mask_linear[suspect_v]
+            # Contiguous 2D last-axis sums are row-stable for any leading
+            # dimension, so which chunk a suspect lands in cannot change
+            # its recomputed value.
+            noise[suspect_m, suspect_v] = grid_rows.sum(axis=1)
+        return noise
 
     def _evaluate_chunk(self, assignments, out_il, out_snr, out_mean, out_weighted):
         il, snr, _noise, _signal = self._edge_tables(assignments)

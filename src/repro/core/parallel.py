@@ -157,15 +157,22 @@ def merge_chain_results(
 _WORKER: Dict[str, object] = {}
 
 
-def _init_worker(problem: MappingProblem, dtype_name: str, spec) -> None:
+def _init_worker(
+    problem: MappingProblem, dtype_name: str, spec, backend: str = "dense"
+) -> None:
     """Pool initializer: install this worker's problem and model once.
 
     When a :class:`~repro.models.coupling.SharedModelSpec` is provided the
     coupling matrices are attached from shared memory and seeded into the
     model cache, so evaluator construction resolves to them instead of
-    rebuilding. Without a spec the cache may already hold the model
-    through fork inheritance; a spawned worker without either rebuilds it
-    (correct, just slower).
+    rebuilding. Sparse-backend pools ship a CSR-flavoured spec, so the
+    attached model carries the sparse arrays too. Without a spec the
+    cache may already hold the model through fork inheritance; a spawned
+    worker without either rebuilds it (correct, just slower).
+
+    ``backend`` is the parent evaluator's *resolved* contraction backend
+    (never ``"auto"``): worker evaluators must run the same kernel as the
+    parent for shard results to be bit-identical to the inline path.
 
     Evaluators themselves are built lazily per objective by
     :func:`worker_evaluator`: the pool is keyed without the objective
@@ -179,6 +186,7 @@ def _init_worker(problem: MappingProblem, dtype_name: str, spec) -> None:
     _WORKER.clear()
     _WORKER["problem"] = problem
     _WORKER["dtype"] = dtype
+    _WORKER["backend"] = str(backend)
     _WORKER["evaluators"] = {}
 
 
@@ -211,7 +219,11 @@ def worker_evaluator(objective=None) -> MappingEvaluator:
             target = problem
         else:
             target = MappingProblem(problem.cg, problem.network, objective)
-        evaluator = MappingEvaluator(target, dtype=_WORKER["dtype"])
+        evaluator = MappingEvaluator(
+            target,
+            dtype=_WORKER["dtype"],
+            backend=_WORKER.get("backend", "dense"),
+        )
         evaluators[objective] = evaluator
     return evaluator
 

@@ -82,7 +82,9 @@ def _cg_fingerprint(problem: MappingProblem) -> str:
     return digest.hexdigest()
 
 
-def pool_key(problem: MappingProblem, dtype, n_workers: int) -> Tuple:
+def pool_key(
+    problem: MappingProblem, dtype, n_workers: int, backend: str = "dense"
+) -> Tuple:
     """The cache key of the pool serving ``problem`` at ``dtype``.
 
     Parameters
@@ -95,6 +97,12 @@ def pool_key(problem: MappingProblem, dtype, n_workers: int) -> Tuple:
         Coupling-matrix dtype of the evaluators the workers build.
     n_workers : int
         Pool size; pools of different sizes never alias.
+    backend : str, optional
+        Resolved contraction backend of the worker evaluators
+        (``"dense"`` or ``"sparse"``, never ``"auto"`` — callers resolve
+        first so worker results are bit-identical to the parent's).
+        Pools of different backends never alias: their workers attach
+        different shared-memory layouts.
 
     Returns
     -------
@@ -105,6 +113,7 @@ def pool_key(problem: MappingProblem, dtype, n_workers: int) -> Tuple:
         _cg_fingerprint(problem),
         problem.network.signature,
         np.dtype(dtype).name,
+        str(backend),
         int(n_workers),
     )
 
@@ -121,7 +130,14 @@ class PersistentPool:
     Not instantiated directly; use :func:`get_pool`.
     """
 
-    def __init__(self, key: Tuple, problem: MappingProblem, dtype, n_workers: int):
+    def __init__(
+        self,
+        key: Tuple,
+        problem: MappingProblem,
+        dtype,
+        n_workers: int,
+        backend: str = "dense",
+    ):
         from repro.core import parallel as _parallel
         from repro.models.coupling import CouplingModel
 
@@ -129,16 +145,17 @@ class PersistentPool:
         self.problem = problem
         self.dtype = np.dtype(dtype)
         self.n_workers = int(n_workers)
+        self.backend = str(backend)
         self.broken = False
         model = CouplingModel.for_network(problem.network, dtype=self.dtype)
         try:
-            spec = model.shared_export().spec
+            spec = model.shared_export(self.backend).spec
         except Exception:  # segments unavailable: fork inheritance fallback
             spec = None
         self._executor = ProcessPoolExecutor(
             max_workers=self.n_workers,
             initializer=_parallel._init_worker,
-            initargs=(problem, self.dtype.name, spec),
+            initargs=(problem, self.dtype.name, spec, self.backend),
         )
 
     @property
@@ -171,7 +188,9 @@ class PersistentPool:
         return f"PersistentPool({self.problem!r}, {state})"
 
 
-def get_pool(problem: MappingProblem, dtype, n_workers: int) -> PersistentPool:
+def get_pool(
+    problem: MappingProblem, dtype, n_workers: int, backend: str = "dense"
+) -> PersistentPool:
     """Fetch (or lazily create) the persistent pool for a problem.
 
     Parameters
@@ -183,6 +202,10 @@ def get_pool(problem: MappingProblem, dtype, n_workers: int) -> PersistentPool:
         Coupling-matrix dtype of the worker evaluators.
     n_workers : int
         Number of worker processes; must be >= 1.
+    backend : str, optional
+        Resolved contraction backend for the worker evaluators
+        (``"dense"`` or ``"sparse"``); decides which shared-memory
+        flavour the workers attach.
 
     Returns
     -------
@@ -198,7 +221,7 @@ def get_pool(problem: MappingProblem, dtype, n_workers: int) -> PersistentPool:
     they attach are unlinked.
     """
     global _ATEXIT_REGISTERED
-    key = pool_key(problem, dtype, n_workers)
+    key = pool_key(problem, dtype, n_workers, backend)
     pool = _POOLS.get(key)
     if pool is not None:
         if not pool.broken:
@@ -206,7 +229,7 @@ def get_pool(problem: MappingProblem, dtype, n_workers: int) -> PersistentPool:
             return pool
         _POOLS.pop(key, None)
         pool.close(wait=False)
-    pool = PersistentPool(key, problem, dtype, n_workers)
+    pool = PersistentPool(key, problem, dtype, n_workers, backend)
     _POOLS[key] = pool
     while len(_POOLS) > MAX_POOLS:
         _, evicted = _POOLS.popitem(last=False)

@@ -48,13 +48,13 @@ class MappingProblem:
         """Number of tiles of the target topology."""
         return self.network.topology.n_tiles
 
-    def evaluator(self, dtype=None) -> "MappingEvaluator":
+    def evaluator(self, dtype=None, backend: str = "auto") -> "MappingEvaluator":
         """Build the (matrix-backed) evaluator for this problem."""
         from repro.core.evaluator import MappingEvaluator
 
         if dtype is None:
-            return MappingEvaluator(self)
-        return MappingEvaluator(self, dtype=dtype)
+            return MappingEvaluator(self, backend=backend)
+        return MappingEvaluator(self, dtype=dtype, backend=backend)
 
     def __repr__(self) -> str:
         return (

@@ -16,6 +16,16 @@ mapping evaluation is a handful of numpy gathers (see
 :class:`repro.core.evaluator.MappingEvaluator`), which is what makes the
 paper's 100,000-random-mappings experiment and the optimizer loops cheap.
 
+Because the walk model zeroes every pair of paths that never co-enter an
+element (and attenuates walks below ``WALK_LOSS_CUTOFF_LINEAR`` to exact
+zero), a substantial fraction of ``coupling_linear`` is exactly ``0.0`` —
+around 55-77 % on the meshes of the paper's case studies. :meth:`CouplingModel.csr`
+exposes the same physics as a compressed-sparse-row triplet
+(``indptr``/``indices``/``values``, victim-major, columns sorted), which
+the evaluator's sparse backend streams instead of gathering from the
+dense ``O(n_pairs^2)`` matrix, and which shared-memory exports ship to
+pool workers in place of the (equally large) dense transpose.
+
 The matrices encode pure physics: *every* pair of simultaneously active
 paths couples. Which pairs can actually be simultaneously active (the
 transmitter/receiver serialization of DESIGN.md §3) is decided at the
@@ -40,6 +50,7 @@ from repro.photonics.elements import (
 from repro.photonics.units import db_to_linear
 
 __all__ = [
+    "CouplingCSR",
     "CouplingModel",
     "SharedModelSpec",
     "SharedCouplingModel",
@@ -47,6 +58,100 @@ __all__ = [
 ]
 
 _CACHE: Dict[str, "CouplingModel"] = {}
+
+
+@dataclass(frozen=True)
+class CouplingCSR:
+    """Compressed-sparse-row view of the coupling matrix.
+
+    Victim-major: row ``v`` holds the nonzero aggressor columns of
+    ``coupling_linear[v, :]`` in ascending column order, so one row is one
+    contiguous ``values[indptr[v]:indptr[v + 1]]`` /
+    ``indices[indptr[v]:indptr[v + 1]]`` slice. ``nonzero_row_starts``
+    pre-splits the ``indptr`` walk for ``numpy.add.reduceat`` (which
+    mishandles empty segments): it lists the start offset of every
+    non-empty row, aligned with ``nonzero_rows``.
+    """
+
+    indptr: np.ndarray  # (n_pairs + 1,) int64
+    indices: np.ndarray  # (nnz,) int32, column-sorted within each row
+    values: np.ndarray  # (nnz,) coupling dtype
+    nonzero_rows: np.ndarray  # (n_nonzero_rows,) int64
+    nonzero_row_starts: np.ndarray  # (n_nonzero_rows,) int64
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (nonzero) couplings."""
+        return int(self.indices.shape[0])
+
+    @property
+    def n_rows(self) -> int:
+        """Number of victim rows (``n_pairs``)."""
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the three CSR arrays (the shm-export footprint)."""
+        return self.indptr.nbytes + self.indices.nbytes + self.values.nbytes
+
+    def row_dots(self, weights: np.ndarray, out=None, scratch=None) -> np.ndarray:
+        """Dot every CSR row with a dense ``(n_pairs,)`` weight vector.
+
+        The workhorse of the sparse noise contraction and of the delta
+        evaluator's row sums: returns ``r[q] = sum_k values[q, k] *
+        weights[columns[q, k]]`` for every row ``q``, streaming the CSR
+        arrays once (``O(nnz)``) instead of gathering across the dense
+        matrix. The per-row reduction order is fixed (sequential within
+        each row slice), so results do not depend on batching or worker
+        count. ``out``/``scratch`` allow callers in hot loops to reuse
+        ``(n_rows,)`` / ``(nnz,)`` buffers.
+        """
+        if out is None:
+            out = np.zeros(self.n_rows, dtype=np.float64)
+        else:
+            out[:] = 0.0
+        if self.nnz == 0:
+            return out
+        if scratch is None:
+            scratch = np.empty(self.nnz, dtype=np.float64)
+        np.take(weights, self.indices, out=scratch)
+        np.multiply(scratch, self.values, out=scratch)
+        out[self.nonzero_rows] = np.add.reduceat(
+            scratch, self.nonzero_row_starts
+        )
+        return out
+
+
+def _build_csr(coupling: np.ndarray) -> CouplingCSR:
+    """Victim-major CSR of a dense coupling matrix.
+
+    Built block-wise so the transient ``numpy.nonzero`` index arrays stay
+    small relative to the matrix itself (on a 12x12 mesh the dense matrix
+    is ~3.4 GB; a whole-matrix ``nonzero`` would add ~2 GB of transient
+    int64 coordinates on top).
+    """
+    n_rows = coupling.shape[0]
+    counts = np.count_nonzero(coupling, axis=1)
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    nnz = int(indptr[-1])
+    indices = np.empty(nnz, dtype=np.int32)
+    values = np.empty(nnz, dtype=coupling.dtype)
+    block = max(1, (8 << 20) // max(1, coupling.shape[1] * 8))
+    for start in range(0, n_rows, block):
+        stop = min(start + block, n_rows)
+        rows, cols = np.nonzero(coupling[start:stop])
+        lo, hi = indptr[start], indptr[stop]
+        indices[lo:hi] = cols
+        values[lo:hi] = coupling[start + rows, cols]
+    nonzero_rows = np.nonzero(counts)[0].astype(np.int64)
+    return CouplingCSR(
+        indptr=indptr,
+        indices=indices,
+        values=values,
+        nonzero_rows=nonzero_rows,
+        nonzero_row_starts=indptr[:-1][nonzero_rows],
+    )
 
 
 @dataclass(frozen=True)
@@ -58,6 +163,14 @@ class SharedModelSpec:
     layout parameters, and the process-cache key under which the attached
     model should be registered so that :meth:`CouplingModel.for_network`
     finds it transparently.
+
+    ``csr_nnz >= 0`` means the segment also carries the CSR triplet
+    (``indptr``/``indices``/``values``) of the coupling matrix, so workers
+    serving the sparse evaluator backend attach the sparse arrays instead
+    of rebuilding them from the dense matrix. Sparse-flavoured exports
+    drop the dense transpose (``with_transpose=False``): the delta
+    evaluator consumes CSR rows in its place, which is what shrinks the
+    per-export footprint.
     """
 
     shm_name: str
@@ -65,10 +178,16 @@ class SharedModelSpec:
     n_tiles: int
     dtype: str
     with_transpose: bool
+    csr_nnz: int = -1
 
     @property
     def n_pairs(self) -> int:
         return self.n_tiles * self.n_tiles
+
+    @property
+    def with_csr(self) -> bool:
+        """Whether the segment carries the CSR triplet."""
+        return self.csr_nnz >= 0
 
     def _layout(self):
         """(name, dtype, shape, offset) for each array in the segment."""
@@ -76,16 +195,20 @@ class SharedModelSpec:
         n_pairs = self.n_pairs
         layout = []
         offset = 0
-        for name, dt, shape in (
+        parts = [
             ("signal_linear", np.dtype(np.float64), (n_pairs,)),
             ("insertion_loss_db", np.dtype(np.float64), (n_pairs,)),
             ("coupling_linear", dtype, (n_pairs, n_pairs)),
-        ):
+        ]
+        if self.with_transpose:
+            parts.append(("coupling_linear_T", dtype, (n_pairs, n_pairs)))
+        if self.with_csr:
+            parts.append(("csr_indptr", np.dtype(np.int64), (n_pairs + 1,)))
+            parts.append(("csr_indices", np.dtype(np.int32), (self.csr_nnz,)))
+            parts.append(("csr_values", dtype, (self.csr_nnz,)))
+        for name, dt, shape in parts:
             layout.append((name, dt, shape, offset))
             offset += dt.itemsize * int(np.prod(shape))
-        if self.with_transpose:
-            layout.append(("coupling_linear_T", dtype, (n_pairs, n_pairs), offset))
-            offset += dtype.itemsize * n_pairs * n_pairs
         return layout, offset
 
     @property
@@ -164,7 +287,9 @@ class CouplingModel:
         self.insertion_loss_db = np.full(self.n_pairs, np.nan, dtype=np.float64)
         self.coupling_linear = np.zeros((self.n_pairs, self.n_pairs), dtype=dtype)
         self._coupling_T: Optional[np.ndarray] = None
-        self._shared_handle: Optional["SharedCouplingModel"] = None
+        self._csr: Optional[CouplingCSR] = None
+        self._nnz: Optional[int] = None
+        self._shared_handles: Dict[Tuple[bool, bool], "SharedCouplingModel"] = {}
         self._build()
 
     @property
@@ -180,6 +305,47 @@ class CouplingModel:
         if self._coupling_T is None:
             self._coupling_T = np.ascontiguousarray(self.coupling_linear.T)
         return self._coupling_T
+
+    def csr(self) -> CouplingCSR:
+        """Victim-major CSR triplet of :attr:`coupling_linear`, built lazily.
+
+        The sparse evaluator backend streams these arrays instead of
+        gathering the dense ``(M, E, E)`` grid, and the delta evaluator
+        consumes the rows in place of dense-transpose column walks; only
+        sparse users pay the extra ``O(nnz)`` memory. Worker processes
+        attaching a CSR-flavoured shared export get read-only views
+        instead of a rebuild.
+        """
+        if self._csr is None:
+            self._csr = _build_csr(self.coupling_linear)
+        return self._csr
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzero couplings (one matrix scan, cached).
+
+        Deliberately cheaper than :meth:`csr`: ``backend="auto"``
+        evaluators read this on every construction, and most of them
+        resolve to the dense backend without ever needing the CSR arrays.
+        """
+        if self._csr is not None:
+            return self._csr.nnz
+        if self._nnz is None:
+            self._nnz = int(np.count_nonzero(self.coupling_linear))
+        return self._nnz
+
+    @property
+    def density(self) -> float:
+        """Nonzero fraction of the coupling matrix (0.0 to 1.0).
+
+        The statistic behind the evaluator's ``backend="auto"`` rule: the
+        sparse contraction streams ``nnz = density * n_pairs^2`` values
+        per evaluated mapping, the dense one gathers ``E^2``, so sparsity
+        only pays off once the communication graph is edge-dense enough
+        (see :meth:`repro.core.evaluator.MappingEvaluator`).
+        """
+        size = float(self.n_pairs * self.n_pairs)
+        return self.nnz / size if size else 0.0
 
     # -- indexing ----------------------------------------------------------------
 
@@ -316,14 +482,19 @@ class CouplingModel:
 
     # -- multi-process sharing ---------------------------------------------------------
 
-    def export_shared(self, with_transpose: bool = True) -> SharedCouplingModel:
+    def export_shared(
+        self, with_transpose: bool = True, with_csr: bool = False
+    ) -> SharedCouplingModel:
         """Copy the read-only matrices into a shared-memory segment.
 
         Returns the owner-side handle whose :attr:`~SharedCouplingModel.spec`
         is what worker processes pass to :meth:`attach_shared`. With
         ``with_transpose`` (the default) the contiguous transpose used by
-        the delta evaluator is exported too, so workers never build their
-        own copy. The owner must keep the handle alive while workers are
+        the dense-mode delta evaluator is exported too, so workers never
+        build their own copy; ``with_csr`` ships the CSR triplet instead,
+        which is what the sparse backend's workers attach (a CSR export
+        is typically several times smaller than the transpose it
+        replaces). The owner must keep the handle alive while workers are
         attached and :meth:`~SharedCouplingModel.close` it afterwards.
 
         Raises whatever :mod:`multiprocessing.shared_memory` raises when
@@ -332,12 +503,14 @@ class CouplingModel:
         """
         from multiprocessing import shared_memory
 
+        csr = self.csr() if with_csr else None
         spec = SharedModelSpec(
             shm_name="",
             cache_key=self.cache_key(self.network, self.coupling_linear.dtype),
             n_tiles=self.n_tiles,
             dtype=self.coupling_linear.dtype.name,
             with_transpose=bool(with_transpose),
+            csr_nnz=csr.nnz if csr is not None else -1,
         )
         layout, nbytes = spec._layout()
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
@@ -347,6 +520,7 @@ class CouplingModel:
             n_tiles=spec.n_tiles,
             dtype=spec.dtype,
             with_transpose=spec.with_transpose,
+            csr_nnz=spec.csr_nnz,
         )
         sources = {
             "signal_linear": self.signal_linear,
@@ -355,24 +529,39 @@ class CouplingModel:
         }
         if with_transpose:
             sources["coupling_linear_T"] = self.coupling_linear_T
+        if csr is not None:
+            sources["csr_indptr"] = csr.indptr
+            sources["csr_indices"] = csr.indices
+            sources["csr_values"] = csr.values
         for name, dt, shape, offset in layout:
             view = np.ndarray(shape, dtype=dt, buffer=shm.buf, offset=offset)
             view[...] = sources[name]
         return SharedCouplingModel(spec, shm)
 
-    def shared_export(self) -> SharedCouplingModel:
-        """The cached shared-memory export of this model.
+    def shared_export(self, backend: str = "dense") -> SharedCouplingModel:
+        """The cached shared-memory export of this model for one backend.
 
         Copying the matrices into a segment costs real time on big
-        architectures (~1.3 s for a 64-tile mesh's 2 x 134 MB), so the
-        export is created once per process and reused by every worker
-        pool; the segment is unlinked by :func:`clear_model_cache` or at
-        interpreter exit, whichever comes first.
+        architectures (~1.3 s for a 64-tile mesh's 2 x 134 MB), so each
+        export flavour is created once per process and reused by every
+        worker pool; the segments are unlinked by
+        :func:`clear_model_cache` or at interpreter exit, whichever comes
+        first. ``backend="dense"`` ships dense matrix + transpose (the
+        historical layout); ``backend="sparse"`` ships dense matrix + CSR
+        triplet — the transpose is dropped because sparse-mode delta
+        evaluation consumes CSR rows instead.
         """
-        if self._shared_handle is None or self._shared_handle._shm is None:
-            self._shared_handle = self.export_shared()
-            _register_export(self._shared_handle)
-        return self._shared_handle
+        flavor = (
+            (False, True) if backend == "sparse" else (True, False)
+        )  # (with_transpose, with_csr)
+        handle = self._shared_handles.get(flavor)
+        if handle is None or handle._shm is None:
+            handle = self.export_shared(
+                with_transpose=flavor[0], with_csr=flavor[1]
+            )
+            self._shared_handles[flavor] = handle
+            _register_export(handle)
+        return handle
 
     @classmethod
     def attach_shared(
@@ -393,15 +582,34 @@ class CouplingModel:
         model.n_tiles = spec.n_tiles
         model.n_pairs = spec.n_pairs
         model._coupling_T = None
-        model._shared_handle = None
+        model._csr = None
+        model._nnz = None
+        model._shared_handles = {}
         model._shm = shm  # keeps the mapping alive as long as the model
+        csr_parts = {}
         for name, dt, shape, offset in layout:
             view = np.ndarray(shape, dtype=dt, buffer=shm.buf, offset=offset)
             view.flags.writeable = False
             if name == "coupling_linear_T":
                 model._coupling_T = view
+            elif name.startswith("csr_"):
+                csr_parts[name[4:]] = view
             else:
                 setattr(model, name, view)
+        if csr_parts:
+            # The reduceat split tables are derived, not shipped: O(n_pairs)
+            # to rebuild versus extra segment layout complexity.
+            indptr = csr_parts["indptr"]
+            nonzero_rows = np.nonzero(indptr[1:] > indptr[:-1])[0].astype(
+                np.int64
+            )
+            model._csr = CouplingCSR(
+                indptr=indptr,
+                indices=csr_parts["indices"],
+                values=csr_parts["values"],
+                nonzero_rows=nonzero_rows,
+                nonzero_row_starts=indptr[:-1][nonzero_rows],
+            )
         return model
 
     # -- caching ---------------------------------------------------------------------

@@ -32,10 +32,10 @@ CASES = [
 ]
 
 
-def _evaluator(request, cg_name, topology, objective="snr"):
+def _evaluator(request, cg_name, topology, objective="snr", backend="auto"):
     network = request.getfixturevalue(topology)
     problem = MappingProblem(load_benchmark(cg_name), network, objective)
-    return MappingEvaluator(problem)
+    return MappingEvaluator(problem, backend=backend)
 
 
 def _full_scores(evaluator, assignment, moves):
@@ -92,6 +92,77 @@ class TestRandomWalkParity:
             assert kinds == {True, False}
         else:
             assert kinds == {False}
+
+
+@pytest.mark.parametrize(
+    "cg_name,topology",
+    [("vopd", "mesh4_network"), ("mpeg4", "torus4_network")],
+)
+class TestSparseBackendParity:
+    """CSR rows drive ``score_moves``/``commit`` (evaluator backend="sparse").
+
+    In sparse mode the delta engine's dense row sums come from CSR row
+    dots instead of dense-transpose walks, and commits update them with
+    strided column gathers; the walk below proves the incremental scores
+    still track full (sparse-backend) evaluation move for move.
+    """
+
+    def test_walk_matches_full_evaluation(self, request, cg_name, topology):
+        evaluator = _evaluator(request, cg_name, topology, backend="sparse")
+        assert evaluator.backend == "sparse"
+        engine = DeltaEvaluator(evaluator)
+        assert engine._csr is not None  # CSR rows, not coupling_linear_T
+        rng = np.random.default_rng(len(cg_name + topology))
+        assignment = random_assignment(
+            evaluator.n_tasks, evaluator.n_tiles, rng
+        )
+        engine.reset(assignment)
+        for _step in range(15):
+            moves = swap_moves(assignment, evaluator.n_tiles)
+            picks = rng.choice(len(moves), size=min(16, len(moves)),
+                               replace=False)
+            sampled = [moves[int(p)] for p in picks]
+            np.testing.assert_allclose(
+                engine.score_moves(sampled),
+                _full_scores(evaluator, assignment, sampled),
+                rtol=0,
+                atol=TOLERANCE,
+            )
+            chosen = sampled[int(rng.integers(0, len(sampled)))]
+            assignment = apply_move(assignment, chosen)
+            committed = engine.commit(chosen)
+            reference = float(
+                evaluator.evaluate_batch(assignment[None, :]).score[0]
+            )
+            assert committed == pytest.approx(reference, abs=TOLERANCE)
+
+    def test_sparse_and_dense_engines_agree(self, request, cg_name, topology):
+        sparse_ev = _evaluator(request, cg_name, topology, backend="sparse")
+        dense_ev = _evaluator(request, cg_name, topology, backend="dense")
+        sparse_engine = DeltaEvaluator(sparse_ev)
+        dense_engine = DeltaEvaluator(dense_ev)
+        rng = np.random.default_rng(23)
+        assignment = random_assignment(
+            sparse_ev.n_tasks, sparse_ev.n_tiles, rng
+        )
+        assert sparse_engine.reset(assignment) == pytest.approx(
+            dense_engine.reset(assignment), abs=TOLERANCE
+        )
+        for _step in range(10):
+            moves = swap_moves(assignment, sparse_ev.n_tiles)
+            sampled = [moves[int(p)] for p in
+                       rng.choice(len(moves), size=12, replace=False)]
+            np.testing.assert_allclose(
+                sparse_engine.score_moves(sampled),
+                dense_engine.score_moves(sampled),
+                rtol=0,
+                atol=TOLERANCE,
+            )
+            chosen = sampled[0]
+            assignment = apply_move(assignment, chosen)
+            assert sparse_engine.commit(chosen) == pytest.approx(
+                dense_engine.commit(chosen), abs=TOLERANCE
+            )
 
 
 class TestAccumulatorDrift:

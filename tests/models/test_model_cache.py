@@ -1,0 +1,122 @@
+"""Coupling-model cache and shared-export lifecycle guarantees.
+
+The process cache and the shared-memory export registry are global
+state: a model built with ``use_cache=False`` must stay out of the
+cache, ``clear_model_cache()`` must unlink every live export (so no
+segment survives to trip the resource tracker), and the CSR-flavoured
+export must round-trip bit-exactly through attach.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import coupling as coupling_module
+from repro.models.coupling import CouplingModel, clear_model_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    clear_model_cache()
+    yield
+    clear_model_cache()
+
+
+class TestProcessCache:
+    def test_for_network_seeds_cache_by_default(self, mesh3_network):
+        model = CouplingModel.for_network(mesh3_network)
+        key = CouplingModel.cache_key(mesh3_network, np.float64)
+        assert coupling_module._CACHE[key] is model
+        assert CouplingModel.for_network(mesh3_network) is model
+
+    def test_use_cache_false_does_not_seed_cache(self, mesh3_network):
+        key = CouplingModel.cache_key(mesh3_network, np.float64)
+        model = CouplingModel.for_network(mesh3_network, use_cache=False)
+        assert key not in coupling_module._CACHE
+        # ...and does not read a previously cached instance either.
+        cached = CouplingModel.for_network(mesh3_network)
+        assert (
+            CouplingModel.for_network(mesh3_network, use_cache=False)
+            is not cached
+        )
+        assert model is not cached
+
+    def test_dtype_keys_do_not_alias(self, mesh3_network):
+        m64 = CouplingModel.for_network(mesh3_network)
+        m32 = CouplingModel.for_network(mesh3_network, dtype=np.float32)
+        assert m64 is not m32
+        assert m32.coupling_linear.dtype == np.float32
+
+
+class TestSharedExportLifecycle:
+    def test_clear_model_cache_unlinks_live_exports(self, mesh3_network):
+        from multiprocessing import shared_memory
+
+        model = CouplingModel.for_network(mesh3_network)
+        names = [
+            model.shared_export("dense").spec.shm_name,
+            model.shared_export("sparse").spec.shm_name,
+        ]
+        assert len(set(names)) == 2  # flavours are distinct segments
+        clear_model_cache()
+        assert coupling_module._EXPORTS == []
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_shared_export_is_cached_per_flavour(self, mesh3_network):
+        model = CouplingModel.for_network(mesh3_network)
+        dense = model.shared_export("dense")
+        sparse = model.shared_export("sparse")
+        assert model.shared_export("dense") is dense
+        assert model.shared_export("sparse") is sparse
+        dense.close()
+        replacement = model.shared_export("dense")  # closed: re-exported
+        assert replacement is not dense
+        replacement.close()
+        sparse.close()
+
+    def test_csr_flavour_round_trips_through_attach(self, mesh3_network):
+        model = CouplingModel.for_network(mesh3_network)
+        csr = model.csr()
+        with model.export_shared(with_transpose=False, with_csr=True) as handle:
+            spec = handle.spec
+            assert spec.with_csr and not spec.with_transpose
+            assert spec.csr_nnz == csr.nnz
+            attached = CouplingModel.attach_shared(spec, mesh3_network)
+            np.testing.assert_array_equal(
+                attached.coupling_linear, model.coupling_linear
+            )
+            acsr = attached.csr()
+            np.testing.assert_array_equal(acsr.indptr, csr.indptr)
+            np.testing.assert_array_equal(acsr.indices, csr.indices)
+            np.testing.assert_array_equal(acsr.values, csr.values)
+            np.testing.assert_array_equal(
+                acsr.nonzero_rows, csr.nonzero_rows
+            )
+            assert not acsr.values.flags.writeable
+            assert attached.nnz == model.nnz
+            assert attached.density == pytest.approx(model.density)
+
+    def test_csr_structure_matches_dense_matrix(self, mesh3_network):
+        model = CouplingModel.for_network(mesh3_network)
+        csr = model.csr()
+        dense = model.coupling_linear
+        assert csr.nnz == np.count_nonzero(dense)
+        for row in (0, 3, model.n_pairs - 1):
+            lo, hi = csr.indptr[row], csr.indptr[row + 1]
+            cols = csr.indices[lo:hi]
+            assert (np.diff(cols) > 0).all()  # column-sorted, no dupes
+            np.testing.assert_array_equal(cols, np.nonzero(dense[row])[0])
+            np.testing.assert_array_equal(
+                csr.values[lo:hi], dense[row, cols]
+            )
+
+    def test_row_dots_matches_dense_matvec(self, mesh3_network):
+        model = CouplingModel.for_network(mesh3_network)
+        csr = model.csr()
+        rng = np.random.default_rng(3)
+        weights = rng.random(model.n_pairs)
+        expected = model.coupling_linear @ weights
+        np.testing.assert_allclose(
+            csr.row_dots(weights), expected, rtol=1e-12, atol=0
+        )
