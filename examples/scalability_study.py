@@ -26,6 +26,11 @@ def main() -> None:
     parser.add_argument("--sides", nargs="+", type=int, default=[3, 4, 5, 6])
     parser.add_argument("--budget", type=int, default=20_000)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--model-cache", metavar="DIR", default=None,
+        help="on-disk coupling-model cache: re-runs load each mesh's "
+             "matrices in milliseconds instead of rebuilding",
+    )
     args = parser.parse_args()
 
     budget_model = PowerBudget()
@@ -34,6 +39,7 @@ def main() -> None:
         budget=args.budget,
         seed=args.seed,
         budget_model=budget_model,
+        model_cache_dir=args.model_cache,
     )
     print(format_scalability(rows))
     print()

@@ -61,6 +61,18 @@ def _add_evaluator_arguments(parser: argparse.ArgumentParser) -> None:
              "grid, 'sparse' streams the CSR coupling rows, 'auto' "
              "(default) picks by measured coupling density",
     )
+    _add_model_cache_argument(parser)
+
+
+def _add_model_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model-cache", metavar="DIR", default=None,
+        help="on-disk coupling-model cache directory: precomputed "
+             "matrices are memory-mapped back instead of rebuilt "
+             "(keyed by architecture signature, dtype and model "
+             "version; results are bit-identical either way). Also "
+             "settable via PHONOCMAP_MODEL_CACHE",
+    )
 
 
 def _evaluator_dtype(args: argparse.Namespace):
@@ -134,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the full mapping report with noise breakdowns",
     )
+    _add_model_cache_argument(evaluate)
 
     optimize = subparsers.add_parser("optimize", help="run one strategy")
     _add_application_arguments(optimize)
@@ -210,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes shared by the per-size runs and sampling "
              "(default: 1, sequential)",
     )
+    _add_model_cache_argument(scalability)
 
     export = subparsers.add_parser("export", help="dump a benchmark CG")
     export.add_argument("--app", choices=BENCHMARK_NAMES, required=True)
@@ -282,6 +296,7 @@ def _cmd_optimize(args) -> int:
     explorer = DesignSpaceExplorer(
         problem, dtype=_evaluator_dtype(args), use_delta=not args.no_delta,
         n_workers=args.workers, backend=args.backend,
+        model_cache_dir=args.model_cache,
     )
     result = explorer.run(args.strategy, budget=args.budget, seed=args.seed)
     print(result.summary())
@@ -330,7 +345,7 @@ def _cmd_fig3(args) -> int:
 def _cmd_scalability(args) -> int:
     rows = scalability_study(
         sides=tuple(args.sides), budget=args.budget, seed=args.seed,
-        n_workers=args.workers,
+        n_workers=args.workers, model_cache_dir=args.model_cache,
     )
     print(format_scalability(rows))
     return 0
@@ -362,11 +377,23 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.models.coupling import get_model_cache_dir, set_model_cache_dir
+
+    # Process-wide default for the duration of the command: experiment
+    # harnesses that build models internally (table2, fig3) resolve
+    # against the same cache as the explicitly threaded paths (optimize,
+    # scalability). Restored afterwards so programmatic callers invoking
+    # main() repeatedly don't leak the directory across invocations.
+    previous_cache_dir = get_model_cache_dir()
+    if getattr(args, "model_cache", None):
+        set_model_cache_dir(args.model_cache)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        set_model_cache_dir(previous_cache_dir)
 
 
 if __name__ == "__main__":

@@ -95,6 +95,12 @@ class DesignSpaceExplorer:
     (``"auto"``, ``"dense"`` or ``"sparse"``); the resolved choice also
     decides which shared-memory flavour pool workers attach, so parallel
     runs stay bit-identical to sequential ones per backend.
+
+    ``model_cache_dir`` names an on-disk coupling-model cache: the
+    explorer's evaluator loads the precomputed matrices as memory maps
+    when the architecture was built before (and persists fresh builds),
+    and the worker pools it creates inherit the directory. Purely a
+    speed knob — cached and rebuilt models are bit-identical.
     """
 
     def __init__(
@@ -104,10 +110,19 @@ class DesignSpaceExplorer:
         use_delta: bool = True,
         n_workers: int = 1,
         backend: str = "auto",
+        model_cache_dir: Optional[str] = None,
     ) -> None:
         self.problem = problem
         self.dtype = np.dtype(dtype)
-        self.evaluator = MappingEvaluator(problem, dtype=dtype, backend=backend)
+        self.evaluator = MappingEvaluator(
+            problem,
+            dtype=dtype,
+            backend=backend,
+            model_cache_dir=model_cache_dir,
+        )
+        # The evaluator resolves the process-wide default; mirror it so
+        # the pools this explorer creates get the same directory.
+        self.model_cache_dir = self.evaluator.model_cache_dir
         self.use_delta = bool(use_delta)
         self.n_workers = self._check_workers(n_workers)
 
@@ -227,7 +242,13 @@ class DesignSpaceExplorer:
         """Fan ``n_chains`` independent chains of one strategy out and merge."""
         budgets = _parallel.split_budget(budget, n_chains)
         seeds = _parallel.spawn_seeds(seed, n_chains)
-        pool = _pool.get_pool(self.problem, self.dtype, n_chains, self.backend)
+        pool = _pool.get_pool(
+            self.problem,
+            self.dtype,
+            n_chains,
+            self.backend,
+            model_cache_dir=self.model_cache_dir,
+        )
         futures = [
             pool.submit(
                 _parallel.run_strategy_task,
@@ -302,7 +323,13 @@ class DesignSpaceExplorer:
                 )
             return results
         pool_size = min(workers, len(names))
-        pool = _pool.get_pool(self.problem, self.dtype, pool_size, self.backend)
+        pool = _pool.get_pool(
+            self.problem,
+            self.dtype,
+            pool_size,
+            self.backend,
+            model_cache_dir=self.model_cache_dir,
+        )
         futures = {
             name: pool.submit(
                 _parallel.run_strategy_task,

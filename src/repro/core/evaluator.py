@@ -230,6 +230,12 @@ class MappingEvaluator:
         Noise-contraction implementation (default ``"auto"``: measured
         density decides — see the module docstring). The resolved choice
         is exposed as :attr:`backend` (never ``"auto"``).
+    model_cache_dir : str, optional
+        On-disk coupling-model cache directory (default: the process
+        default of :func:`repro.models.coupling.get_model_cache_dir`).
+        A warm cache turns the O(n_pairs^2) model build into a
+        memory-mapped load; worker pools created by this evaluator
+        inherit the directory.
 
     Attributes
     ----------
@@ -246,13 +252,25 @@ class MappingEvaluator:
         dtype=np.float64,
         n_workers: int = 1,
         backend: str = "auto",
+        model_cache_dir: Optional[str] = None,
     ) -> None:
         self.problem = problem
         self.cg = problem.cg
         self.network = problem.network
         self.objective = problem.objective
         self.dtype = np.dtype(dtype)
-        self.model = CouplingModel.for_network(problem.network, dtype=dtype)
+        # Resolve the process-wide default eagerly so worker pools are
+        # initialized with the same cache directory this evaluator used.
+        from repro.models.coupling import get_model_cache_dir
+
+        self.model_cache_dir = (
+            model_cache_dir
+            if model_cache_dir is not None
+            else get_model_cache_dir()
+        )
+        self.model = CouplingModel.for_network(
+            problem.network, dtype=dtype, cache_dir=self.model_cache_dir
+        )
         self._edges = self.cg.edge_array()
         self._mask = self.cg.serialization_mask()
         # The noise contraction needs the mask at the coupling dtype;
@@ -413,7 +431,13 @@ class MappingEvaluator:
         from repro.core import parallel as _parallel
         from repro.core import pool as _pool
 
-        pool = _pool.get_pool(self.problem, self.dtype, workers, self.backend)
+        pool = _pool.get_pool(
+            self.problem,
+            self.dtype,
+            workers,
+            self.backend,
+            model_cache_dir=self.model_cache_dir,
+        )
         bounds = np.linspace(0, n_mappings, n_shards + 1).astype(np.int64)
         futures = [
             # .copy(): the executor pickles lazily in a feeder thread, so

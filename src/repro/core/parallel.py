@@ -158,7 +158,11 @@ _WORKER: Dict[str, object] = {}
 
 
 def _init_worker(
-    problem: MappingProblem, dtype_name: str, spec, backend: str = "dense"
+    problem: MappingProblem,
+    dtype_name: str,
+    spec,
+    backend: str = "dense",
+    model_cache_dir=None,
 ) -> None:
     """Pool initializer: install this worker's problem and model once.
 
@@ -168,7 +172,10 @@ def _init_worker(
     rebuilding. Sparse-backend pools ship a CSR-flavoured spec, so the
     attached model carries the sparse arrays too. Without a spec the
     cache may already hold the model through fork inheritance; a spawned
-    worker without either rebuilds it (correct, just slower).
+    worker without either loads the model from the on-disk cache when
+    ``model_cache_dir`` names one (installed here as this process's
+    default, so lazy evaluator builds resolve against it), or rebuilds
+    it (correct, just slower).
 
     ``backend`` is the parent evaluator's *resolved* contraction backend
     (never ``"auto"``): worker evaluators must run the same kernel as the
@@ -180,6 +187,10 @@ def _init_worker(
     SNR and the power-loss pass of a Table II cell.
     """
     dtype = np.dtype(dtype_name)
+    if model_cache_dir:
+        from repro.models.coupling import set_model_cache_dir
+
+        set_model_cache_dir(model_cache_dir)
     if spec is not None:
         model = CouplingModel.attach_shared(spec, problem.network)
         CouplingModel.register(spec.cache_key, model)

@@ -47,7 +47,9 @@ from repro.core.problem import MappingProblem
 
 __all__ = [
     "MAX_POOLS",
+    "BuildPool",
     "PersistentPool",
+    "get_build_pool",
     "get_pool",
     "pool_key",
     "release_pools",
@@ -118,45 +120,11 @@ def pool_key(
     )
 
 
-class PersistentPool:
-    """One reusable :class:`ProcessPoolExecutor` plus its wiring.
+class _PoolBase:
+    """Executor lifecycle shared by problem pools and build pools."""
 
-    Workers are initialized once with the problem, the coupling dtype and
-    the shared-memory spec of the coupling model (fork-inheritance
-    fallback when segments are unavailable); afterwards every submitted
-    task — whole strategy runs, independent chains, or batch shards —
-    finds its evaluator warm in the worker process.
-
-    Not instantiated directly; use :func:`get_pool`.
-    """
-
-    def __init__(
-        self,
-        key: Tuple,
-        problem: MappingProblem,
-        dtype,
-        n_workers: int,
-        backend: str = "dense",
-    ):
-        from repro.core import parallel as _parallel
-        from repro.models.coupling import CouplingModel
-
-        self.key = key
-        self.problem = problem
-        self.dtype = np.dtype(dtype)
-        self.n_workers = int(n_workers)
-        self.backend = str(backend)
-        self.broken = False
-        model = CouplingModel.for_network(problem.network, dtype=self.dtype)
-        try:
-            spec = model.shared_export(self.backend).spec
-        except Exception:  # segments unavailable: fork inheritance fallback
-            spec = None
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            initializer=_parallel._init_worker,
-            initargs=(problem, self.dtype.name, spec, self.backend),
-        )
+    _executor: Optional[ProcessPoolExecutor] = None
+    broken: bool = False
 
     @property
     def executor(self) -> ProcessPoolExecutor:
@@ -169,7 +137,8 @@ class PersistentPool:
         """Submit a task, marking the pool broken on executor failure.
 
         A broken pool (a worker died mid-task) is dropped from the cache
-        on the next :func:`get_pool` call, which builds a fresh one.
+        on the next :func:`get_pool` / :func:`get_build_pool` call, which
+        builds a fresh one.
         """
         try:
             return self.executor.submit(fn, *args, **kwargs)
@@ -183,13 +152,107 @@ class PersistentPool:
         if executor is not None:
             executor.shutdown(wait=wait)
 
+
+class PersistentPool(_PoolBase):
+    """One reusable :class:`ProcessPoolExecutor` plus its wiring.
+
+    Workers are initialized once with the problem, the coupling dtype,
+    the shared-memory spec of the coupling model (fork-inheritance
+    fallback when segments are unavailable) and the on-disk model cache
+    directory; afterwards every submitted task — whole strategy runs,
+    independent chains, or batch shards — finds its evaluator warm in
+    the worker process.
+
+    Not instantiated directly; use :func:`get_pool`.
+    """
+
+    def __init__(
+        self,
+        key: Tuple,
+        problem: MappingProblem,
+        dtype,
+        n_workers: int,
+        backend: str = "dense",
+        model_cache_dir: Optional[str] = None,
+    ):
+        from repro.core import parallel as _parallel
+        from repro.models.coupling import CouplingModel
+
+        self.key = key
+        self.problem = problem
+        self.dtype = np.dtype(dtype)
+        self.n_workers = int(n_workers)
+        self.backend = str(backend)
+        self.model_cache_dir = model_cache_dir
+        self.broken = False
+        model = CouplingModel.for_network(
+            problem.network, dtype=self.dtype, cache_dir=model_cache_dir
+        )
+        try:
+            spec = model.shared_export(self.backend).spec
+        except Exception:  # segments unavailable: fork inheritance fallback
+            spec = None
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_parallel._init_worker,
+            initargs=(
+                problem,
+                self.dtype.name,
+                spec,
+                self.backend,
+                model_cache_dir,
+            ),
+        )
+
     def __repr__(self) -> str:
         state = "closed" if self._executor is None else f"{self.n_workers} workers"
         return f"PersistentPool({self.problem!r}, {state})"
 
 
+class BuildPool(_PoolBase):
+    """A problem-free executor for CouplingModel column-build tasks.
+
+    Unlike :class:`PersistentPool` the workers carry no initializer
+    state: each build task ships the (small, flat-array) build tables of
+    its network plus a column range (see
+    :func:`repro.models.coupling._build_columns_task`), so one pool
+    serves the model builds of any number of architectures in a sweep.
+    Registered in the same LRU/atexit registry as the problem pools.
+
+    Not instantiated directly; use :func:`get_build_pool`.
+    """
+
+    def __init__(self, key: Tuple, n_workers: int):
+        self.key = key
+        self.n_workers = int(n_workers)
+        self.broken = False
+        self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._executor is None else f"{self.n_workers} workers"
+        return f"BuildPool({state})"
+
+
+def _register_pool(key: Tuple, pool) -> None:
+    """Insert a pool into the LRU registry, evicting and hooking atexit."""
+    global _ATEXIT_REGISTERED
+    _POOLS[key] = pool
+    while len(_POOLS) > MAX_POOLS:
+        _, evicted = _POOLS.popitem(last=False)
+        evicted.close(wait=True)
+    if not _ATEXIT_REGISTERED:
+        # Registered after CouplingModel's export-unlink hook, so LIFO
+        # atexit order shuts workers down before segments are unlinked.
+        atexit.register(shutdown_pools)
+        _ATEXIT_REGISTERED = True
+
+
 def get_pool(
-    problem: MappingProblem, dtype, n_workers: int, backend: str = "dense"
+    problem: MappingProblem,
+    dtype,
+    n_workers: int,
+    backend: str = "dense",
+    model_cache_dir: Optional[str] = None,
 ) -> PersistentPool:
     """Fetch (or lazily create) the persistent pool for a problem.
 
@@ -206,6 +269,11 @@ def get_pool(
         Resolved contraction backend for the worker evaluators
         (``"dense"`` or ``"sparse"``); decides which shared-memory
         flavour the workers attach.
+    model_cache_dir : str, optional
+        On-disk model cache directory handed to the worker initializer
+        (so spawn-mode workers without shared memory load the coupling
+        model from disk instead of rebuilding it). Not part of the pool
+        key — it cannot change any result.
 
     Returns
     -------
@@ -220,7 +288,6 @@ def get_pool(
     are shut down at interpreter exit, before the shared-memory segments
     they attach are unlinked.
     """
-    global _ATEXIT_REGISTERED
     key = pool_key(problem, dtype, n_workers, backend)
     pool = _POOLS.get(key)
     if pool is not None:
@@ -229,16 +296,31 @@ def get_pool(
             return pool
         _POOLS.pop(key, None)
         pool.close(wait=False)
-    pool = PersistentPool(key, problem, dtype, n_workers, backend)
-    _POOLS[key] = pool
-    while len(_POOLS) > MAX_POOLS:
-        _, evicted = _POOLS.popitem(last=False)
-        evicted.close(wait=True)
-    if not _ATEXIT_REGISTERED:
-        # Registered after CouplingModel's export-unlink hook, so LIFO
-        # atexit order shuts workers down before segments are unlinked.
-        atexit.register(shutdown_pools)
-        _ATEXIT_REGISTERED = True
+    pool = PersistentPool(
+        key, problem, dtype, n_workers, backend, model_cache_dir
+    )
+    _register_pool(key, pool)
+    return pool
+
+
+def get_build_pool(n_workers: int) -> BuildPool:
+    """Fetch (or lazily create) the model-build pool of ``n_workers``.
+
+    Serves the aggressor-sharded parallel builds of
+    :class:`~repro.models.coupling.CouplingModel`; lives in the same
+    LRU/atexit registry as the problem pools, under a key no problem
+    pool can collide with.
+    """
+    key = ("model-build", int(n_workers))
+    pool = _POOLS.get(key)
+    if pool is not None:
+        if not pool.broken:
+            _POOLS.move_to_end(key)
+            return pool
+        _POOLS.pop(key, None)
+        pool.close(wait=False)
+    pool = BuildPool(key, n_workers)
+    _register_pool(key, pool)
     return pool
 
 

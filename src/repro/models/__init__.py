@@ -5,7 +5,13 @@ analytical models estimating worst-case power loss and crosstalk noise for
 any architecture assembled by :mod:`repro.noc`.
 """
 
-from repro.models.coupling import CouplingModel, clear_model_cache
+from repro.models.coupling import (
+    MODEL_VERSION,
+    CouplingModel,
+    clear_model_cache,
+    get_model_cache_dir,
+    set_model_cache_dir,
+)
 from repro.models.crosstalk import (
     WALK_LOSS_CUTOFF_LINEAR,
     aggregate_noise_linear,
@@ -26,8 +32,11 @@ from repro.models.power import (
 )
 
 __all__ = [
+    "MODEL_VERSION",
     "CouplingModel",
     "clear_model_cache",
+    "get_model_cache_dir",
+    "set_model_cache_dir",
     "WALK_LOSS_CUTOFF_LINEAR",
     "aggregate_noise_linear",
     "emission_walk",

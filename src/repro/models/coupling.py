@@ -30,15 +30,48 @@ The matrices encode pure physics: *every* pair of simultaneously active
 paths couples. Which pairs can actually be simultaneously active (the
 transmitter/receiver serialization of DESIGN.md §3) is decided at the
 communication-graph level by the evaluator.
+
+Walk-once vectorized build (PR 5)
+---------------------------------
+The forward emission walk from an ``(element, out_port)`` channel depends
+only on the network, never on the aggressor injecting into it. The
+builder therefore resolves each unique emission channel **once** — walk
+the noise forward, find every victim pair's *first* shared element, keep
+the co-entering (port-matching) ones with their walk loss and cumulative
+path divisors — and then reduces the whole build to vectorized gathers
+plus one deterministic ``np.add.at`` scatter per aggressor block. The
+scatter entries are ordered by emission instance (the legacy builder's
+iteration order), and ``np.add.at`` applies them sequentially, so the
+resulting matrices are **bit-identical** to the legacy per-aggressor walk
+loop at both float64 and float32 — for any ``build_workers`` count, since
+sharding splits *aggressor columns* and each column's accumulation order
+is internal to its own aggressor. The legacy builder is kept
+(``builder="legacy"``) as the cross-validation oracle for tests and
+benches.
+
+On top of the fast build sits an on-disk model cache
+(:meth:`CouplingModel.for_network` with ``cache_dir=``, or the
+process-wide :func:`set_model_cache_dir` default / the
+``PHONOCMAP_MODEL_CACHE`` environment variable): finished models are
+persisted as ``.npy`` files keyed by ``(network.signature, dtype,
+MODEL_VERSION)`` and loaded back as read-only memory maps, so an
+architecture sweep pays each build exactly once per machine. Corrupted or
+stale entries fall back to a rebuild; unwritable cache directories fall
+back to in-memory builds — the cache can slow nothing down and break
+nothing.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ModelError
 from repro.models.crosstalk import WALK_LOSS_CUTOFF_LINEAR, _MAX_WALK_STEPS
 from repro.noc.network import PhotonicNoC
 from repro.photonics.elements import (
@@ -50,14 +83,43 @@ from repro.photonics.elements import (
 from repro.photonics.units import db_to_linear
 
 __all__ = [
+    "MODEL_VERSION",
     "CouplingCSR",
     "CouplingModel",
     "SharedModelSpec",
     "SharedCouplingModel",
     "clear_model_cache",
+    "set_model_cache_dir",
+    "get_model_cache_dir",
 ]
 
+#: Version of the build physics / on-disk layout. Bump whenever the
+#: builder's numerics or the cache file format change: the disk key
+#: includes it, so stale entries miss instead of resurrecting old physics.
+MODEL_VERSION = 1
+
 _CACHE: Dict[str, "CouplingModel"] = {}
+
+#: Process-wide default directory of the on-disk model cache (``None``
+#: disables it). Seeded from ``PHONOCMAP_MODEL_CACHE``; the CLI's
+#: ``--model-cache`` and pool worker initializers override it.
+_MODEL_CACHE_DIR: Optional[str] = os.environ.get("PHONOCMAP_MODEL_CACHE") or None
+
+
+def set_model_cache_dir(path: Optional[str]) -> None:
+    """Set the process-wide default on-disk model cache directory.
+
+    ``None`` disables the default (explicit ``cache_dir=`` arguments
+    still work). Worker initializers call this so pool workers resolve
+    models from the same cache as their parent.
+    """
+    global _MODEL_CACHE_DIR
+    _MODEL_CACHE_DIR = str(path) if path else None
+
+
+def get_model_cache_dir() -> Optional[str]:
+    """The process-wide default on-disk model cache directory (or None)."""
+    return _MODEL_CACHE_DIR
 
 
 @dataclass(frozen=True)
@@ -171,6 +233,11 @@ class SharedModelSpec:
     drop the dense transpose (``with_transpose=False``): the delta
     evaluator consumes CSR rows in its place, which is what shrinks the
     per-export footprint.
+
+    ``nnz >= 0`` ships the coupling matrix's nonzero count, so a worker
+    resolving a ``backend="auto"`` evaluator against an attached model
+    reads it instead of re-scanning the whole shared matrix
+    (``np.count_nonzero`` over ~134 MB at 8x8, once per worker).
     """
 
     shm_name: str
@@ -179,6 +246,7 @@ class SharedModelSpec:
     dtype: str
     with_transpose: bool
     csr_nnz: int = -1
+    nnz: int = -1
 
     @property
     def n_pairs(self) -> int:
@@ -276,10 +344,422 @@ def _attach_segment(name: str):
         resource_tracker.register = original_register
 
 
+@dataclass(frozen=True)
+class _BuildTables:
+    """Aggressor-independent gather/scatter tables of one network's physics.
+
+    Everything the vectorized builder needs, flattened:
+
+    * per emission *instance* (one ``(aggressor traversal, emission)``
+      pair, in the legacy builder's iteration order): the aggressor pair,
+      the injected base power ``k_linear * cum_in`` and the emission
+      channel it exits into;
+    * per unique emission *channel* ``(element, out_port)``: the resolved
+      first-encounter table — for every victim pair credited by the
+      channel, the walk loss accumulated before the join (1.0 for joins
+      at the emitting element), the victim's end-to-end transmission and
+      the cumulative divisor at the join position. Shielded victims
+      (first shared element entered through the wrong port) contribute
+      exactly zero and are dropped outright.
+
+    The coupling matrix is then ``coupling[victim, aggressor] +=
+    base * walk_loss * total / divisor`` scattered over all instances —
+    the exact arithmetic (and accumulation order) of the legacy loop.
+    """
+
+    n_pairs: int
+    inst_pair: np.ndarray  # (n_inst,) int64 aggressor pair per instance
+    inst_base: np.ndarray  # (n_inst,) float64 k_linear * power_at_input
+    inst_channel: np.ndarray  # (n_inst,) int64 channel id per instance
+    ch_start: np.ndarray  # (n_channels,) int64 offset into the ch_* arrays
+    ch_len: np.ndarray  # (n_channels,) int64 credited victims per channel
+    ch_victim: np.ndarray  # (sum ch_len,) int64 victim pair
+    ch_wl: np.ndarray  # (sum ch_len,) float64 walk loss before the join
+    ch_total: np.ndarray  # (sum ch_len,) float64 victim total transmission
+    ch_div: np.ndarray  # (sum ch_len,) float64 cum_out (exit) / cum_in (walk)
+
+
+def _passive_lookup(network: PhotonicNoC):
+    """Cached ``(element, in_port) -> linear passive straight-pass loss``.
+
+    Shared by the legacy and the vectorized builder so the two can never
+    drift apart on the loss arithmetic their bit-exactness parity rests
+    on.
+    """
+    params = network.params
+    cache: Dict[Tuple[int, int], float] = {}
+
+    def passive_linear(element: int, in_port: int) -> float:
+        key = (element, in_port)
+        value = cache.get(key)
+        if value is None:
+            info = network.element(element)
+            value = db_to_linear(
+                passive_loss_db(info.kind, in_port, params, info.length_cm)
+            )
+            cache[key] = value
+        return value
+
+    return passive_linear
+
+
+def _emissions_lookup(params):
+    """Cached traversal -> ``((k_linear, out_port), ...)`` emission tuples.
+
+    Shared by the legacy and the vectorized builder (see
+    :func:`_passive_lookup`).
+    """
+    cache: Dict[Tuple[ElementKind, int, int, object], tuple] = {}
+
+    def emissions_of(kind, in_port, out_port, state):
+        key = (kind, in_port, out_port, state)
+        value = cache.get(key)
+        if value is None:
+            value = tuple(
+                (db_to_linear(e.coefficient_db), e.out_port)
+                for e in traversal_emissions(kind, in_port, out_port, state, params)
+            )
+            cache[key] = value
+        return value
+
+    return emissions_of
+
+
+def _build_tables(network: PhotonicNoC) -> _BuildTables:
+    """Flatten a network's paths and emission walks into build tables.
+
+    Pure function of the network: the emission-channel walks are executed
+    exactly once per unique ``(element, out_port)`` channel (the legacy
+    builder re-ran them once per aggressor traversal emitting into them),
+    and the per-victim join/credit loops become lexsort-based
+    first-encounter resolutions over the flattened entry/exit indices.
+    """
+    params = network.params
+    elements = network.elements
+    follow = network.wiring.get
+    paths = network.all_paths()
+    n_tiles = network.topology.n_tiles
+    n_pairs = n_tiles * n_tiles
+
+    # Flatten every traversal of every path, in paths-iteration order —
+    # the global traversal id doubles as the legacy index-append rank.
+    pair_total = np.zeros(n_pairs, dtype=np.float64)
+    trav_pair_l: List[int] = []
+    trav_elem_l: List[int] = []
+    trav_in_l: List[int] = []
+    trav_out_l: List[int] = []
+    cum_in_parts: List[np.ndarray] = []
+    cum_out_parts: List[np.ndarray] = []
+    for (src, dst), path in paths.items():
+        pair = src * n_tiles + dst
+        pair_total[pair] = path.total_linear
+        for step in path.traversals:
+            trav_pair_l.append(pair)
+            trav_elem_l.append(step.element)
+            trav_in_l.append(step.in_port)
+            trav_out_l.append(step.out_port)
+        cum_in_parts.append(path.cum_in_linear)
+        cum_out_parts.append(path.cum_out_linear)
+    trav_pair = np.asarray(trav_pair_l, dtype=np.int64)
+    trav_elem = np.asarray(trav_elem_l, dtype=np.int64)
+    trav_in = np.asarray(trav_in_l, dtype=np.int64)
+    trav_out = np.asarray(trav_out_l, dtype=np.int64)
+    trav_cum_in = (
+        np.concatenate(cum_in_parts) if cum_in_parts else np.zeros(0)
+    )
+    trav_cum_out = (
+        np.concatenate(cum_out_parts) if cum_out_parts else np.zeros(0)
+    )
+
+    # Entry index (element -> traversal ids) and exit index
+    # ((element, out_port) -> traversal ids), grouped by stable sort so
+    # within one group the ids keep the legacy append order.
+    n_elements = len(elements)
+    entry_order = np.argsort(trav_elem, kind="stable")
+    entry_elem_sorted = trav_elem[entry_order]
+    entry_ptr = np.searchsorted(
+        entry_elem_sorted, np.arange(n_elements + 1, dtype=np.int64)
+    )
+    exit_key = trav_elem * 4 + trav_out  # ports are < 4
+    exit_order = np.argsort(exit_key, kind="stable")
+    exit_key_sorted = exit_key[exit_order]
+
+    def exit_slice(element: int, out_port: int) -> np.ndarray:
+        key = element * 4 + out_port
+        lo = np.searchsorted(exit_key_sorted, key)
+        hi = np.searchsorted(exit_key_sorted, key + 1)
+        return exit_order[lo:hi]
+
+    passive_linear = _passive_lookup(network)
+    emissions_of = _emissions_lookup(params)
+
+    # Emission instances, in the legacy builder's iteration order.
+    channel_ids: Dict[Tuple[int, int], int] = {}
+    channel_keys: List[Tuple[int, int]] = []
+    inst_pair_l: List[int] = []
+    inst_base_l: List[float] = []
+    inst_channel_l: List[int] = []
+    for (src, dst), path in paths.items():
+        pair = src * n_tiles + dst
+        cum_in = path.cum_in_linear
+        for index, step in enumerate(path.traversals):
+            info = elements[step.element]
+            if info.kind is ElementKind.WAVEGUIDE:
+                continue
+            emitted = emissions_of(
+                info.kind, step.in_port, step.out_port, step.state
+            )
+            if not emitted:
+                continue
+            power_at_input = cum_in[index]
+            for k_linear, emission_port in emitted:
+                key = (step.element, emission_port)
+                cid = channel_ids.get(key)
+                if cid is None:
+                    cid = len(channel_keys)
+                    channel_ids[key] = cid
+                    channel_keys.append(key)
+                inst_pair_l.append(pair)
+                inst_base_l.append(k_linear * power_at_input)
+                inst_channel_l.append(cid)
+
+    # Resolve each unique channel once: walk forward, then pick every
+    # victim pair's first encounter over (slot, append rank) and keep the
+    # co-entering ones.
+    ch_start = np.zeros(len(channel_keys), dtype=np.int64)
+    ch_len = np.zeros(len(channel_keys), dtype=np.int64)
+    victim_parts: List[np.ndarray] = []
+    wl_parts: List[np.ndarray] = []
+    div_parts: List[np.ndarray] = []
+    offset = 0
+    for cid, (element, emission_port) in enumerate(channel_keys):
+        # Slot 0: the join at the emitting element itself (victims that
+        # exit through the emission port; no loss inside the generating
+        # switch). Slots 1..L: the forward walk, same termination rules
+        # as the legacy builder — plus two exact shortcuts the legacy
+        # loop pays for in full: a repeated walk *position* means the
+        # rest of the walk is a lap of a cycle (torus orbits) that can
+        # credit nothing new, and a repeated walk *element* has already
+        # credited (or shielded) every pair entering it at its first
+        # occurrence, so later occurrences carry no candidates.
+        exit_tids = exit_slice(element, emission_port)
+        slot_elems: List[int] = []
+        slot_in = [-1]
+        slot_wl = [1.0]
+        seen_positions = set()
+        seen_elements = set()
+        walk_loss = 1.0
+        position = follow((element, emission_port))
+        steps = 0
+        while (
+            position is not None
+            and walk_loss > WALK_LOSS_CUTOFF_LINEAR
+            and steps < _MAX_WALK_STEPS
+            and position not in seen_positions
+        ):
+            seen_positions.add(position)
+            steps += 1
+            walk_element, in_port = position
+            if walk_element not in seen_elements:
+                seen_elements.add(walk_element)
+                slot_elems.append(walk_element)
+                slot_in.append(in_port)
+                slot_wl.append(walk_loss)
+            walk_loss *= passive_linear(walk_element, in_port)
+            position = follow(
+                (
+                    walk_element,
+                    straight_output(elements[walk_element].kind, in_port),
+                )
+            )
+        if slot_elems:
+            elems_arr = np.asarray(slot_elems, dtype=np.int64)
+            starts = entry_ptr[elems_arr]
+            lens = entry_ptr[elems_arr + 1] - starts
+            n_entries = int(lens.sum())
+            slot_ends = np.cumsum(lens)
+            within = np.arange(n_entries, dtype=np.int64) - np.repeat(
+                slot_ends - lens, lens
+            )
+            entry_tids = entry_order[np.repeat(starts, lens) + within]
+            entry_slots = np.repeat(
+                np.arange(1, len(slot_elems) + 1, dtype=np.int64), lens
+            )
+        else:
+            entry_tids = np.zeros(0, dtype=np.int64)
+            entry_slots = np.zeros(0, dtype=np.int64)
+        tids = np.concatenate([exit_tids, entry_tids])
+        if len(tids):
+            slots = np.concatenate(
+                [np.zeros(len(exit_tids), dtype=np.int64), entry_slots]
+            )
+            pairs = trav_pair[tids]
+            # First encounter wins: sort by (pair, slot, append rank) and
+            # keep the first row of each pair — the legacy `credited` set.
+            order = np.lexsort((tids, slots, pairs))
+            pair_sorted = pairs[order]
+            slot_sorted = slots[order]
+            tid_sorted = tids[order]
+            first = np.ones(len(order), dtype=bool)
+            first[1:] = pair_sorted[1:] != pair_sorted[:-1]
+            win_pair = pair_sorted[first]
+            win_slot = slot_sorted[first]
+            win_tid = tid_sorted[first]
+            is_exit = win_slot == 0
+            slot_in_arr = np.asarray(slot_in, dtype=np.int64)
+            keep = is_exit | (trav_in[win_tid] == slot_in_arr[win_slot])
+            win_pair = win_pair[keep]
+            win_tid = win_tid[keep]
+            win_slot = win_slot[keep]
+            is_exit = is_exit[keep]
+            victims = win_pair
+            wl = np.asarray(slot_wl, dtype=np.float64)[win_slot]
+            div = np.where(
+                is_exit, trav_cum_out[win_tid], trav_cum_in[win_tid]
+            )
+        else:
+            victims = np.zeros(0, dtype=np.int64)
+            wl = np.zeros(0, dtype=np.float64)
+            div = np.zeros(0, dtype=np.float64)
+        ch_start[cid] = offset
+        ch_len[cid] = len(victims)
+        offset += len(victims)
+        victim_parts.append(victims)
+        wl_parts.append(wl)
+        div_parts.append(div)
+
+    ch_victim = (
+        np.concatenate(victim_parts)
+        if victim_parts
+        else np.zeros(0, dtype=np.int64)
+    )
+    ch_wl = (
+        np.concatenate(wl_parts) if wl_parts else np.zeros(0, dtype=np.float64)
+    )
+    ch_div = (
+        np.concatenate(div_parts)
+        if div_parts
+        else np.zeros(0, dtype=np.float64)
+    )
+    return _BuildTables(
+        n_pairs=n_pairs,
+        inst_pair=np.asarray(inst_pair_l, dtype=np.int64),
+        inst_base=np.asarray(inst_base_l, dtype=np.float64),
+        inst_channel=np.asarray(inst_channel_l, dtype=np.int64),
+        ch_start=ch_start,
+        ch_len=ch_len,
+        ch_victim=ch_victim,
+        ch_wl=ch_wl,
+        ch_total=pair_total[ch_victim],
+        ch_div=ch_div,
+    )
+
+
+#: Expanded scatter entries per accumulation chunk: bounds the transient
+#: gather arrays to ~5 x 8 bytes x this many entries (~160 MB).
+_SCATTER_CHUNK = 4 << 20
+
+
+def _accumulate_columns(
+    tables: _BuildTables, out: np.ndarray, lo: int, hi: int
+) -> None:
+    """Scatter the couplings of aggressor pairs ``[lo, hi)`` into ``out``.
+
+    ``out`` is the zeroed ``(n_pairs, hi - lo)`` C-contiguous column
+    block at the model dtype. Deterministic and legacy-exact:
+    ``np.add.at`` applies entries sequentially (computing in float64 and
+    rounding to the block dtype per store, the same as the legacy
+    ``+=``), entries are ordered by emission instance, and every
+    ``(victim, aggressor)`` cell's contributions all come from the one
+    aggressor owning the column — so any column sharding reproduces the
+    legacy accumulation order exactly.
+    """
+    if lo == 0 and hi == tables.n_pairs:
+        sel = np.arange(len(tables.inst_pair), dtype=np.int64)
+    else:
+        sel = np.nonzero(
+            (tables.inst_pair >= lo) & (tables.inst_pair < hi)
+        )[0]
+    if not len(sel):
+        return
+    lens = tables.ch_len[tables.inst_channel[sel]]
+    ends = np.cumsum(lens)
+    width = hi - lo
+    flat = out.reshape(-1)
+    n_inst = len(sel)
+    start = 0
+    while start < n_inst:
+        base = int(ends[start - 1]) if start else 0
+        stop = int(np.searchsorted(ends, base + _SCATTER_CHUNK, side="right"))
+        stop = min(max(stop, start + 1), n_inst)
+        chunk_lens = lens[start:stop]
+        total = int(ends[stop - 1]) - base
+        if total == 0:
+            start = stop
+            continue
+        local = np.repeat(np.arange(start, stop, dtype=np.int64), chunk_lens)
+        inst = sel[local]
+        chunk_ends = np.cumsum(chunk_lens)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            chunk_ends - chunk_lens, chunk_lens
+        )
+        j = tables.ch_start[tables.inst_channel[inst]] + within
+        # ((base * walk_loss) * total) / div — the legacy association
+        # order, elementwise, so every value matches bit for bit.
+        values = tables.inst_base[inst] * tables.ch_wl[j]
+        values *= tables.ch_total[j]
+        values /= tables.ch_div[j]
+        np.add.at(
+            flat,
+            tables.ch_victim[j] * width + (tables.inst_pair[inst] - lo),
+            values,
+        )
+        start = stop
+
+
+def _build_columns_task(
+    tables: _BuildTables,
+    dtype_name: str,
+    lo: int,
+    hi: int,
+    shm_name: Optional[str] = None,
+):
+    """One build-pool task: the ``[lo, hi)`` aggressor columns of a model.
+
+    The tables are built once in the parent and shipped (they are a few
+    flat arrays, orders of magnitude smaller than the matrix), so every
+    worker scatters from the *same* tables the inline path would use.
+    With ``shm_name`` the finished ``(n_pairs, hi - lo)`` slab is copied
+    into the named shared-memory matrix — pickling the slabs back
+    through the result pipe costs more than computing them — and
+    ``(lo, hi, None)`` is returned; without it the slab itself is.
+    """
+    dtype = np.dtype(dtype_name)
+    block = np.zeros((tables.n_pairs, hi - lo), dtype=dtype)
+    _accumulate_columns(tables, block, lo, hi)
+    if shm_name is None:
+        return lo, hi, block
+    shm = _attach_segment(shm_name)
+    try:
+        matrix = np.ndarray(
+            (tables.n_pairs, tables.n_pairs), dtype=dtype, buffer=shm.buf
+        )
+        matrix[:, lo:hi] = block
+    finally:
+        shm.close()
+    return lo, hi, None
+
+
 class CouplingModel:
     """Precomputed signal/coupling matrices for a :class:`PhotonicNoC`."""
 
-    def __init__(self, network: PhotonicNoC, dtype=np.float64) -> None:
+    def __init__(
+        self,
+        network: PhotonicNoC,
+        dtype=np.float64,
+        build_workers: int = 1,
+        builder: str = "vectorized",
+    ) -> None:
         self.network = network
         self.n_tiles = network.topology.n_tiles
         self.n_pairs = self.n_tiles * self.n_tiles
@@ -290,7 +770,14 @@ class CouplingModel:
         self._csr: Optional[CouplingCSR] = None
         self._nnz: Optional[int] = None
         self._shared_handles: Dict[Tuple[bool, bool], "SharedCouplingModel"] = {}
-        self._build()
+        if builder == "vectorized":
+            self._build(build_workers=int(build_workers))
+        elif builder == "legacy":
+            self._build_legacy()
+        else:
+            raise ModelError(
+                f"builder must be 'vectorized' or 'legacy', got {builder!r}"
+            )
 
     @property
     def coupling_linear_T(self) -> np.ndarray:
@@ -359,7 +846,97 @@ class CouplingModel:
 
     # -- construction --------------------------------------------------------------
 
-    def _build(self) -> None:
+    def _build(self, build_workers: int = 1) -> None:
+        """Walk-once vectorized build (see the module docstring).
+
+        ``build_workers > 1`` shards the aggressor columns across the
+        build pool (:func:`repro.core.pool.get_build_pool`); any failure
+        there falls back to the inline single-process path. Either way
+        the matrices are bit-identical to :meth:`_build_legacy`.
+        """
+        network = self.network
+        paths = network.all_paths()
+        for (src, dst), path in paths.items():
+            pair = self.pair_index(src, dst)
+            self.signal_linear[pair] = path.total_linear
+            self.insertion_loss_db[pair] = path.loss_db
+        tables = _build_tables(network)
+        built = build_workers > 1 and self._build_sharded(tables, build_workers)
+        if not built:
+            self.coupling_linear.fill(0)
+            _accumulate_columns(tables, self.coupling_linear, 0, self.n_pairs)
+        # The channel tables credit every victim including the aggressor
+        # itself (the legacy builder excluded it up front); self-coupling
+        # is exactly the diagonal, which the physics defines as zero.
+        np.fill_diagonal(self.coupling_linear, 0.0)
+
+    def _build_sharded(
+        self, tables: _BuildTables, build_workers: int
+    ) -> bool:
+        """Aggressor-sharded parallel build; True when the pool delivered.
+
+        Each worker scatters a contiguous block of aggressor columns from
+        the parent's tables into a shared-memory copy of the matrix;
+        every ``(victim, aggressor)`` cell's accumulation order is
+        internal to its own column, so results are bit-identical for any
+        worker count. Any failure (no shared memory, no processes, a
+        dead worker) reports False and the caller rebuilds inline.
+        """
+        from multiprocessing import shared_memory
+
+        from repro.core import pool as _pool
+
+        n_workers = min(int(build_workers), self.n_pairs)
+        bounds = np.linspace(0, self.n_pairs, n_workers + 1).astype(np.int64)
+        dtype_name = self.coupling_linear.dtype.name
+        pool = None
+        shm = None
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=self.coupling_linear.nbytes
+            )
+            pool = _pool.get_build_pool(n_workers)
+            futures = [
+                pool.submit(
+                    _build_columns_task,
+                    tables,
+                    dtype_name,
+                    int(lo),
+                    int(hi),
+                    shm.name,
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            for future in futures:
+                future.result()
+            shared = np.ndarray(
+                self.coupling_linear.shape,
+                dtype=self.coupling_linear.dtype,
+                buffer=shm.buf,
+            )
+            np.copyto(self.coupling_linear, shared)
+            del shared
+        except Exception:  # broken pool / no segments: rebuild inline
+            if pool is not None:
+                pool.broken = True
+            return False
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        return True
+
+    def _build_legacy(self) -> None:
+        """The seed per-aggressor walk loop, kept as the parity oracle.
+
+        Pure Python, O(aggressor traversals x walk length x entries per
+        element); the vectorized :meth:`_build` must reproduce it bit for
+        bit (``tests/models/test_model_build.py``).
+        """
         network = self.network
         params = network.params
         paths = network.all_paths()
@@ -384,32 +961,8 @@ class CouplingModel:
                     (pair, position, step.in_port)
                 )
 
-        # Per-element passive linear losses, cached by (element, in_port).
-        passive_cache: Dict[Tuple[int, int], float] = {}
-
-        def passive_linear(element: int, in_port: int) -> float:
-            key = (element, in_port)
-            value = passive_cache.get(key)
-            if value is None:
-                info = network.element(element)
-                value = db_to_linear(
-                    passive_loss_db(info.kind, in_port, params, info.length_cm)
-                )
-                passive_cache[key] = value
-            return value
-
-        emission_cache: Dict[Tuple[ElementKind, int, int, object], tuple] = {}
-
-        def emissions_of(kind, in_port, out_port, state):
-            key = (kind, in_port, out_port, state)
-            value = emission_cache.get(key)
-            if value is None:
-                value = tuple(
-                    (db_to_linear(e.coefficient_db), e.out_port)
-                    for e in traversal_emissions(kind, in_port, out_port, state, params)
-                )
-                emission_cache[key] = value
-            return value
+        passive_linear = _passive_lookup(network)
+        emissions_of = _emissions_lookup(params)
 
         coupling = self.coupling_linear
         follow = network.wiring.get
@@ -511,6 +1064,7 @@ class CouplingModel:
             dtype=self.coupling_linear.dtype.name,
             with_transpose=bool(with_transpose),
             csr_nnz=csr.nnz if csr is not None else -1,
+            nnz=self.nnz,
         )
         layout, nbytes = spec._layout()
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
@@ -521,6 +1075,7 @@ class CouplingModel:
             dtype=spec.dtype,
             with_transpose=spec.with_transpose,
             csr_nnz=spec.csr_nnz,
+            nnz=spec.nnz,
         )
         sources = {
             "signal_linear": self.signal_linear,
@@ -583,7 +1138,9 @@ class CouplingModel:
         model.n_pairs = spec.n_pairs
         model._coupling_T = None
         model._csr = None
-        model._nnz = None
+        # The spec ships the nonzero count, so attached backend="auto"
+        # evaluators never re-scan the shared matrix to resolve.
+        model._nnz = spec.nnz if spec.nnz >= 0 else None
         model._shared_handles = {}
         model._shm = shm  # keeps the mapping alive as long as the model
         csr_parts = {}
@@ -624,17 +1181,151 @@ class CouplingModel:
         """Seed the process cache (worker-side of shared-memory attach)."""
         _CACHE[key] = model
 
+    # The three persisted arrays; CSR / transpose stay derived (cheap
+    # relative to the build, and dtype-dependent consumers rebuild them).
+    _DISK_ARRAYS = ("signal_linear", "insertion_loss_db", "coupling_linear")
+
+    @staticmethod
+    def disk_key(signature: str, dtype) -> str:
+        """On-disk cache entry name for ``(signature, dtype, MODEL_VERSION)``.
+
+        A hash, not the raw signature: signatures embed the full physical
+        parameter table and overflow path-component limits on big
+        parameter sets.
+        """
+        text = f"{signature}|{np.dtype(dtype).name}|v{MODEL_VERSION}"
+        return hashlib.sha1(text.encode()).hexdigest()
+
+    @classmethod
+    def load_cached(
+        cls, network: PhotonicNoC, dtype, cache_dir: str
+    ) -> Optional["CouplingModel"]:
+        """Load a model from the on-disk cache, or ``None`` on any miss.
+
+        The arrays come back as read-only memory maps — a warm load is
+        I/O-free until the matrices are touched. Every failure mode
+        (absent entry, key mismatch after a hash collision, truncated or
+        corrupted arrays, unreadable metadata) returns ``None`` so the
+        caller rebuilds; the cache can only ever be a fast path.
+        """
+        entry = os.path.join(
+            str(cache_dir), cls.disk_key(network.signature, dtype)
+        )
+        try:
+            with open(os.path.join(entry, "meta.json")) as handle:
+                meta = json.load(handle)
+            if (
+                meta.get("signature") != network.signature
+                or meta.get("dtype") != np.dtype(dtype).name
+                or meta.get("model_version") != MODEL_VERSION
+            ):
+                return None
+            arrays = {
+                name: np.load(
+                    os.path.join(entry, f"{name}.npy"), mmap_mode="r"
+                )
+                for name in cls._DISK_ARRAYS
+            }
+            n_tiles = network.topology.n_tiles
+            n_pairs = n_tiles * n_tiles
+            if (
+                arrays["signal_linear"].shape != (n_pairs,)
+                or arrays["insertion_loss_db"].shape != (n_pairs,)
+                or arrays["coupling_linear"].shape != (n_pairs, n_pairs)
+                or arrays["coupling_linear"].dtype != np.dtype(dtype)
+            ):
+                return None
+            model = cls.__new__(cls)
+            model.network = network
+            model.n_tiles = n_tiles
+            model.n_pairs = n_pairs
+            model.signal_linear = arrays["signal_linear"]
+            model.insertion_loss_db = arrays["insertion_loss_db"]
+            model.coupling_linear = arrays["coupling_linear"]
+            model._coupling_T = None
+            model._csr = None
+            # nnz ships in the metadata: auto-backend evaluators resolve
+            # without faulting the whole memory-mapped matrix in.
+            nnz = meta.get("nnz")
+            model._nnz = int(nnz) if nnz is not None else None
+            model._shared_handles = {}
+            return model
+        except Exception:
+            return None
+
+    def save_cached(self, cache_dir: str) -> Optional[str]:
+        """Persist this model's arrays into the on-disk cache.
+
+        Writes into a private temporary directory and renames it into
+        place, so readers only ever see complete entries; a concurrent
+        writer winning the rename (or an unwritable ``cache_dir``) makes
+        this a silent no-op returning ``None`` — persisting is always
+        best-effort.
+        """
+        directory = str(cache_dir)
+        entry = os.path.join(
+            directory, self.disk_key(self.network.signature, self.coupling_linear.dtype)
+        )
+        tmp = f"{entry}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(tmp)
+            for name in self._DISK_ARRAYS:
+                np.save(
+                    os.path.join(tmp, f"{name}.npy"),
+                    np.ascontiguousarray(getattr(self, name)),
+                )
+            meta = {
+                "signature": self.network.signature,
+                "dtype": self.coupling_linear.dtype.name,
+                "model_version": MODEL_VERSION,
+                "n_tiles": self.n_tiles,
+                "nnz": self.nnz,
+            }
+            with open(os.path.join(tmp, "meta.json"), "w") as handle:
+                json.dump(meta, handle, indent=2, sort_keys=True)
+            if os.path.isdir(entry):  # stale/corrupt entry: replace it
+                import shutil
+
+                shutil.rmtree(entry, ignore_errors=True)
+            os.replace(tmp, entry)
+            return entry
+        except OSError:
+            import shutil
+
+            shutil.rmtree(tmp, ignore_errors=True)
+            return None
+
     @classmethod
     def for_network(
-        cls, network: PhotonicNoC, dtype=np.float64, use_cache: bool = True
+        cls,
+        network: PhotonicNoC,
+        dtype=np.float64,
+        use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+        build_workers: int = 1,
     ) -> "CouplingModel":
-        """Build (or fetch from the process cache) the model for a network."""
+        """Build (or fetch from a cache) the model for a network.
+
+        Resolution order: the process cache (when ``use_cache``), then
+        the on-disk cache (``cache_dir``, defaulting to
+        :func:`get_model_cache_dir`; loaded models are read-only memory
+        maps), then a fresh build — sharded across ``build_workers``
+        processes when more than one — which is persisted back to the
+        disk cache best-effort. Every path yields bit-identical matrices.
+        """
         key = cls.cache_key(network, dtype)
         if use_cache:
             cached = _CACHE.get(key)
             if cached is not None:
                 return cached
-        model = cls(network, dtype=dtype)
+        directory = cache_dir if cache_dir is not None else get_model_cache_dir()
+        model = None
+        if directory:
+            model = cls.load_cached(network, dtype, directory)
+        if model is None:
+            model = cls(network, dtype=dtype, build_workers=build_workers)
+            if directory:
+                model.save_cached(directory)
         if use_cache:
             _CACHE[key] = model
         return model

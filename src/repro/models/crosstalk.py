@@ -107,11 +107,16 @@ def pairwise_coupling_linear(
         return 0.0
     params = network.params
     # Where does the victim leave each element, and how does it enter it?
+    # First traversal wins on both maps: a path that re-enters an element
+    # (torus wraps, detour routings) meets the noise at its *first* pass
+    # — the "credit once, at the first shared encounter" rule of item 4
+    # above, and the semantics of the vectorized builder
+    # (:mod:`repro.models.coupling`), which this module cross-validates.
     victim_exits: Dict[Tuple[int, int], int] = {}
     victim_entries: Dict[int, Tuple[int, int]] = {}
     for position, step in enumerate(victim.traversals):
-        victim_exits[(step.element, step.out_port)] = position
-        victim_entries[step.element] = (position, step.in_port)
+        victim_exits.setdefault((step.element, step.out_port), position)
+        victim_entries.setdefault(step.element, (position, step.in_port))
 
     total = 0.0
     for index, step in enumerate(aggressor.traversals):

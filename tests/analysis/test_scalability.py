@@ -3,6 +3,22 @@
 import pytest
 
 from repro.analysis import format_scalability, scalability_study
+from repro.analysis.scalability import ScalabilityRow
+
+
+def _row(side, random_feasible, optimized_feasible):
+    return ScalabilityRow(
+        side=side,
+        n_tasks=side * side - 1,
+        random_loss_db=-30.0,
+        optimized_loss_db=-20.0,
+        random_snr_db=12.0,
+        optimized_snr_db=18.0,
+        random_laser_dbm=14.0,
+        optimized_laser_dbm=4.0,
+        random_feasible=random_feasible,
+        optimized_feasible=optimized_feasible,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -32,3 +48,28 @@ class TestScalability:
         text = format_scalability(small_study)
         assert "2x2" in text and "3x3" in text
         assert "laser" in text
+
+
+class TestFeasibilityColumns:
+    """The table must show *both* regimes: the frontier gap is the study's
+    headline, and it was invisible under a single 'feasible' column."""
+
+    def test_headers_show_both_regimes(self):
+        text = format_scalability([_row(3, True, True)])
+        assert "rnd feas" in text
+        assert "opt feas" in text
+        assert "feasible" not in text  # the old ambiguous column is gone
+
+    def test_frontier_gap_row_renders_no_then_yes(self):
+        text = format_scalability(
+            [_row(4, True, True), _row(6, False, True), _row(8, False, False)]
+        )
+        frontier = next(
+            line for line in text.splitlines() if line.lstrip().startswith("6x6")
+        )
+        cells = [cell.strip() for cell in frontier.split("|")]
+        assert cells[-2:] == ["NO", "yes"]
+        beyond = next(
+            line for line in text.splitlines() if line.lstrip().startswith("8x8")
+        )
+        assert [c.strip() for c in beyond.split("|")][-2:] == ["NO", "NO"]

@@ -22,7 +22,17 @@ from repro.models import (
     pairwise_coupling_linear,
     snr_db,
 )
+from repro.models.coupling import CouplingModel
 from repro.noc import PhotonicNoC, mesh
+from repro.noc.paths import NetworkPath, Traversal
+from repro.photonics.elements import (
+    A_IN,
+    B_IN,
+    ElementKind,
+    TraversalState,
+    straight_output,
+    traversal_emissions,
+)
 
 
 def coupling_db(network, victim_pair, aggressor_pair):
@@ -135,6 +145,134 @@ class TestAggregation:
                     mesh3_network, paths[v], paths[a]
                 )
                 assert value >= 0.0
+
+
+class TestRevisitingVictimPath:
+    """Regression for the reference/vectorized first-encounter divergence.
+
+    The reference walker used to key ``victim_entries``/``victim_exits``
+    by element with the *last* traversal winning, while the vectorized
+    builder credits the *first* — so any routing whose path re-enters an
+    element (torus wraps, detours) made the two models disagree.
+    Paper-faithful semantics: each (emission, victim) pair is counted
+    once, at the first shared encounter.
+
+    No organic crux path co-enters a walked guide (sharing the upstream
+    guide recurses into an exit join at the emitting element), so the
+    scenario synthesizes one: the victim path is extended with two
+    traversals of an element on an aggressor emission's walk — once
+    co-entering through the noise's port, once through the other guide.
+    Whichever comes *first* must decide the credit.
+    """
+
+    def _scenario(self, params):
+        """(network, victim_key, aggressor_key, co_enter, revisit).
+
+        Picks an aggressor emission walk element ``E1`` (non-waveguide,
+        reached by this aggressor's walks only through one port) and a
+        victim path that never visits ``E1`` nor exits the emission
+        channel, then builds the two lossless extension traversals.
+        """
+        network = PhotonicNoC(mesh(3, 3), params=params)
+        paths = network.all_paths()
+        for aggressor_key in sorted(paths):
+            aggressor = paths[aggressor_key]
+            walked = {}  # element -> set of noise in_ports, over all emissions
+            for step in aggressor.traversals:
+                info = network.element(step.element)
+                for emission in traversal_emissions(
+                    info.kind, step.in_port, step.out_port, step.state,
+                    network.params,
+                ):
+                    for element, in_port, _exit, _loss in emission_walk(
+                        network, step.element, emission.out_port
+                    ):
+                        walked.setdefault(element, set()).add(in_port)
+            for element in sorted(walked):
+                if len(walked[element]) != 1:
+                    continue  # both guides walked: A/B asymmetry lost
+                if network.element(element).kind is ElementKind.WAVEGUIDE:
+                    continue  # waveguides have no second input port
+                (in_port,) = walked[element]
+                other_in = B_IN if in_port == A_IN else A_IN
+                kind = network.element(element).kind
+                for victim_key in sorted(paths):
+                    if victim_key == aggressor_key:
+                        continue
+                    victim = paths[victim_key]
+                    if any(s.element == element for s in victim.traversals):
+                        continue
+                    co_enter = Traversal(
+                        element, in_port, straight_output(kind, in_port),
+                        TraversalState.PASSIVE,
+                    )
+                    revisit = Traversal(
+                        element, other_in, straight_output(kind, other_in),
+                        TraversalState.PASSIVE,
+                    )
+                    return network, victim_key, aggressor_key, co_enter, revisit
+        raise AssertionError("no revisiting scenario found on mesh3")
+
+    @staticmethod
+    def _extend(path, extra):
+        return NetworkPath(
+            path.src,
+            path.dst,
+            tuple(path.traversals) + tuple(extra),
+            list(path.losses_db) + [0.0] * len(extra),
+        )
+
+    def test_first_traversal_wins(self, params):
+        network, victim_key, aggressor_key, co_enter, revisit = self._scenario(
+            params
+        )
+        paths = network.all_paths()
+        victim, aggressor = paths[victim_key], paths[aggressor_key]
+        original = pairwise_coupling_linear(network, victim, aggressor)
+        co_first = pairwise_coupling_linear(
+            network, self._extend(victim, (co_enter, revisit)), aggressor
+        )
+        co_last = pairwise_coupling_linear(
+            network, self._extend(victim, (revisit, co_enter)), aggressor
+        )
+        # Co-entering first receives the walked noise; the lossless
+        # re-entry through the other guide afterwards must not undo it.
+        assert co_first > original
+        # Entering through the other guide first shields the victim — the
+        # ON-ring diversion rule — and the later co-entry is not credited.
+        # (The last-wins bug inverted both outcomes.)
+        assert co_last == pytest.approx(original, rel=1e-12)
+
+    @pytest.mark.parametrize("order", ["co_first", "co_last"])
+    def test_reference_matches_vectorized_on_revisiting_path(
+        self, params, order
+    ):
+        network, victim_key, aggressor_key, co_enter, revisit = self._scenario(
+            params
+        )
+        extra = (
+            (co_enter, revisit) if order == "co_first" else (revisit, co_enter)
+        )
+        patched = self._extend(network.all_paths()[victim_key], extra)
+        # Inject the synthetic revisiting path into a fresh network's
+        # path cache so the vectorized builder sees exactly what the
+        # reference walker scores.
+        network2 = PhotonicNoC(mesh(3, 3), params=params)
+        network2.all_paths()
+        network2._paths[victim_key] = patched
+        model = CouplingModel(network2)
+        paths = network2.all_paths()
+        victim_pair = model.pair_index(*victim_key)
+        for key, aggressor in sorted(paths.items()):
+            if key == victim_key:
+                continue
+            reference = pairwise_coupling_linear(network2, patched, aggressor)
+            vectorized = model.coupling_linear[
+                victim_pair, model.pair_index(*key)
+            ]
+            assert vectorized == pytest.approx(
+                reference, rel=1e-9, abs=1e-18
+            ), key
 
 
 class TestEmissionWalk:

@@ -75,6 +75,23 @@ class TestSharedExportLifecycle:
         replacement.close()
         sparse.close()
 
+    def test_spec_ships_nnz_and_attach_seeds_it(self, mesh3_network, monkeypatch):
+        """A dense-flavour attach must not re-scan the shared matrix to
+        resolve ``backend="auto"``: the nonzero count ships in the spec."""
+        model = CouplingModel.for_network(mesh3_network)
+        expected = model.nnz
+        with model.export_shared(with_transpose=True, with_csr=False) as handle:
+            assert handle.spec.nnz == expected
+            attached = CouplingModel.attach_shared(handle.spec, mesh3_network)
+            assert attached._nnz == expected
+
+            def no_scan(*args, **kwargs):
+                raise AssertionError("attached model re-scanned the matrix")
+
+            monkeypatch.setattr(np, "count_nonzero", no_scan)
+            assert attached.nnz == expected
+            assert attached.density == pytest.approx(model.density)
+
     def test_csr_flavour_round_trips_through_attach(self, mesh3_network):
         model = CouplingModel.for_network(mesh3_network)
         csr = model.csr()
