@@ -1,0 +1,241 @@
+"""Load test of the ``phonocmap serve`` daemon and its batch coalescing.
+
+Starts an in-process :class:`~repro.service.server.ServiceServer` on a
+unix socket and hammers it with concurrent clients issuing a mixed
+workload — ``distribution`` sweeps, ``optimize`` runs and ``evaluate``
+batches over the same application signature — then reports:
+
+* throughput (requests/second) and per-request latency (p50 / p99);
+* the coalescing ratio (batch submissions per merged flight) from the
+  daemon's own ``stats`` endpoint, asserting that cross-request
+  coalescing actually engaged (merged flights carried more than one
+  request's rows);
+* bit-identity: every concurrent response is compared against the
+  equivalent offline run with the same seed, which must match exactly —
+  the determinism contract of ``docs/ARCHITECTURE.md``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                # 4 clients, full mix
+    PYTHONPATH=src python benchmarks/bench_service.py --clients 8
+    PYTHONPATH=src python benchmarks/bench_service.py --quick        # CI wiring check
+
+Paper artefact: none (engineering bench for the mapping-as-a-service
+layer; the underlying metrics are the paper's eq. (5)/(6) pipeline).
+Expected runtime: ~1-2 minutes; a few seconds with ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+from typing import List, Optional
+
+try:  # script mode (python benchmarks/bench_service.py)
+    from common import add_json_argument, record_bench
+except ImportError:  # package mode (pytest from the repo root)
+    from benchmarks.common import add_json_argument, record_bench
+
+
+def _workload(app: str, rounds: int, budget: int, samples: int) -> List[dict]:
+    """The request mix one client works through (all seeds distinct)."""
+    requests = []
+    for round_index in range(rounds):
+        base = 1000 * (round_index + 1)
+        requests.append(
+            {"kind": "distribution", "app": app, "samples": samples,
+             "seed": base + 1}
+        )
+        requests.append(
+            {"kind": "optimize", "app": app, "strategy": "rs",
+             "budget": budget, "seed": base + 2}
+        )
+        requests.append(
+            {"kind": "evaluate", "app": app, "n_random": 64,
+             "seed": base + 3}
+        )
+    return requests
+
+
+def _offline_reference(app: str, request: dict) -> dict:
+    """The offline counterpart of one request (same seed, no daemon)."""
+    import numpy as np
+
+    from repro.analysis.distribution import random_mapping_distribution
+    from repro.analysis.experiments import build_case_study_network
+    from repro.appgraph.benchmarks import grid_side_for, load_benchmark
+    from repro.core.dse import DesignSpaceExplorer
+    from repro.core.mapping import random_assignment_batch
+    from repro.core.problem import MappingProblem
+
+    cg = load_benchmark(app)
+    network = build_case_study_network("mesh", grid_side_for(cg), "crux")
+    if request["kind"] == "distribution":
+        result = random_mapping_distribution(
+            cg, network, n_samples=request["samples"], seed=request["seed"]
+        )
+        return {"worst_snr_db": result.worst_snr_db.tolist()}
+    if request["kind"] == "optimize":
+        with DesignSpaceExplorer(MappingProblem(cg, network)) as explorer:
+            result = explorer.run(
+                "rs", budget=request["budget"], seed=request["seed"]
+            )
+        return {
+            "best_score": result.best_score,
+            "assignment": result.best_mapping.assignment.tolist(),
+        }
+    problem = MappingProblem(cg, network)
+    evaluator = problem.evaluator()
+    rows = random_assignment_batch(
+        request["n_random"], evaluator.n_tasks, evaluator.n_tiles,
+        np.random.default_rng(request["seed"]),
+    )
+    metrics = evaluator.evaluate_batch(rows)
+    evaluator.close()
+    return {"worst_snr_db": metrics.worst_snr_db.tolist()}
+
+
+def _matches(request: dict, response: dict, reference: dict) -> bool:
+    result = response["result"]
+    return all(result[field] == value for field, value in reference.items())
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_bench(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--app", default="pip")
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client threads (default: 4; minimum 2 — the "
+             "bench exists to measure cross-request coalescing)",
+    )
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="workload rounds per client (default: 4)")
+    parser.add_argument("--budget", type=int, default=512)
+    parser.add_argument("--samples", type=int, default=1024)
+    parser.add_argument(
+        "--coalesce-window", type=float, default=0.004, metavar="S",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI wiring check: 2 clients, 1 round, tiny budgets",
+    )
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.clients = max(2, min(args.clients, 2))
+        args.rounds = 1
+        args.budget = 128
+        args.samples = 256
+    if args.clients < 2:
+        parser.error("--clients must be >= 2 (coalescing needs concurrency)")
+
+    import tempfile
+    import os
+
+    from repro.service import ServiceClient, ServiceCore, ServiceServer
+
+    core = ServiceCore(n_workers=1, coalesce_window_s=args.coalesce_window)
+    latencies: List[float] = []
+    latency_lock = threading.Lock()
+    responses: List[tuple] = []
+    failures: List[tuple] = []
+
+    def client_loop(client_index: int, path: str) -> None:
+        requests = _workload(args.app, args.rounds, args.budget, args.samples)
+        # Stagger seeds per client so every request is distinct work.
+        for request in requests:
+            request["seed"] += 100_000 * client_index
+        with ServiceClient(socket_path=path) as client:
+            for request in requests:
+                started = time.perf_counter()
+                response = client.request(request)
+                elapsed = time.perf_counter() - started
+                with latency_lock:
+                    latencies.append(elapsed)
+                    if response.get("ok"):
+                        responses.append((request, response))
+                    else:
+                        failures.append((request, response))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.sock")
+        with ServiceServer(core, socket_path=path):
+            threads = [
+                threading.Thread(target=client_loop, args=(index, path))
+                for index in range(args.clients)
+            ]
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_start
+            with ServiceClient(socket_path=path) as client:
+                stats = client.request({"kind": "stats"})["result"]
+
+    assert not failures, f"{len(failures)} requests failed: {failures[:2]}"
+    n_requests = len(responses)
+    throughput = n_requests / wall
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    totals = stats["coalescing"]["totals"]
+
+    print(f"service load test: {args.clients} clients x "
+          f"{len(_workload(args.app, args.rounds, 0, 0))} requests "
+          f"({args.app}, budget={args.budget}, samples={args.samples})")
+    print(f"  wall time      {wall:8.2f} s")
+    print(f"  throughput     {throughput:8.2f} req/s")
+    print(f"  latency p50    {p50 * 1000:8.1f} ms")
+    print(f"  latency p99    {p99 * 1000:8.1f} ms")
+    print(f"  flights        {totals['flights']:5d}")
+    print(f"  batches        {totals['batches']:5d}")
+    print(f"  coalesced      {totals['coalesced_batches']:5d}")
+    print(f"  ratio          {totals['coalescing_ratio']:8.2f} batches/flight")
+
+    # The tentpole must actually engage: merged flights carried more
+    # submissions than there were flights.
+    assert totals["batches"] > totals["flights"] > 0, (
+        "cross-request coalescing never engaged: " + repr(totals)
+    )
+    assert totals["coalesced_batches"] > 0
+
+    # Determinism spot-check: the slowest kinds to verify offline are
+    # sampled, every sampled response must match bit for bit.
+    checked = 0
+    for request, response in responses[:: max(1, len(responses) // 6)]:
+        reference = _offline_reference(args.app, request)
+        assert _matches(request, response, reference), (
+            f"response diverged from offline run: {request}"
+        )
+        checked += 1
+    print(f"  verified       {checked} responses bit-identical offline")
+
+    record_bench(
+        args,
+        "service",
+        app=args.app,
+        clients=args.clients,
+        rounds=args.rounds,
+        budget=args.budget,
+        samples=args.samples,
+        n_requests=n_requests,
+        wall_s=wall,
+        requests_per_s=throughput,
+        latency_p50_ms=p50 * 1000,
+        latency_p99_ms=p99 * 1000,
+        coalescing=totals,
+        verified_bit_identical=checked,
+        quick=bool(args.quick),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_bench())

@@ -82,6 +82,7 @@ def random_mapping_distribution(
     n_workers: int = 1,
     dtype=np.float64,
     backend: str = "auto",
+    evaluator: Optional[MappingEvaluator] = None,
 ) -> DistributionResult:
     """Sample random mappings and record both worst-case metrics.
 
@@ -110,6 +111,14 @@ def random_mapping_distribution(
     backend : {"auto", "dense", "sparse"}, optional
         Noise-contraction backend of the evaluator (default ``"auto"``,
         selected by measured coupling density).
+    evaluator : MappingEvaluator, optional
+        Pre-built evaluator to sample through instead of constructing
+        one (``dtype``, ``backend`` and ``n_workers`` are then taken
+        from it). The service layer passes its coalescing evaluator
+        here, so concurrent distribution requests share merged batch
+        flights; any compliant evaluator yields the same samples —
+        generation depends only on ``seed``, and batch evaluation is
+        row-local — so the result stays bit-identical to the default.
 
     Returns
     -------
@@ -118,10 +127,11 @@ def random_mapping_distribution(
     """
     if n_samples < 1:
         raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
-    problem = MappingProblem(cg, network, Objective.SNR)
-    evaluator = MappingEvaluator(
-        problem, dtype=dtype, n_workers=n_workers, backend=backend
-    )
+    if evaluator is None:
+        problem = MappingProblem(cg, network, Objective.SNR)
+        evaluator = MappingEvaluator(
+            problem, dtype=dtype, n_workers=n_workers, backend=backend
+        )
     rng = np.random.default_rng(seed)
     snr = np.empty(n_samples, dtype=np.float64)
     loss = np.empty(n_samples, dtype=np.float64)

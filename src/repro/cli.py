@@ -1,6 +1,10 @@
 """The ``phonocmap`` command line tool.
 
-Subcommands mirror the workflows of the original toolset:
+Subcommands are declared in a registry (:data:`SUBCOMMANDS`) — one
+entry per command bundling its name, help line, argument wiring and
+implementation — in the shape of subcommand-module CLIs, so adding a
+command is one list entry instead of edits in three places. The
+commands mirror the workflows of the original toolset:
 
 * ``info``        — list registered routers, strategies and benchmarks;
 * ``table1``      — print the physical parameter table (paper Table I);
@@ -9,15 +13,18 @@ Subcommands mirror the workflows of the original toolset:
 * ``table2``      — reproduce the paper's Table II;
 * ``fig3``        — reproduce the paper's Fig. 3 distributions;
 * ``scalability`` — the network-scalability extension study;
-* ``export``      — dump a benchmark CG as JSON/DOT/edge list.
+* ``export``      — dump a benchmark CG as JSON/DOT/edge list;
+* ``serve``       — the long-running mapping service daemon.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -45,7 +52,7 @@ from repro.core.registry import available_strategies
 from repro.errors import ReproError
 from repro.router.registry import available_routers
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "SUBCOMMANDS"]
 
 
 def _add_evaluator_arguments(parser: argparse.ArgumentParser) -> None:
@@ -115,122 +122,168 @@ def _build_network(args: argparse.Namespace, cg):
     return build_case_study_network(args.topology, side, args.router)
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="phonocmap",
-        description=(
-            "PhoNoCMap reproduction: application mapping design-space "
-            "exploration for photonic networks-on-chip (DATE 2016)"
-        ),
-    )
-    parser.add_argument("--version", action="version", version=__version__)
-    subparsers = parser.add_subparsers(dest="command", required=True)
+# ---------------------------------------------------------------------------
+# Subcommand argument wiring
+# ---------------------------------------------------------------------------
 
-    subparsers.add_parser("info", help="list routers, strategies, benchmarks")
-    subparsers.add_parser("table1", help="print Table I parameters")
 
-    evaluate = subparsers.add_parser(
-        "evaluate", help="evaluate one mapping (random unless --mapping-json)"
-    )
-    _add_application_arguments(evaluate)
-    _add_architecture_arguments(evaluate)
-    evaluate.add_argument(
+def _configure_info(parser: argparse.ArgumentParser) -> None:
+    pass
+
+
+def _configure_table1(parser: argparse.ArgumentParser) -> None:
+    pass
+
+
+def _configure_evaluate(parser: argparse.ArgumentParser) -> None:
+    _add_application_arguments(parser)
+    _add_architecture_arguments(parser)
+    parser.add_argument(
         "--mapping-json", metavar="FILE",
         help="JSON {task: tile} mapping; random when omitted",
     )
-    evaluate.add_argument("--seed", type=int, default=None)
-    evaluate.add_argument(
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
         "--per-edge", action="store_true", help="print per-edge metrics"
     )
-    evaluate.add_argument(
+    parser.add_argument(
         "--report", action="store_true",
         help="print the full mapping report with noise breakdowns",
     )
-    _add_model_cache_argument(evaluate)
+    # The same evaluator knobs every other heavy subcommand exposes
+    # (--float32 / --backend / --model-cache) — `evaluate` used to take
+    # only --model-cache and silently score at float64/dense defaults.
+    _add_evaluator_arguments(parser)
 
-    optimize = subparsers.add_parser("optimize", help="run one strategy")
-    _add_application_arguments(optimize)
-    _add_architecture_arguments(optimize)
-    optimize.add_argument(
+
+def _configure_optimize(parser: argparse.ArgumentParser) -> None:
+    _add_application_arguments(parser)
+    _add_architecture_arguments(parser)
+    parser.add_argument(
         "--objective", choices=("snr", "loss"), default="snr",
         help="optimization objective (default: snr)",
     )
-    optimize.add_argument(
+    parser.add_argument(
         "--strategy", choices=available_strategies(), default="r-pbla"
     )
-    optimize.add_argument("--budget", type=int, default=20_000)
-    optimize.add_argument("--seed", type=int, default=None)
-    optimize.add_argument(
+    parser.add_argument("--budget", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for parallel DSE (default: 1, sequential)",
     )
-    optimize.add_argument(
+    parser.add_argument(
         "--no-delta", action="store_true",
         help="force full (non-incremental) evaluation of every candidate",
     )
-    optimize.add_argument(
+    parser.add_argument(
         "--mapping-out", metavar="FILE", help="write the best mapping as JSON"
     )
-    _add_evaluator_arguments(optimize)
+    _add_evaluator_arguments(parser)
 
-    table2 = subparsers.add_parser("table2", help="reproduce Table II")
-    table2.add_argument("--budget", type=int, default=20_000)
-    table2.add_argument("--seed", type=int, default=2016)
-    table2.add_argument(
+
+def _configure_table2(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--budget", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes per strategy comparison (default: 1)",
     )
-    table2.add_argument(
+    parser.add_argument(
         "--no-delta", action="store_true",
         help="force full (non-incremental) evaluation of every candidate",
     )
-    table2.add_argument(
+    parser.add_argument(
         "--apps", nargs="+", choices=BENCHMARK_NAMES, default=list(BENCHMARK_NAMES)
     )
-    table2.add_argument("--router", default="crux", choices=available_routers())
-    table2.add_argument(
+    parser.add_argument("--router", default="crux", choices=available_routers())
+    parser.add_argument(
         "--with-paper", action="store_true",
         help="print the paper's numbers next to the measured ones",
     )
-    _add_evaluator_arguments(table2)
+    _add_evaluator_arguments(parser)
 
-    fig3 = subparsers.add_parser("fig3", help="reproduce Fig. 3")
-    fig3.add_argument("--samples", type=int, default=100_000)
-    fig3.add_argument("--seed", type=int, default=2016)
-    fig3.add_argument(
+
+def _configure_fig3(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes sharding the batch evaluations "
              "(default: 1, sequential; results are identical either way)",
     )
-    fig3.add_argument(
+    parser.add_argument(
         "--apps", nargs="+", choices=BENCHMARK_NAMES, default=list(BENCHMARK_NAMES)
     )
-    fig3.add_argument(
+    parser.add_argument(
         "--curves", action="store_true", help="also print ASCII CDF curves"
     )
-    _add_evaluator_arguments(fig3)
+    _add_evaluator_arguments(parser)
 
-    scalability = subparsers.add_parser(
-        "scalability", help="network scalability extension study"
-    )
-    scalability.add_argument(
+
+def _configure_scalability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
         "--sides", nargs="+", type=int, default=[3, 4, 5, 6]
     )
-    scalability.add_argument("--budget", type=int, default=4000)
-    scalability.add_argument("--seed", type=int, default=7)
-    scalability.add_argument(
+    parser.add_argument("--budget", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes shared by the per-size runs and sampling "
              "(default: 1, sequential)",
     )
-    _add_model_cache_argument(scalability)
+    _add_model_cache_argument(parser)
 
-    export = subparsers.add_parser("export", help="dump a benchmark CG")
-    export.add_argument("--app", choices=BENCHMARK_NAMES, required=True)
-    export.add_argument(
+
+def _configure_export(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", choices=BENCHMARK_NAMES, required=True)
+    parser.add_argument(
         "--format", choices=("json", "dot", "edges"), default="json"
     )
-    return parser
+
+
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    endpoint = parser.add_mutually_exclusive_group(required=True)
+    endpoint.add_argument(
+        "--socket", metavar="PATH",
+        help="serve newline-delimited JSON requests on this unix socket",
+    )
+    endpoint.add_argument(
+        "--port", type=int, metavar="N",
+        help="serve HTTP POST requests on 127.0.0.1:N (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes the coalesced batch flights shard "
+             "across (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="requests executing concurrently (default: 4)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=16,
+        help="admitted requests waiting for a slot before new ones "
+             "are rejected with a 429-style error (default: 16)",
+    )
+    parser.add_argument(
+        "--max-budget", type=int, default=1_000_000,
+        help="per-request optimize budget cap (default: 1,000,000)",
+    )
+    parser.add_argument(
+        "--max-samples", type=int, default=2_000_000,
+        help="per-request distribution sample cap (default: 2,000,000)",
+    )
+    parser.add_argument(
+        "--max-mappings", type=int, default=100_000,
+        help="per-request evaluate row cap (default: 100,000)",
+    )
+    parser.add_argument(
+        "--coalesce-window", type=float, default=0.004, metavar="SECONDS",
+        help="how long a batch flight lingers for concurrent "
+             "same-signature requests to join it (default: 0.004)",
+    )
+    _add_model_cache_argument(parser)
 
 
 # ---------------------------------------------------------------------------
@@ -262,7 +315,9 @@ def _cmd_evaluate(args) -> int:
     cg = _load_application(args)
     network = _build_network(args, cg)
     problem = MappingProblem(cg, network)
-    evaluator = problem.evaluator()
+    evaluator = problem.evaluator(
+        dtype=_evaluator_dtype(args), backend=args.backend
+    )
     if args.mapping_json:
         with open(args.mapping_json) as handle:
             placement = json.load(handle)
@@ -362,19 +417,106 @@ def _cmd_export(args) -> int:
     return 0
 
 
-_COMMANDS = {
-    "info": _cmd_info,
-    "table1": _cmd_table1,
-    "evaluate": _cmd_evaluate,
-    "optimize": _cmd_optimize,
-    "table2": _cmd_table2,
-    "fig3": _cmd_fig3,
-    "scalability": _cmd_scalability,
-    "export": _cmd_export,
-}
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.service import ServiceCore, ServiceLimits, ServiceServer
+
+    core = ServiceCore(
+        n_workers=args.workers,
+        model_cache_dir=args.model_cache,
+        limits=ServiceLimits(
+            max_inflight=args.max_inflight,
+            queue_size=args.queue_size,
+            max_budget=args.max_budget,
+            max_samples=args.max_samples,
+            max_mappings=args.max_mappings,
+        ),
+        coalesce_window_s=args.coalesce_window,
+    )
+    server = ServiceServer(core, socket_path=args.socket, port=args.port)
+    stop = threading.Event()
+    previous_sigterm = None
+    try:
+        # SIGTERM rides the same graceful path as Ctrl-C: stop accepting,
+        # drain in-flight requests, shutdown_pools(), unlink the socket.
+        previous_sigterm = signal.signal(
+            signal.SIGTERM, lambda signum, frame: stop.set()
+        )
+    except ValueError:
+        pass  # not the main thread (embedded/test use): signals stay as-is
+    server.start()
+    print(f"phonocmap serve: listening on {server.address}", flush=True)
+    try:
+        while not stop.wait(0.2):
+            pass
+        return 0
+    finally:
+        server.stop()
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+        print("phonocmap serve: drained and shut down", file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# Subcommand registry (the shape of subcommand-module CLIs: each entry
+# owns its name, help line, parser wiring and implementation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Subcommand:
+    """One CLI subcommand: its name, help, argument wiring and body."""
+
+    name: str
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace], int]
+
+
+SUBCOMMANDS = (
+    Subcommand("info", "list routers, strategies, benchmarks",
+               _configure_info, _cmd_info),
+    Subcommand("table1", "print Table I parameters",
+               _configure_table1, _cmd_table1),
+    Subcommand("evaluate", "evaluate one mapping (random unless --mapping-json)",
+               _configure_evaluate, _cmd_evaluate),
+    Subcommand("optimize", "run one strategy",
+               _configure_optimize, _cmd_optimize),
+    Subcommand("table2", "reproduce Table II",
+               _configure_table2, _cmd_table2),
+    Subcommand("fig3", "reproduce Fig. 3",
+               _configure_fig3, _cmd_fig3),
+    Subcommand("scalability", "network scalability extension study",
+               _configure_scalability, _cmd_scalability),
+    Subcommand("export", "dump a benchmark CG",
+               _configure_export, _cmd_export),
+    Subcommand("serve", "run the long-lived mapping-service daemon",
+               _configure_serve, _cmd_serve),
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the ``phonocmap`` parser from the subcommand registry."""
+    parser = argparse.ArgumentParser(
+        prog="phonocmap",
+        description=(
+            "PhoNoCMap reproduction: application mapping design-space "
+            "exploration for photonic networks-on-chip (DATE 2016)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for command in SUBCOMMANDS:
+        subparser = subparsers.add_parser(command.name, help=command.help)
+        command.configure(subparser)
+        subparser.set_defaults(run=command.run)
+    return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, dispatch, and translate failures to exit codes."""
     parser = build_parser()
     args = parser.parse_args(argv)
     from repro.models.coupling import get_model_cache_dir, set_model_cache_dir
@@ -388,10 +530,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "model_cache", None):
         set_model_cache_dir(args.model_cache)
     try:
-        return _COMMANDS[args.command](args)
+        return args.run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # `phonocmap table2 | head`: the pipe consumer is gone, which is
+        # the reader's normal way of saying "enough". Point stdout at
+        # /dev/null so the interpreter's exit-time flush of the dead
+        # pipe cannot raise a second traceback, then exit cleanly.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass  # stdout has no real fd (captured/redirected streams)
+        return 0
+    except KeyboardInterrupt:
+        print(file=sys.stderr)  # move past a partially printed line
+        return 130  # 128 + SIGINT, the shell convention
     finally:
         set_model_cache_dir(previous_cache_dir)
 

@@ -167,6 +167,37 @@ class PendingBatch:
             return True
         return all(future.done() for future in self._futures)
 
+    def tables(self):
+        """Collect (blocking if needed) the raw per-row metric tables.
+
+        Returns
+        -------
+        tuple of numpy.ndarray
+            ``(worst_il, worst_snr, mean_snr, weighted_il)`` per-row
+            vectors — the objective-free tables the pool workers return.
+            Unlike :meth:`result` this charges **nothing** to the
+            evaluator's evaluation counter: it is the seam the service
+            layer's cross-request batch coalescer uses to score one
+            merged flight and re-split it per request, each request
+            applying its own objective and charging its own evaluator.
+        """
+        if self._tables is None:
+            if self._futures is None:
+                raise RuntimeError(
+                    "batch tables were already consumed by result()"
+                )
+            try:
+                parts = [future.result() for future in self._futures]
+            except Exception:
+                if self._pool is not None:
+                    self._pool.broken = True
+                raise
+            self._tables = tuple(
+                np.concatenate(columns) for columns in zip(*parts)
+            )
+            self._futures = None
+        return self._tables
+
     def result(self) -> BatchMetrics:
         """Collect (blocking if needed) and return the batch metrics.
 
@@ -183,21 +214,8 @@ class PendingBatch:
         re-charging.
         """
         if self._metrics is None:
-            if self._futures is not None:
-                try:
-                    parts = [future.result() for future in self._futures]
-                except Exception:
-                    if self._pool is not None:
-                        self._pool.broken = True
-                    raise
-                tables = tuple(
-                    np.concatenate(columns) for columns in zip(*parts)
-                )
-                self._futures = None
-            else:
-                tables = self._tables
+            worst_il, worst_snr, mean_snr, weighted_il = self.tables()
             self._tables = None
-            worst_il, worst_snr, mean_snr, weighted_il = tables
             self._evaluator.evaluations += self._n
             score = self._evaluator._score(
                 worst_il, worst_snr, mean_snr, weighted_il

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import threading
 from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Optional, Tuple
@@ -64,7 +65,18 @@ MAX_POOLS = 3
 #: key -> pool, in least-recently-used-first order.
 _POOLS: "OrderedDict[Tuple, PersistentPool]" = OrderedDict()
 
+#: Guards the registry: the ``serve`` daemon hits :func:`get_pool` /
+#: :func:`release_pools` from concurrent request-handler and coalescer
+#: threads, and an OrderedDict mutated during eviction is not
+#: thread-safe on its own. Reentrant because eviction closes pools
+#: while the lock is held.
+_LOCK = threading.RLock()
+
 _ATEXIT_REGISTERED = False
+
+#: First element of every :class:`BuildPool` key; problem-pool keys
+#: start with a CG content hash, which can never collide with this.
+_BUILD_POOL_TAG = "model-build"
 
 
 def _cg_fingerprint(problem: MappingProblem) -> str:
@@ -234,17 +246,23 @@ class BuildPool(_PoolBase):
 
 
 def _register_pool(key: Tuple, pool) -> None:
-    """Insert a pool into the LRU registry, evicting and hooking atexit."""
+    """Insert a pool into the LRU registry, evicting and hooking atexit.
+
+    Callers hold :data:`_LOCK` (reentrant, so the nested acquisition is
+    free); eviction closes with ``wait=True`` under the lock, which is
+    safe because a closing pool never re-enters the registry.
+    """
     global _ATEXIT_REGISTERED
-    _POOLS[key] = pool
-    while len(_POOLS) > MAX_POOLS:
-        _, evicted = _POOLS.popitem(last=False)
-        evicted.close(wait=True)
-    if not _ATEXIT_REGISTERED:
-        # Registered after CouplingModel's export-unlink hook, so LIFO
-        # atexit order shuts workers down before segments are unlinked.
-        atexit.register(shutdown_pools)
-        _ATEXIT_REGISTERED = True
+    with _LOCK:
+        _POOLS[key] = pool
+        while len(_POOLS) > MAX_POOLS:
+            _, evicted = _POOLS.popitem(last=False)
+            evicted.close(wait=True)
+        if not _ATEXIT_REGISTERED:
+            # Registered after CouplingModel's export-unlink hook, so LIFO
+            # atexit order shuts workers down before segments are unlinked.
+            atexit.register(shutdown_pools)
+            _ATEXIT_REGISTERED = True
 
 
 def get_pool(
@@ -289,18 +307,23 @@ def get_pool(
     they attach are unlinked.
     """
     key = pool_key(problem, dtype, n_workers, backend)
-    pool = _POOLS.get(key)
-    if pool is not None:
-        if not pool.broken:
-            _POOLS.move_to_end(key)
-            return pool
-        _POOLS.pop(key, None)
-        pool.close(wait=False)
-    pool = PersistentPool(
-        key, problem, dtype, n_workers, backend, model_cache_dir
-    )
-    _register_pool(key, pool)
-    return pool
+    with _LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None:
+            if not pool.broken:
+                _POOLS.move_to_end(key)
+                return pool
+            _POOLS.pop(key, None)
+            # wait=True: a dying worker must be reaped before its
+            # replacement attaches the same shared-memory segments — a
+            # straggler outliving the registry entry could otherwise
+            # hold attachments past the exporter's unlink.
+            pool.close(wait=True)
+        pool = PersistentPool(
+            key, problem, dtype, n_workers, backend, model_cache_dir
+        )
+        _register_pool(key, pool)
+        return pool
 
 
 def get_build_pool(n_workers: int) -> BuildPool:
@@ -311,23 +334,33 @@ def get_build_pool(n_workers: int) -> BuildPool:
     LRU/atexit registry as the problem pools, under a key no problem
     pool can collide with.
     """
-    key = ("model-build", int(n_workers))
-    pool = _POOLS.get(key)
-    if pool is not None:
-        if not pool.broken:
-            _POOLS.move_to_end(key)
-            return pool
-        _POOLS.pop(key, None)
-        pool.close(wait=False)
-    pool = BuildPool(key, n_workers)
-    _register_pool(key, pool)
-    return pool
+    key = (_BUILD_POOL_TAG, int(n_workers))
+    with _LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None:
+            if not pool.broken:
+                _POOLS.move_to_end(key)
+                return pool
+            _POOLS.pop(key, None)
+            pool.close(wait=True)  # see get_pool: reap before replacing
+        pool = BuildPool(key, n_workers)
+        _register_pool(key, pool)
+        return pool
 
 
 def release_pools(
-    problem: Optional[MappingProblem] = None, dtype=None
+    problem: Optional[MappingProblem] = None,
+    dtype=None,
+    backend: Optional[str] = None,
+    include_build_pools: bool = False,
 ) -> int:
-    """Shut down pools serving ``problem`` (all pools when ``None``).
+    """Shut down pools matching the given filters (all pools when none).
+
+    A resident daemon uses this to evict one tenant's warm state without
+    killing unrelated pools: every component of the pool key can be
+    filtered on, and the problem-free :class:`BuildPool` — otherwise
+    only reachable through :func:`shutdown_pools` — is released on
+    request too.
 
     Parameters
     ----------
@@ -335,30 +368,50 @@ def release_pools(
         When given, only pools whose key matches this problem's CG and
         network are closed; pools for other problems stay warm.
     dtype : numpy dtype-like, optional
-        Further restrict the match to pools of this coupling dtype.
+        Restrict the match to pools of this coupling dtype.
+    backend : str, optional
+        Restrict the match to pools of this resolved contraction
+        backend (``"dense"`` or ``"sparse"`` — backend is part of the
+        pool key, so mixed-backend tenants can be evicted selectively).
+    include_build_pools : bool, optional
+        Also close the model-build pools (default False: build pools
+        are problem-free and shared, so targeted releases leave them
+        warm). With no other filter set, everything — build pools
+        included — is released regardless, preserving the historical
+        ``release_pools()`` contract.
 
     Returns
     -------
     int
         Number of pools shut down.
     """
-    if problem is None:
-        count = len(_POOLS)
-        shutdown_pools()
-        return count
-    fingerprint = _cg_fingerprint(problem)
-    signature = problem.network.signature
+    unfiltered = problem is None and dtype is None and backend is None
+    fingerprint = signature = None
+    if problem is not None:
+        fingerprint = _cg_fingerprint(problem)
+        signature = problem.network.signature
     dtype_name = None if dtype is None else np.dtype(dtype).name
-    victims = [
-        key
-        for key in _POOLS
-        if key[0] == fingerprint
-        and key[1] == signature
-        and (dtype_name is None or key[2] == dtype_name)
-    ]
-    for key in victims:
-        _POOLS.pop(key).close(wait=True)
-    return len(victims)
+    backend_name = None if backend is None else str(backend)
+    with _LOCK:
+        victims = []
+        for key in _POOLS:
+            if key[0] == _BUILD_POOL_TAG:
+                if include_build_pools or unfiltered:
+                    victims.append(key)
+                continue
+            if fingerprint is not None and (
+                key[0] != fingerprint or key[1] != signature
+            ):
+                continue
+            if dtype_name is not None and key[2] != dtype_name:
+                continue
+            if backend_name is not None and key[3] != backend_name:
+                continue
+            victims.append(key)
+        pools = [_POOLS.pop(key) for key in victims]
+    for pool in pools:
+        pool.close(wait=True)
+    return len(pools)
 
 
 def shutdown_pools() -> None:
@@ -368,6 +421,9 @@ def shutdown_pools() -> None:
     ``DesignSpaceExplorer.close()`` / ``MappingEvaluator.close()``) to
     reclaim the worker processes earlier, e.g. between pytest sessions.
     """
-    while _POOLS:
-        _, pool = _POOLS.popitem(last=False)
+    while True:
+        with _LOCK:
+            if not _POOLS:
+                return
+            _, pool = _POOLS.popitem(last=False)
         pool.close(wait=True)

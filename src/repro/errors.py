@@ -38,3 +38,18 @@ class MappingError(ReproError):
 
 class OptimizationError(ReproError):
     """An optimization strategy was configured or used incorrectly."""
+
+
+class ServiceError(ReproError):
+    """A mapping-service request is invalid or cannot be admitted.
+
+    Carries an HTTP-style ``status`` (400 for malformed or over-budget
+    requests, 429 when the admission queue is full, 500 for internal
+    failures) and a short machine-readable ``kind`` so clients can
+    discriminate failure modes without parsing the message.
+    """
+
+    def __init__(self, message: str, status: int = 400, kind: str = "bad_request"):
+        super().__init__(message)
+        self.status = int(status)
+        self.kind = str(kind)

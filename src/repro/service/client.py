@@ -1,0 +1,143 @@
+"""A small synchronous client for the mapping service.
+
+Speaks both transports — newline-delimited JSON over a unix socket, or
+HTTP POST against the localhost port — and is what the tests, the load
+bench and the README quickstart use. One call, one response dict::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(socket_path="/tmp/phonocmap.sock") as client:
+        response = client.request({
+            "kind": "optimize", "app": "vopd",
+            "strategy": "rs", "budget": 2000, "seed": 7,
+        })
+    assert response["ok"], response["error"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking JSON client for one daemon (unix socket or localhost HTTP).
+
+    Parameters
+    ----------
+    socket_path : str, optional
+        Unix-socket path of the daemon.
+    port : int, optional
+        Localhost HTTP port of the daemon. Exactly one of the two must
+        be given.
+    timeout : float, optional
+        Per-request socket timeout in seconds (default 300 — optimize
+        requests legitimately run long).
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 300.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ServiceError("exactly one of socket_path / port must be given")
+        self.socket_path = socket_path
+        self.port = port
+        self.timeout = float(timeout)
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object; block for and return its response.
+
+        Transport failures raise :class:`~repro.errors.ServiceError`;
+        application-level failures come back as the daemon's structured
+        ``{"ok": false, "error": {...}}`` body without raising, so
+        callers can branch on ``response["ok"]``.
+        """
+        if self.socket_path is not None:
+            return self._request_unix(payload)
+        return self._request_http(payload)
+
+    def _request_unix(self, payload: dict) -> dict:
+        if self._sock is None:
+            from repro.service.server import _connect_unix
+
+            try:
+                self._sock = _connect_unix(self.socket_path, self.timeout)
+            except OSError as error:
+                raise ServiceError(
+                    f"cannot reach daemon at {self.socket_path}: {error}",
+                    status=503,
+                    kind="unreachable",
+                ) from None
+            self._reader = self._sock.makefile("rb")
+        try:
+            self._sock.sendall(
+                json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+            )
+            line = self._reader.readline()
+        except OSError as error:
+            self.close()
+            raise ServiceError(
+                f"daemon connection failed: {error}", status=503, kind="unreachable"
+            ) from None
+        if not line:
+            self.close()
+            raise ServiceError(
+                "daemon closed the connection", status=503, kind="unreachable"
+            )
+        return json.loads(line)
+
+    def _request_http(self, payload: dict) -> dict:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "POST",
+                "/",
+                body=json.dumps(payload, separators=(",", ":")),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return json.loads(response.read())
+        except OSError as error:
+            raise ServiceError(
+                f"cannot reach daemon at 127.0.0.1:{self.port}: {error}",
+                status=503,
+                kind="unreachable",
+            ) from None
+        finally:
+            connection.close()
+
+    def close(self) -> None:
+        """Drop the persistent unix connection (if any); idempotent."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        """Enter a ``with`` block; the connection dials lazily."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the connection on ``with``-block exit."""
+        self.close()

@@ -1,0 +1,248 @@
+"""Request schema and validation for the mapping service.
+
+A request is one JSON object. Common fields:
+
+``kind``
+    ``"optimize"`` | ``"evaluate"`` | ``"distribution"`` | ``"stats"``.
+``app`` / ``cg``
+    The application: a built-in benchmark name, or an inline CG
+    description in the :func:`repro.appgraph.io.cg_from_dict` format.
+    Exactly one must be present (except for ``stats``).
+``topology`` / ``side`` / ``router``
+    Network spec, same semantics as the CLI: ``mesh`` (default) or
+    ``torus``, ``side`` defaulting to the smallest square fitting the
+    application, ``router`` defaulting to ``crux``.
+``dtype`` / ``backend``
+    ``"float64"`` (default) or ``"float32"``; ``"auto"`` (default) /
+    ``"dense"`` / ``"sparse"``.
+``seed``
+    Integer or null. Responses are **bit-identical to the equivalent
+    offline run with the same seed** (see ``docs/ARCHITECTURE.md``).
+
+Kind-specific fields: ``optimize`` takes ``strategy`` / ``budget`` /
+``objective`` / ``use_delta``; ``distribution`` takes ``samples`` /
+``batch_size``; ``evaluate`` takes either explicit ``mappings`` (a list
+of task->tile assignment rows) or ``n_random`` + ``seed``, plus
+``objective``.
+
+Validation failures raise :class:`~repro.errors.ServiceError` with an
+HTTP-style status, which the transports turn into structured error
+responses — a malformed request can never take the daemon down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.appgraph.benchmarks import (
+    BENCHMARK_NAMES,
+    grid_side_for,
+    load_benchmark,
+)
+from repro.appgraph.graph import CommunicationGraph
+from repro.appgraph.io import cg_from_dict
+from repro.core.objectives import Objective
+from repro.core.problem import MappingProblem
+from repro.core.registry import available_strategies
+from repro.errors import ReproError, ServiceError
+from repro.noc.network import PhotonicNoC
+
+__all__ = ["REQUEST_KINDS", "ServiceRequest", "error_response", "parse_request"]
+
+#: Request kinds the dispatcher understands.
+REQUEST_KINDS = ("optimize", "evaluate", "distribution", "stats")
+
+_DTYPES = {"float64": np.float64, "float32": np.float32}
+
+
+def _require(condition: bool, message: str, kind: str = "bad_request") -> None:
+    if not condition:
+        raise ServiceError(message, status=400, kind=kind)
+
+
+def _int_field(payload: dict, name: str, default, minimum: int = 1):
+    value = payload.get(name, default)
+    if value is None:
+        return None
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"field {name!r} must be an integer, got {value!r}"
+        ) from None
+    _require(value >= minimum, f"field {name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass
+class ServiceRequest:
+    """One validated service request, with its resolved resources."""
+
+    kind: str
+    cg: Optional[CommunicationGraph] = None
+    topology: str = "mesh"
+    side: Optional[int] = None
+    router: str = "crux"
+    objective: Objective = Objective.SNR
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
+    backend: str = "auto"
+    seed: Optional[int] = None
+    # optimize
+    strategy: str = "r-pbla"
+    budget: int = 20_000
+    use_delta: bool = True
+    # distribution
+    samples: int = 100_000
+    batch_size: int = 4096
+    # evaluate
+    assignments: Optional[np.ndarray] = None
+    n_random: int = 1
+
+    def network(self) -> PhotonicNoC:
+        """Build (or rebuild) the request's target architecture."""
+        from repro.analysis.experiments import build_case_study_network
+
+        side = self.side if self.side is not None else grid_side_for(self.cg)
+        return build_case_study_network(self.topology, side, self.router)
+
+    def problem(self) -> MappingProblem:
+        """The mapping problem this request describes."""
+        try:
+            return MappingProblem(self.cg, self.network(), self.objective)
+        except ReproError as error:
+            raise ServiceError(str(error), status=400, kind="infeasible") from None
+
+
+def _parse_cg(payload: dict) -> CommunicationGraph:
+    app = payload.get("app")
+    inline = payload.get("cg")
+    _require(
+        (app is None) != (inline is None),
+        "exactly one of 'app' (benchmark name) or 'cg' (inline graph) "
+        "must be given",
+    )
+    if app is not None:
+        _require(
+            app in BENCHMARK_NAMES,
+            f"unknown benchmark {app!r}; known: {list(BENCHMARK_NAMES)}",
+            kind="unknown_application",
+        )
+        return load_benchmark(app)
+    try:
+        return cg_from_dict(inline)
+    except ReproError as error:
+        raise ServiceError(f"invalid inline CG: {error}") from None
+
+
+def parse_request(payload: object) -> ServiceRequest:
+    """Validate one decoded JSON payload into a :class:`ServiceRequest`.
+
+    Raises
+    ------
+    ServiceError
+        With ``status=400`` on any malformed field; admission limits
+        (budget caps, queue bounds) are enforced by the core, not here,
+        so the schema stays deployment-independent.
+    """
+    _require(isinstance(payload, dict), "request must be a JSON object")
+    kind = payload.get("kind")
+    _require(
+        kind in REQUEST_KINDS,
+        f"field 'kind' must be one of {list(REQUEST_KINDS)}, got {kind!r}",
+        kind="unknown_kind",
+    )
+    request = ServiceRequest(kind=kind)
+    if kind == "stats":
+        return request
+
+    request.cg = _parse_cg(payload)
+    request.topology = payload.get("topology", "mesh")
+    _require(
+        request.topology in ("mesh", "torus"),
+        f"field 'topology' must be 'mesh' or 'torus', got {request.topology!r}",
+    )
+    request.side = _int_field(payload, "side", None, minimum=1)
+    request.router = str(payload.get("router", "crux"))
+
+    dtype_name = payload.get("dtype", "float64")
+    _require(
+        dtype_name in _DTYPES,
+        f"field 'dtype' must be one of {sorted(_DTYPES)}, got {dtype_name!r}",
+    )
+    request.dtype = np.dtype(_DTYPES[dtype_name])
+    request.backend = payload.get("backend", "auto")
+    _require(
+        request.backend in ("auto", "dense", "sparse"),
+        f"field 'backend' must be 'auto', 'dense' or 'sparse', "
+        f"got {request.backend!r}",
+    )
+    request.seed = _int_field(payload, "seed", None, minimum=0)
+
+    try:
+        request.objective = Objective.parse(payload.get("objective", "snr"))
+    except ReproError as error:
+        raise ServiceError(str(error), kind="unknown_objective") from None
+
+    if kind == "optimize":
+        request.strategy = str(payload.get("strategy", "r-pbla"))
+        _require(
+            request.strategy in available_strategies(),
+            f"unknown strategy {request.strategy!r}; "
+            f"known: {list(available_strategies())}",
+            kind="unknown_strategy",
+        )
+        request.budget = _int_field(payload, "budget", 20_000)
+        request.use_delta = bool(payload.get("use_delta", True))
+    elif kind == "distribution":
+        request.samples = _int_field(payload, "samples", 100_000)
+        request.batch_size = _int_field(payload, "batch_size", 4096)
+    elif kind == "evaluate":
+        mappings = payload.get("mappings")
+        if mappings is not None:
+            request.assignments = _parse_assignments(mappings, request.cg)
+        else:
+            request.n_random = _int_field(payload, "n_random", 1)
+    return request
+
+
+def _parse_assignments(
+    mappings: object, cg: CommunicationGraph
+) -> np.ndarray:
+    """Coerce explicit mapping rows to an (M, n_tasks) int array."""
+    try:
+        assignments = np.asarray(mappings, dtype=np.int64)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            "field 'mappings' must be a list of integer assignment rows"
+        ) from None
+    assignments = np.atleast_2d(assignments)
+    _require(
+        assignments.ndim == 2 and assignments.shape[1] == cg.n_tasks,
+        f"each mapping row must list {cg.n_tasks} tile indices "
+        f"(one per task of {cg.name!r})",
+    )
+    for row in assignments:
+        _require(
+            len(np.unique(row)) == len(row),
+            "mapping rows must assign distinct tiles (injective mapping)",
+            kind="infeasible",
+        )
+    return assignments
+
+
+def error_response(error: ServiceError) -> Tuple[dict, int]:
+    """The structured JSON body + HTTP-ish status of a failed request."""
+    return (
+        {
+            "ok": False,
+            "error": {
+                "status": error.status,
+                "kind": error.kind,
+                "message": str(error),
+            },
+        },
+        error.status,
+    )

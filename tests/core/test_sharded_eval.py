@@ -274,3 +274,113 @@ class TestPersistentPools:
         evaluator.evaluate_batch(batch_of(evaluator, 8), n_workers=2, min_shard_rows=1)
         pool_registry.shutdown_pools()
         assert len(pool_registry._POOLS) == 0
+
+
+class _FakePool:
+    """Registry stand-in recording how it was closed (no real workers)."""
+
+    def __init__(self):
+        self.broken = False
+        self.closed_with = None
+
+    def close(self, wait=True):
+        self.closed_with = wait
+
+
+class TestReleaseFilters:
+    """Selective eviction for multi-tenant (daemon) pool registries."""
+
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        pool_registry.shutdown_pools()
+        yield
+        pool_registry._POOLS.clear()
+
+    def _plant(self, problem, dtype=np.float64, backend="dense", n_workers=2):
+        key = pool_registry.pool_key(problem, dtype, n_workers, backend)
+        pool = _FakePool()
+        pool_registry._POOLS[key] = pool
+        return key, pool
+
+    def _plant_build_pool(self, n_workers=2):
+        key = (pool_registry._BUILD_POOL_TAG, n_workers)
+        pool = _FakePool()
+        pool_registry._POOLS[key] = pool
+        return key, pool
+
+    def test_dtype_filter_keeps_other_dtypes_warm(self, problem):
+        key64, pool64 = self._plant(problem, dtype=np.float64)
+        key32, pool32 = self._plant(problem, dtype=np.float32)
+        assert pool_registry.release_pools(problem, dtype=np.float32) == 1
+        assert key32 not in pool_registry._POOLS
+        assert key64 in pool_registry._POOLS
+        assert pool32.closed_with is True  # reaped before shm unlink
+        assert pool64.closed_with is None
+
+    def test_backend_filter_keeps_other_backends_warm(self, problem):
+        key_dense, _ = self._plant(problem, backend="dense")
+        key_sparse, sparse_pool = self._plant(problem, backend="sparse")
+        assert pool_registry.release_pools(backend="sparse") == 1
+        assert key_sparse not in pool_registry._POOLS
+        assert key_dense in pool_registry._POOLS
+        assert sparse_pool.closed_with is True
+
+    def test_targeted_release_leaves_build_pools_warm(self, problem):
+        self._plant(problem)
+        build_key, build_pool = self._plant_build_pool()
+        assert pool_registry.release_pools(problem) == 1
+        assert build_key in pool_registry._POOLS
+        assert build_pool.closed_with is None
+
+    def test_include_build_pools_releases_them_too(self, problem):
+        self._plant(problem)
+        build_key, build_pool = self._plant_build_pool()
+        assert (
+            pool_registry.release_pools(problem, include_build_pools=True) == 2
+        )
+        assert build_key not in pool_registry._POOLS
+        assert build_pool.closed_with is True
+
+    def test_unfiltered_release_clears_everything(self, problem):
+        self._plant(problem, dtype=np.float64)
+        self._plant(problem, dtype=np.float32)
+        self._plant_build_pool()
+        assert pool_registry.release_pools() == 3
+        assert len(pool_registry._POOLS) == 0
+
+    def test_broken_pool_replacement_reaps_with_wait(self, problem, evaluator):
+        batch = batch_of(evaluator, 8)
+        evaluator.evaluate_batch(batch, n_workers=2, min_shard_rows=1)
+        key = pool_registry.pool_key(problem, np.float64, 2)
+        stale = pool_registry._POOLS[key]
+        stale.broken = True
+        fresh = pool_registry.get_pool(problem, np.float64, 2)
+        assert fresh is not stale
+        assert pool_registry._POOLS[key] is fresh
+        # the broken pool's workers were reaped synchronously
+        assert stale._executor is None or stale._executor._shutdown_thread is None
+
+    def test_registry_is_thread_safe_under_churn(self, problem):
+        import threading
+
+        errors = []
+
+        def churn(dtype):
+            try:
+                for _ in range(50):
+                    key = pool_registry.pool_key(problem, dtype, 2, "dense")
+                    pool_registry._register_pool(key, _FakePool())
+                    pool_registry.release_pools(problem, dtype=dtype)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=churn, args=(dtype,))
+            for dtype in (np.float64, np.float32)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        pool_registry.release_pools()

@@ -1,0 +1,443 @@
+"""End-to-end tests of the mapping-service daemon.
+
+The contract under test is the determinism clause from
+``docs/ARCHITECTURE.md``: every response the daemon returns is
+**bit-identical to the equivalent offline run with the same seed**,
+including while the request's batch work rides coalesced flights shared
+with concurrent requests — of the same signature or interleaved with a
+different one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import random_mapping_distribution
+from repro.analysis.experiments import build_case_study_network
+from repro.appgraph.benchmarks import grid_side_for, load_benchmark
+from repro.core import pool as pool_registry
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.evaluator import MappingEvaluator
+from repro.core.problem import MappingProblem
+from repro.errors import ServiceError
+from repro.models.coupling import clear_model_cache
+from repro.service import (
+    BatchCoalescer,
+    CoalescingEvaluator,
+    ServiceClient,
+    ServiceCore,
+    ServiceLimits,
+    ServiceServer,
+)
+from repro.service.schema import parse_request
+
+
+def offline_problem(app, objective="snr"):
+    cg = load_benchmark(app)
+    network = build_case_study_network("mesh", grid_side_for(cg), "crux")
+    return MappingProblem(cg, network, objective)
+
+
+@pytest.fixture
+def core():
+    core = ServiceCore(n_workers=1)
+    yield core
+    core.close(timeout=30)
+    pool_registry.shutdown_pools()
+
+
+class TestSchema:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="kind"):
+            parse_request({"kind": "teleport"})
+
+    def test_request_must_be_object(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            parse_request(["optimize"])
+
+    def test_app_and_cg_are_exclusive(self):
+        with pytest.raises(ServiceError, match="exactly one"):
+            parse_request({"kind": "evaluate", "app": "pip", "cg": {}})
+        with pytest.raises(ServiceError, match="exactly one"):
+            parse_request({"kind": "evaluate"})
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ServiceError, match="unknown benchmark"):
+            parse_request({"kind": "evaluate", "app": "doom"})
+
+    def test_bad_dtype_and_backend(self):
+        with pytest.raises(ServiceError, match="dtype"):
+            parse_request({"kind": "evaluate", "app": "pip", "dtype": "f16"})
+        with pytest.raises(ServiceError, match="backend"):
+            parse_request({"kind": "evaluate", "app": "pip", "backend": "gpu"})
+
+    def test_non_injective_mapping_rejected(self):
+        with pytest.raises(ServiceError, match="distinct tiles"):
+            parse_request(
+                {"kind": "evaluate", "app": "pip", "mappings": [[0] * 8]}
+            )
+
+    def test_wrong_row_width_rejected(self):
+        with pytest.raises(ServiceError, match="8 tile indices"):
+            parse_request(
+                {"kind": "evaluate", "app": "pip", "mappings": [[0, 1, 2]]}
+            )
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ServiceError, match="seed"):
+            parse_request({"kind": "evaluate", "app": "pip", "seed": -1})
+
+
+class TestCoreDispatch:
+    def test_evaluate_matches_offline_bit_exactly(self, core):
+        body, status = core.handle(
+            {"kind": "evaluate", "app": "pip", "seed": 3, "n_random": 16}
+        )
+        assert status == 200 and body["ok"], body
+        problem = offline_problem("pip")
+        evaluator = MappingEvaluator(problem)
+        from repro.core.mapping import random_assignment_batch
+
+        rows = random_assignment_batch(
+            16, evaluator.n_tasks, evaluator.n_tiles, np.random.default_rng(3)
+        )
+        offline = evaluator.evaluate_batch(rows)
+        evaluator.close()
+        # Through a JSON round-trip: repr-based float serialization is
+        # exact, so the wire format preserves bit-identity.
+        wire = json.loads(json.dumps(body["result"]))
+        assert wire["worst_snr_db"] == offline.worst_snr_db.tolist()
+        assert (
+            wire["worst_insertion_loss_db"]
+            == offline.worst_insertion_loss_db.tolist()
+        )
+
+    def test_explicit_mappings_and_float32_backend(self, core):
+        problem = offline_problem("pip")
+        rows = [list(range(8)), list(range(8))[::-1]]
+        body, status = core.handle(
+            {
+                "kind": "evaluate", "app": "pip", "mappings": rows,
+                "dtype": "float32", "backend": "sparse",
+            }
+        )
+        assert status == 200, body
+        evaluator = MappingEvaluator(problem, dtype=np.float32, backend="sparse")
+        offline = evaluator.evaluate_batch(np.asarray(rows))
+        evaluator.close()
+        assert body["result"]["worst_snr_db"] == offline.worst_snr_db.tolist()
+
+    def test_optimize_matches_offline_run(self, core):
+        body, status = core.handle(
+            {
+                "kind": "optimize", "app": "pip", "strategy": "rs",
+                "budget": 128, "seed": 9,
+            }
+        )
+        assert status == 200, body
+        with DesignSpaceExplorer(offline_problem("pip")) as explorer:
+            offline = explorer.run("rs", budget=128, seed=9)
+        result = body["result"]
+        assert result["best_score"] == offline.best_score
+        assert result["assignment"] == offline.best_mapping.assignment.tolist()
+        assert result["evaluations"] == offline.evaluations
+        assert result["history"] == [[n, s] for n, s in offline.history]
+
+    def test_distribution_matches_offline_sweep(self, core):
+        body, status = core.handle(
+            {"kind": "distribution", "app": "pip", "samples": 96, "seed": 5}
+        )
+        assert status == 200, body
+        cg = load_benchmark("pip")
+        offline = random_mapping_distribution(
+            cg, build_case_study_network("mesh", grid_side_for(cg), "crux"),
+            n_samples=96, seed=5,
+        )
+        assert body["result"]["worst_snr_db"] == offline.worst_snr_db.tolist()
+        assert body["result"]["worst_loss_db"] == offline.worst_loss_db.tolist()
+
+    def test_budget_caps_enforced(self):
+        core = ServiceCore(limits=ServiceLimits(max_budget=100, max_samples=50,
+                                                max_mappings=4))
+        try:
+            body, status = core.handle(
+                {"kind": "optimize", "app": "pip", "budget": 101}
+            )
+            assert status == 400 and body["error"]["kind"] == "over_budget"
+            body, status = core.handle(
+                {"kind": "distribution", "app": "pip", "samples": 51}
+            )
+            assert status == 400 and body["error"]["kind"] == "over_budget"
+            body, status = core.handle(
+                {"kind": "evaluate", "app": "pip", "n_random": 5}
+            )
+            assert status == 400 and body["error"]["kind"] == "over_budget"
+        finally:
+            core.close(timeout=10)
+
+    def test_queue_full_is_structured_429(self):
+        limits = ServiceLimits(max_inflight=1, queue_size=1)
+        core = ServiceCore(limits=limits)
+        try:
+            # Deterministically exhaust admission: take every queue slot
+            # ourselves, then knock.
+            taken = 0
+            while core._queue_slots.acquire(blocking=False):
+                taken += 1
+            assert taken == limits.max_inflight + limits.queue_size
+            body, status = core.handle({"kind": "evaluate", "app": "pip"})
+            assert status == 429
+            assert body["ok"] is False
+            assert body["error"]["kind"] == "queue_full"
+            assert "retry" in body["error"]["message"]
+            for _ in range(taken):
+                core._queue_slots.release()
+            # stats still answers while the queue is full, and counts it
+            assert core.stats()["rejected_queue_full"] == 1
+        finally:
+            core.close(timeout=10)
+
+    def test_closed_core_answers_503(self, core):
+        core.close(timeout=10)
+        body, status = core.handle({"kind": "evaluate", "app": "pip"})
+        assert status == 503
+        assert body["error"]["kind"] == "shutting_down"
+
+    def test_malformed_json_is_structured_error(self, core):
+        body, status = core.handle_json(b"{nope")
+        assert status == 400
+        assert body["error"]["kind"] == "invalid_json"
+
+    def test_infeasible_problem_is_400(self, core):
+        # VOPD (16 tasks) cannot fit a 3x3 grid: eq. (2) violation.
+        body, status = core.handle(
+            {"kind": "evaluate", "app": "vopd", "side": 3}
+        )
+        assert status == 400
+        assert body["ok"] is False
+
+
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_and_stay_bit_identical(self):
+        """The tentpole invariant, end to end over the unix socket.
+
+        Two same-signature requests plus an interleaved different-seed
+        distribution run concurrently; coalescing must engage (merged
+        flights carry more than one submission) and every response must
+        equal its offline counterpart bit for bit.
+        """
+        core = ServiceCore(n_workers=1, coalesce_window_s=0.05)
+        responses = {}
+
+        def call(name, payload, path):
+            with ServiceClient(socket_path=path) as client:
+                responses[name] = client.request(payload)
+
+        requests = {
+            "opt_snr": {"kind": "optimize", "app": "pip", "strategy": "rs",
+                        "budget": 192, "seed": 11},
+            "opt_loss": {"kind": "optimize", "app": "pip", "strategy": "rs",
+                         "budget": 192, "seed": 11, "objective": "loss"},
+            "dist": {"kind": "distribution", "app": "pip", "samples": 256,
+                     "seed": 6},
+        }
+        import tempfile, os
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "daemon.sock")
+            with ServiceServer(core, socket_path=path):
+                threads = [
+                    threading.Thread(target=call, args=(name, payload, path))
+                    for name, payload in requests.items()
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                with ServiceClient(socket_path=path) as client:
+                    stats = client.request({"kind": "stats"})["result"]
+        for name, response in responses.items():
+            assert response["ok"], (name, response)
+
+        totals = stats["coalescing"]["totals"]
+        assert totals["flights"] >= 1
+        assert totals["coalesced_batches"] > 0, (
+            "coalescing never engaged: " + json.dumps(totals)
+        )
+        assert totals["batches"] > totals["flights"]
+
+        with DesignSpaceExplorer(offline_problem("pip", "snr")) as explorer:
+            off_snr = explorer.run("rs", budget=192, seed=11)
+        with DesignSpaceExplorer(offline_problem("pip", "loss")) as explorer:
+            off_loss = explorer.run("rs", budget=192, seed=11)
+        cg = load_benchmark("pip")
+        off_dist = random_mapping_distribution(
+            cg, build_case_study_network("mesh", grid_side_for(cg), "crux"),
+            n_samples=256, seed=6,
+        )
+        assert responses["opt_snr"]["result"]["best_score"] == off_snr.best_score
+        assert (
+            responses["opt_snr"]["result"]["assignment"]
+            == off_snr.best_mapping.assignment.tolist()
+        )
+        # Same seed, different objective: different winner, still exact —
+        # the two rode the same flights (same objective-free pool key).
+        assert responses["opt_loss"]["result"]["best_score"] == off_loss.best_score
+        assert (
+            responses["opt_loss"]["result"]["assignment"]
+            == off_loss.best_mapping.assignment.tolist()
+        )
+        assert (
+            responses["dist"]["result"]["worst_snr_db"]
+            == off_dist.worst_snr_db.tolist()
+        )
+
+    def test_coalescer_splits_tables_per_ticket(self):
+        problem = offline_problem("pip")
+        shared = MappingEvaluator(problem)
+        coalescer = BatchCoalescer(shared, window_s=0.05)
+        try:
+            from repro.core.mapping import random_assignment_batch
+
+            rng = np.random.default_rng(0)
+            a = random_assignment_batch(5, shared.n_tasks, shared.n_tiles, rng)
+            b = random_assignment_batch(3, shared.n_tasks, shared.n_tiles, rng)
+            ticket_a = coalescer.submit(a)
+            ticket_b = coalescer.submit(b)
+            tables_a = ticket_a.tables()
+            tables_b = ticket_b.tables()
+            reference = shared.submit_batch(np.concatenate([a, b])).tables()
+            for column_a, column_b, column in zip(tables_a, tables_b, reference):
+                np.testing.assert_array_equal(
+                    np.concatenate([column_a, column_b]), column
+                )
+            assert coalescer.stats.batches == 2
+        finally:
+            coalescer.close()
+            shared.close()
+
+    def test_closed_coalescer_rejects_submissions(self):
+        problem = offline_problem("pip")
+        shared = MappingEvaluator(problem)
+        coalescer = BatchCoalescer(shared)
+        coalescer.close()
+        try:
+            with pytest.raises(ServiceError, match="shutting down"):
+                coalescer.submit(np.arange(8, dtype=np.int64)[None, :])
+        finally:
+            shared.close()
+
+    def test_unbound_coalescing_evaluator_stays_inline(self):
+        problem = offline_problem("pip")
+        evaluator = CoalescingEvaluator(problem)
+        try:
+            from repro.core.mapping import random_assignment_batch
+
+            rows = random_assignment_batch(
+                4, evaluator.n_tasks, evaluator.n_tiles,
+                np.random.default_rng(1),
+            )
+            metrics = evaluator.evaluate_batch(rows)
+            assert metrics.score.shape == (4,)
+        finally:
+            evaluator.close()
+
+
+class TestWarmRestart:
+    def test_restart_with_model_cache_loads_memmaps(self, tmp_path):
+        """A restarted daemon must warm-load models, not rebuild them."""
+        cache = str(tmp_path / "models")
+        request = {"kind": "evaluate", "app": "pip", "seed": 2, "n_random": 4}
+
+        clear_model_cache()  # cold daemon: force a real build + disk save
+        first = ServiceCore(model_cache_dir=cache)
+        body_cold, status = first.handle(request)
+        assert status == 200, body_cold
+        first.close(timeout=30)
+        pool_registry.shutdown_pools()
+        clear_model_cache()  # drop the in-process registry: fresh daemon
+
+        second = ServiceCore(model_cache_dir=cache)
+        try:
+            body_warm, status = second.handle(request)
+            assert status == 200, body_warm
+            assert body_warm["result"] == body_cold["result"]
+            # The shared evaluator's model came off disk: its coupling
+            # matrix is a read-only memory map, not a rebuilt array.
+            models = [
+                coalescer.evaluator.model
+                for coalescer in second._coalescers.values()
+            ]
+            assert models
+            assert all(
+                isinstance(model.coupling_linear, np.memmap)
+                for model in models
+            )
+        finally:
+            second.close(timeout=30)
+            pool_registry.shutdown_pools()
+            clear_model_cache()
+
+
+class TestTransports:
+    def test_http_round_trip_and_stats(self):
+        core = ServiceCore()
+        server = ServiceServer(core, port=0)
+        server.start()
+        try:
+            with ServiceClient(port=server.port) as client:
+                response = client.request(
+                    {"kind": "evaluate", "app": "pip", "seed": 1}
+                )
+                assert response["ok"], response
+                response = client.request({"kind": "bogus"})
+                assert response["ok"] is False
+                assert response["error"]["status"] == 400
+            # GET is the stats endpoint
+            import http.client
+
+            connection = http.client.HTTPConnection("127.0.0.1", server.port)
+            connection.request("GET", "/")
+            stats = json.loads(connection.getresponse().read())
+            connection.close()
+            assert stats["ok"] and stats["kind"] == "stats"
+            assert stats["result"]["served"] == {"evaluate": 1}
+        finally:
+            server.stop()
+
+    def test_unix_socket_multiple_requests_per_connection(self, tmp_path):
+        core = ServiceCore()
+        path = str(tmp_path / "daemon.sock")
+        with ServiceServer(core, socket_path=path):
+            with ServiceClient(socket_path=path) as client:
+                for seed in (1, 2):
+                    response = client.request(
+                        {"kind": "evaluate", "app": "pip", "seed": seed}
+                    )
+                    assert response["ok"], response
+
+    def test_stopped_server_unlinks_socket(self, tmp_path):
+        import os
+
+        core = ServiceCore()
+        path = str(tmp_path / "daemon.sock")
+        server = ServiceServer(core, socket_path=path)
+        server.start()
+        assert os.path.exists(path)
+        server.stop()
+        server.stop()  # idempotent
+        assert not os.path.exists(path)
+
+    def test_client_refuses_ambiguous_endpoint(self):
+        with pytest.raises(ServiceError, match="exactly one"):
+            ServiceClient()
+        with pytest.raises(ServiceError, match="exactly one"):
+            ServiceServer(ServiceCore())
+
+    def test_client_reports_unreachable_daemon(self, tmp_path):
+        client = ServiceClient(socket_path=str(tmp_path / "nobody.sock"))
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.request({"kind": "stats"})

@@ -2,8 +2,10 @@
 
 import json
 
+import numpy as np
 import pytest
 
+import repro.cli as cli
 from repro.cli import main
 
 
@@ -62,6 +64,29 @@ class TestEvaluate:
         path = tmp_path / "chain.json"
         save_cg_json(pipeline_cg(4), path)
         assert main(["evaluate", "--cg-json", str(path), "--seed", "2"]) == 0
+
+    def test_dtype_and_backend_flags_reach_the_evaluator(
+        self, capsys, monkeypatch
+    ):
+        # `evaluate` silently ignored --float32/--backend before it was
+        # routed through the shared evaluator argument group.
+        from repro.core.problem import MappingProblem
+
+        seen = {}
+        original = MappingProblem.evaluator
+
+        def spy(self, **kwargs):
+            seen.update(kwargs)
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(MappingProblem, "evaluator", spy)
+        assert main(
+            ["evaluate", "--app", "pip", "--seed", "1",
+             "--float32", "--backend", "sparse"]
+        ) == 0
+        assert seen["dtype"] is np.float32
+        assert seen["backend"] == "sparse"
+        assert "worst-case SNR" in capsys.readouterr().out
 
 
 class TestOptimize:
@@ -156,3 +181,129 @@ class TestErrors:
             ["optimize", "--app", "vopd", "--side", "3", "--budget", "10"]
         ) == 2
         assert "error" in capsys.readouterr().err
+
+
+def _registry_with(run, monkeypatch):
+    """Swap the subcommand registry for one raising command."""
+    monkeypatch.setattr(
+        cli, "SUBCOMMANDS",
+        (cli.Subcommand("info", "test stub", lambda parser: None, run),),
+    )
+
+
+class TestExitCodes:
+    def test_broken_pipe_exits_zero(self, monkeypatch):
+        # `phonocmap table2 | head` used to die with a traceback once
+        # head closed the pipe; a gone reader is a normal exit. Captured
+        # streams have no OS-level fd, so the handler's /dev/null rewire
+        # must degrade to a no-op instead of raising.
+        import sys
+
+        class _NoFdStream:
+            def write(self, _text):
+                return 0
+
+            def flush(self):
+                pass
+
+            def fileno(self):
+                raise ValueError("stream has no fd")
+
+        def run(args):
+            raise BrokenPipeError
+
+        _registry_with(run, monkeypatch)
+        monkeypatch.setattr(sys, "stdout", _NoFdStream())
+        assert main(["info"]) == 0
+
+    def test_broken_pipe_in_a_real_pipeline(self):
+        # The dup2 path: an unbuffered child writes into a pipe whose
+        # read end is already closed — every write raises EPIPE, the
+        # handler points stdout at /dev/null, and the process still
+        # exits 0 with no traceback.
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.cli import main\n"
+            "sys.stdin.readline()\n"  # wait until the reader is gone
+            "sys.exit(main(['table1']))\n"
+        )
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(cli.__file__), os.pardir)
+        )
+        env = dict(os.environ, PYTHONPATH=src)
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-c", code],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, env=env,
+        )
+        process.stdout.close()  # no reader: first write gets EPIPE
+        process.stdin.write(b"go\n")
+        process.stdin.close()
+        _, err = None, process.stderr.read()
+        assert process.wait(timeout=120) == 0, err
+        assert b"Traceback" not in err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        def run(args):
+            raise KeyboardInterrupt
+
+        _registry_with(run, monkeypatch)
+        assert main(["info"]) == 130
+
+    def test_registry_builds_every_subcommand(self):
+        parser = cli.build_parser()
+        for command in cli.SUBCOMMANDS:
+            assert command.name in parser.format_help()
+
+
+class TestServe:
+    def test_socket_or_port_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--socket", "/tmp/x.sock", "--port", "0"])
+
+    def test_daemon_serves_and_drains_on_sigterm(self, tmp_path):
+        """Full daemon lifecycle through the real CLI, in a subprocess."""
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys
+        import time
+
+        path = str(tmp_path / "daemon.sock")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(cli.__file__), os.pardir)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--socket", path],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        )
+        try:
+            for _ in range(300):
+                if os.path.exists(path):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("daemon socket never appeared")
+            connection = socket.socket(socket.AF_UNIX)
+            connection.connect(path)
+            connection.sendall(
+                json.dumps({"kind": "evaluate", "app": "pip", "seed": 1}).encode()
+                + b"\n"
+            )
+            response = json.loads(connection.makefile("rb").readline())
+            connection.close()
+            assert response["ok"], response
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+            assert not os.path.exists(path)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
