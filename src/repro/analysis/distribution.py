@@ -83,6 +83,7 @@ def random_mapping_distribution(
     dtype=np.float64,
     backend: str = "auto",
     evaluator: Optional[MappingEvaluator] = None,
+    executor: str = "local",
 ) -> DistributionResult:
     """Sample random mappings and record both worst-case metrics.
 
@@ -130,7 +131,8 @@ def random_mapping_distribution(
     if evaluator is None:
         problem = MappingProblem(cg, network, Objective.SNR)
         evaluator = MappingEvaluator(
-            problem, dtype=dtype, n_workers=n_workers, backend=backend
+            problem, dtype=dtype, n_workers=n_workers, backend=backend,
+            executor=executor,
         )
     rng = np.random.default_rng(seed)
     snr = np.empty(n_samples, dtype=np.float64)

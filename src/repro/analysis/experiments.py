@@ -127,6 +127,7 @@ def reproduce_fig3(
     n_workers: int = 1,
     dtype=np.float64,
     backend: str = "auto",
+    executor: str = "local",
 ) -> Dict[str, DistributionResult]:
     """Fig. 3's experiment: random-mapping distributions on mesh + Crux.
 
@@ -144,6 +145,7 @@ def reproduce_fig3(
         results[name] = random_mapping_distribution(
             cg, network, n_samples=n_samples, seed=seed + index,
             n_workers=n_workers, dtype=dtype, backend=backend,
+            executor=executor,
         )
     return results
 
@@ -253,6 +255,7 @@ def reproduce_table2(
     n_workers: int = 1,
     dtype=np.float64,
     backend: str = "auto",
+    executor: str = "local",
 ) -> Table2Result:
     """Run the Table II experiment.
 
@@ -278,6 +281,7 @@ def reproduce_table2(
                 explorer = DesignSpaceExplorer(
                     problem, dtype=dtype, use_delta=use_delta,
                     n_workers=n_workers, backend=backend,
+                    executor=executor,
                 )
                 results = explorer.compare(strategies, budget=budget, seed=seed)
                 for strategy, result in results.items():

@@ -14,7 +14,8 @@ commands mirror the workflows of the original toolset:
 * ``fig3``        — reproduce the paper's Fig. 3 distributions;
 * ``scalability`` — the network-scalability extension study;
 * ``export``      — dump a benchmark CG as JSON/DOT/edge list;
-* ``serve``       — the long-running mapping service daemon.
+* ``serve``       — the long-running mapping service daemon;
+* ``worker``      — a remote execution worker dialing a scheduler.
 """
 
 from __future__ import annotations
@@ -79,6 +80,17 @@ def _add_model_cache_argument(parser: argparse.ArgumentParser) -> None:
              "(keyed by architecture signature, dtype and model "
              "version; results are bit-identical either way). Also "
              "settable via PHONOCMAP_MODEL_CACHE",
+    )
+
+
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor", metavar="SPEC", default="local",
+        help="execution backend for parallel work: 'local' (persistent "
+             "process pool, default), 'inline' (serial, zero processes), "
+             "or 'tcp://HOST:PORT' to listen for 'phonocmap worker' "
+             "processes and dispatch shards to them. Results are "
+             "bit-identical for every backend",
     )
 
 
@@ -180,6 +192,7 @@ def _configure_optimize(parser: argparse.ArgumentParser) -> None:
         "--mapping-out", metavar="FILE", help="write the best mapping as JSON"
     )
     _add_evaluator_arguments(parser)
+    _add_executor_argument(parser)
 
 
 def _configure_table2(parser: argparse.ArgumentParser) -> None:
@@ -202,6 +215,7 @@ def _configure_table2(parser: argparse.ArgumentParser) -> None:
         help="print the paper's numbers next to the measured ones",
     )
     _add_evaluator_arguments(parser)
+    _add_executor_argument(parser)
 
 
 def _configure_fig3(parser: argparse.ArgumentParser) -> None:
@@ -219,6 +233,7 @@ def _configure_fig3(parser: argparse.ArgumentParser) -> None:
         "--curves", action="store_true", help="also print ASCII CDF curves"
     )
     _add_evaluator_arguments(parser)
+    _add_executor_argument(parser)
 
 
 def _configure_scalability(parser: argparse.ArgumentParser) -> None:
@@ -282,6 +297,16 @@ def _configure_serve(parser: argparse.ArgumentParser) -> None:
         "--coalesce-window", type=float, default=0.004, metavar="SECONDS",
         help="how long a batch flight lingers for concurrent "
              "same-signature requests to join it (default: 0.004)",
+    )
+    _add_model_cache_argument(parser)
+    _add_executor_argument(parser)
+
+
+def _configure_worker(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", required=True,
+        help="address of the scheduler to serve tasks for (the process "
+             "that was started with --executor tcp://HOST:PORT)",
     )
     _add_model_cache_argument(parser)
 
@@ -351,7 +376,7 @@ def _cmd_optimize(args) -> int:
     explorer = DesignSpaceExplorer(
         problem, dtype=_evaluator_dtype(args), use_delta=not args.no_delta,
         n_workers=args.workers, backend=args.backend,
-        model_cache_dir=args.model_cache,
+        model_cache_dir=args.model_cache, executor=args.executor,
     )
     result = explorer.run(args.strategy, budget=args.budget, seed=args.seed)
     print(result.summary())
@@ -375,6 +400,7 @@ def _cmd_table2(args) -> int:
         n_workers=args.workers,
         dtype=_evaluator_dtype(args),
         backend=args.backend,
+        executor=args.executor,
     )
     print(result.format(with_paper=args.with_paper))
     return 0
@@ -384,7 +410,7 @@ def _cmd_fig3(args) -> int:
     results = reproduce_fig3(
         applications=args.apps, n_samples=args.samples, seed=args.seed,
         n_workers=args.workers, dtype=_evaluator_dtype(args),
-        backend=args.backend,
+        backend=args.backend, executor=args.executor,
     )
     print(format_fig3(results))
     if args.curves:
@@ -404,6 +430,12 @@ def _cmd_scalability(args) -> int:
     )
     print(format_scalability(rows))
     return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.distributed.worker import run_worker
+
+    return run_worker(args.connect, model_cache_dir=args.model_cache)
 
 
 def _cmd_export(args) -> int:
@@ -434,6 +466,7 @@ def _cmd_serve(args) -> int:
             max_mappings=args.max_mappings,
         ),
         coalesce_window_s=args.coalesce_window,
+        executor=args.executor,
     )
     server = ServiceServer(core, socket_path=args.socket, port=args.port)
     stop = threading.Event()
@@ -494,6 +527,8 @@ SUBCOMMANDS = (
                _configure_export, _cmd_export),
     Subcommand("serve", "run the long-lived mapping-service daemon",
                _configure_serve, _cmd_serve),
+    Subcommand("worker", "serve remote execution tasks for a scheduler",
+               _configure_worker, _cmd_worker),
 )
 
 

@@ -59,6 +59,7 @@ manager) to release the pools deterministically.
 
 from __future__ import annotations
 
+from concurrent.futures import BrokenExecutor
 from typing import Dict, Iterable, Optional, Union
 
 import numpy as np
@@ -111,6 +112,7 @@ class DesignSpaceExplorer:
         n_workers: int = 1,
         backend: str = "auto",
         model_cache_dir: Optional[str] = None,
+        executor: str = "local",
     ) -> None:
         self.problem = problem
         self.dtype = np.dtype(dtype)
@@ -119,10 +121,13 @@ class DesignSpaceExplorer:
             dtype=dtype,
             backend=backend,
             model_cache_dir=model_cache_dir,
+            executor=executor,
         )
         # The evaluator resolves the process-wide default; mirror it so
-        # the pools this explorer creates get the same directory.
+        # the pools this explorer creates get the same directory. Same
+        # for the normalized executor spec.
         self.model_cache_dir = self.evaluator.model_cache_dir
+        self.executor = self.evaluator.executor
         self.use_delta = bool(use_delta)
         self.n_workers = self._check_workers(n_workers)
 
@@ -242,30 +247,62 @@ class DesignSpaceExplorer:
         """Fan ``n_chains`` independent chains of one strategy out and merge."""
         budgets = _parallel.split_budget(budget, n_chains)
         seeds = _parallel.spawn_seeds(seed, n_chains)
+        tasks = [
+            (strategy, chain_budget, chain_seed, use_delta, self.problem.objective)
+            for chain_budget, chain_seed in zip(budgets, seeds)
+        ]
+        chain_results = self._run_tasks(n_chains, tasks)
+        return _parallel.merge_chain_results(chain_results)
+
+    def _dispatch_tasks(self, n_workers: int, tasks, retrying: bool = False):
+        """Submit one :func:`run_strategy_task` per argument tuple.
+
+        ``get_pool`` hands back a fresh backend whenever the cached one
+        broke, so calling this again after a worker death re-dispatches
+        the *same* argument tuples against a healthy pool — and since
+        each task's RNG stream depends only on its seed, a re-dispatched
+        task is bit-identical to the lost one.
+        """
         pool = _pool.get_pool(
             self.problem,
             self.dtype,
-            n_chains,
+            n_workers,
             self.backend,
             model_cache_dir=self.model_cache_dir,
+            executor=self.executor,
         )
+        if retrying:
+            pool.note_retry(len(tasks))
         futures = [
-            pool.submit(
-                _parallel.run_strategy_task,
-                strategy,
-                chain_budget,
-                chain_seed,
-                use_delta,
-                self.problem.objective,
-            )
-            for chain_budget, chain_seed in zip(budgets, seeds)
+            pool.submit(_parallel.run_strategy_task, *task_args)
+            for task_args in tasks
         ]
+        return futures, pool
+
+    def _run_tasks(self, n_workers: int, tasks) -> list:
+        """Dispatch strategy tasks; resubmit once on an executor failure.
+
+        The backend marks itself broken when its workers die
+        (:class:`~concurrent.futures.BrokenExecutor` flavours); exactly
+        one automatic resubmission against the rebuilt pool absorbs a
+        transient worker loss, while a second failure — or any
+        deterministic task-level exception — surfaces immediately.
+        """
+        pool = None
         try:
-            chain_results = [future.result() for future in futures]
-        except Exception:
-            pool.broken = True  # dead worker: next get_pool rebuilds
-            raise
-        return _parallel.merge_chain_results(chain_results)
+            futures, pool = self._dispatch_tasks(n_workers, tasks)
+            return [future.result() for future in futures]
+        except Exception as error:
+            # Submit-time failures (a pool whose workers died between
+            # batches) and result-time failures (workers died mid-task)
+            # both land here; only executor-level breakage is retried.
+            broken = isinstance(error, BrokenExecutor) or (
+                pool is not None and pool.broken
+            )
+            if not broken:
+                raise
+            futures, _fresh = self._dispatch_tasks(n_workers, tasks, retrying=True)
+            return [future.result() for future in futures]
 
     def compare(
         self,
@@ -323,31 +360,11 @@ class DesignSpaceExplorer:
                 )
             return results
         pool_size = min(workers, len(names))
-        pool = _pool.get_pool(
-            self.problem,
-            self.dtype,
-            pool_size,
-            self.backend,
-            model_cache_dir=self.model_cache_dir,
-        )
-        futures = {
-            name: pool.submit(
-                _parallel.run_strategy_task,
-                name,
-                budget,
-                strategy_seed,
-                flag,
-                self.problem.objective,
-            )
+        tasks = [
+            (name, budget, strategy_seed, flag, self.problem.objective)
             for name, strategy_seed in zip(names, seeds)
-        }
-        try:
-            for name in names:
-                results[name] = futures[name].result()
-        except Exception:
-            pool.broken = True  # dead worker: next get_pool rebuilds
-            raise
-        return results
+        ]
+        return dict(zip(names, self._run_tasks(pool_size, tasks)))
 
     def close(self) -> None:
         """Release the persistent worker pools serving this problem.

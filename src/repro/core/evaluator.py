@@ -68,12 +68,14 @@ the sequential counter exactly.
 
 from __future__ import annotations
 
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.appgraph.graph import CommunicationGraph
+from repro.core.executor import parse_executor_spec
 from repro.core.mapping import Mapping
 from repro.core.objectives import SNR_CAP_DB, Objective
 from repro.core.problem import MappingProblem
@@ -153,12 +155,22 @@ class PendingBatch:
     submission order.
     """
 
-    def __init__(self, evaluator, n_mappings, tables=None, futures=None, pool=None):
+    def __init__(
+        self,
+        evaluator,
+        n_mappings,
+        tables=None,
+        futures=None,
+        pool=None,
+        resubmit=None,
+    ):
         self._evaluator = evaluator
         self._n = int(n_mappings)
         self._tables = tables
         self._futures = futures
         self._pool = pool  # keeps the pool referenced while in flight
+        self._resubmit = resubmit  # re-dispatch hook for executor failures
+        self._retried = False
         self._metrics: Optional[BatchMetrics] = None
 
     def done(self) -> bool:
@@ -186,17 +198,34 @@ class PendingBatch:
                 raise RuntimeError(
                     "batch tables were already consumed by result()"
                 )
-            try:
-                parts = [future.result() for future in self._futures]
-            except Exception:
-                if self._pool is not None:
-                    self._pool.broken = True
-                raise
+            parts = self._collect()
             self._tables = tuple(
                 np.concatenate(columns) for columns in zip(*parts)
             )
             self._futures = None
         return self._tables
+
+    def _collect(self):
+        """Gather shard results, resubmitting once on executor failure.
+
+        Only *executor-level* failures (the backend broke — a killed
+        pool worker, exhausted remote retries) trigger the resubmission,
+        and only once: a deterministic task-level exception would fail
+        identically on a fresh pool, so it surfaces immediately. The
+        shards are pure functions of their snapshotted rows, so a
+        retried batch is bit-identical to an unretried one.
+        """
+        try:
+            return [future.result() for future in self._futures]
+        except Exception as error:
+            executor_failed = isinstance(error, BrokenExecutor) or (
+                self._pool is not None and self._pool.broken
+            )
+            if self._resubmit is None or self._retried or not executor_failed:
+                raise
+            self._retried = True
+            self._futures, self._pool = self._resubmit(retrying=True)
+            return [future.result() for future in self._futures]
 
     def result(self) -> BatchMetrics:
         """Collect (blocking if needed) and return the batch metrics.
@@ -254,6 +283,12 @@ class MappingEvaluator:
         A warm cache turns the O(n_pairs^2) model build into a
         memory-mapped load; worker pools created by this evaluator
         inherit the directory.
+    executor : str, optional
+        Execution backend spec for sharded batches — ``"local"``
+        (persistent process pool, the default), ``"inline"`` (serial,
+        zero processes) or ``"tcp://HOST:PORT"`` (remote workers; see
+        :mod:`repro.distributed`). Any backend yields bit-identical
+        metrics; the spec only decides where shards run.
 
     Attributes
     ----------
@@ -271,8 +306,10 @@ class MappingEvaluator:
         n_workers: int = 1,
         backend: str = "auto",
         model_cache_dir: Optional[str] = None,
+        executor: str = "local",
     ) -> None:
         self.problem = problem
+        self.executor = parse_executor_spec(executor)
         self.cg = problem.cg
         self.network = problem.network
         self.objective = problem.objective
@@ -449,24 +486,51 @@ class MappingEvaluator:
         from repro.core import parallel as _parallel
         from repro.core import pool as _pool
 
-        pool = _pool.get_pool(
-            self.problem,
-            self.dtype,
-            workers,
-            self.backend,
-            model_cache_dir=self.model_cache_dir,
-        )
         bounds = np.linspace(0, n_mappings, n_shards + 1).astype(np.int64)
-        futures = [
-            # .copy(): the executor pickles lazily in a feeder thread, so
-            # snapshot each shard at submit time — callers may keep
-            # writing other rows of their buffer immediately.
-            pool.submit(
-                _parallel.evaluate_shard_task, assignments[start:stop].copy()
-            )
+        # .copy(): executors pickle lazily in a feeder thread, so snapshot
+        # each shard at submit time — callers may keep writing other rows
+        # of their buffer immediately.
+        shards = [
+            assignments[start:stop].copy()
             for start, stop in zip(bounds[:-1], bounds[1:])
         ]
-        return PendingBatch(self, n_mappings, futures=futures, pool=pool)
+
+        def dispatch(retrying: bool = False):
+            """Submit every shard, surviving a concurrently broken pool.
+
+            ``get_pool`` hands back a fresh backend whenever the cached
+            one broke or was released, so a bounded number of attempts
+            absorbs both a worker crash between batches and a
+            ``release_pools`` racing this submission from another
+            thread. Nothing has produced results yet at submit time, so
+            re-dispatching cannot change any value.
+            """
+            last_error = None
+            for _attempt in range(3):
+                pool = _pool.get_pool(
+                    self.problem,
+                    self.dtype,
+                    workers,
+                    self.backend,
+                    model_cache_dir=self.model_cache_dir,
+                    executor=self.executor,
+                )
+                if retrying:
+                    pool.note_retry(len(shards))
+                try:
+                    futures = pool.map_shards(
+                        _parallel.evaluate_shard_task, shards
+                    )
+                except Exception as error:  # noqa: BLE001 — retried bounded
+                    last_error = error
+                    continue
+                return futures, pool
+            raise last_error
+
+        futures, pool = dispatch()
+        return PendingBatch(
+            self, n_mappings, futures=futures, pool=pool, resubmit=dispatch
+        )
 
     def _evaluate_rows(self, assignments: np.ndarray):
         """Score validated rows sequentially, without counting.

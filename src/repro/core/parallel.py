@@ -38,6 +38,7 @@ comparisons against sequential runs stay fair.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -51,7 +52,11 @@ from repro.errors import OptimizationError
 from repro.models.coupling import CouplingModel
 
 __all__ = [
+    "WorkerContext",
+    "activate_context",
     "call_optimize",
+    "current_context",
+    "hydrate_model",
     "split_budget",
     "spawn_seeds",
     "merge_chain_results",
@@ -150,11 +155,126 @@ def merge_chain_results(
 
 
 # ---------------------------------------------------------------------------
-# Worker process state
+# Worker contexts
 # ---------------------------------------------------------------------------
 
-#: Per-worker-process state, populated once by :func:`_init_worker`.
-_WORKER: Dict[str, object] = {}
+
+class WorkerContext:
+    """The state one executor worker holds to evaluate a problem.
+
+    A context is everything :func:`run_strategy_task` and
+    :func:`evaluate_shard_task` need to run: the problem, the coupling
+    dtype, the resolved contraction backend, and a per-objective
+    evaluator cache (evaluators are built lazily — one warm context
+    serves e.g. both the SNR and the power-loss pass of a Table II
+    cell, because executors are keyed objective-free).
+
+    Where a context lives depends on the backend: a pool worker process
+    holds exactly one (installed by :func:`_init_worker`); the inline
+    backend holds one per backend instance and activates it
+    thread-locally around each task; a ``phonocmap worker`` process
+    holds one per scheduler-initialized pool key.
+    """
+
+    def __init__(self, problem: MappingProblem, dtype, backend: str = "dense"):
+        self.problem = problem
+        self.dtype = np.dtype(dtype)
+        self.backend = str(backend)
+        self.evaluators: Dict[object, MappingEvaluator] = {}
+
+    def evaluator(self, objective=None) -> MappingEvaluator:
+        """This context's evaluator for ``objective`` (built once, cached)."""
+        from repro.core.objectives import Objective
+
+        problem = self.problem
+        objective = (
+            problem.objective if objective is None else Objective.parse(objective)
+        )
+        evaluator = self.evaluators.get(objective)
+        if evaluator is None:
+            if problem.objective is objective:
+                target = problem
+            else:
+                target = MappingProblem(problem.cg, problem.network, objective)
+            evaluator = MappingEvaluator(
+                target, dtype=self.dtype, backend=self.backend
+            )
+            self.evaluators[objective] = evaluator
+        return evaluator
+
+
+#: The process-wide default context (a pool worker's, set by
+#: :func:`_init_worker`); thread-locally overridden via
+#: :func:`activate_context` by backends running tasks in-process.
+_PROCESS_CONTEXT: Optional[WorkerContext] = None
+
+_THREAD_CONTEXT = threading.local()
+
+
+@contextlib.contextmanager
+def activate_context(context: WorkerContext):
+    """Make ``context`` the current one on this thread for the block.
+
+    Thread-local, so concurrent inline submitters (the service daemon's
+    coalescer threads) never see each other's contexts; nesting restores
+    the previous context on exit.
+    """
+    previous = getattr(_THREAD_CONTEXT, "context", None)
+    _THREAD_CONTEXT.context = context
+    try:
+        yield context
+    finally:
+        _THREAD_CONTEXT.context = previous
+
+
+def current_context() -> WorkerContext:
+    """The context task functions resolve against on this thread.
+
+    Resolution order: the thread-locally activated context (inline and
+    remote-worker execution), then the process-wide one (pool worker
+    processes). Raises when neither exists — a task function was called
+    outside any executor.
+    """
+    context = getattr(_THREAD_CONTEXT, "context", None)
+    if context is None:
+        context = _PROCESS_CONTEXT
+    if context is None:
+        raise RuntimeError(
+            "no active worker context: task functions run inside an "
+            "executor backend (or under parallel.activate_context)"
+        )
+    return context
+
+
+def hydrate_model(
+    problem: MappingProblem,
+    dtype,
+    spec=None,
+    model_cache_dir: Optional[str] = None,
+) -> None:
+    """Make the problem's coupling model resolvable in this process.
+
+    The backend-independent half of worker initialization. When a
+    :class:`~repro.models.coupling.SharedModelSpec` is provided (local
+    pool workers on the same host) the matrices are attached from shared
+    memory and seeded into the process cache, so evaluator construction
+    resolves to them instead of rebuilding. Sparse-backend pools ship a
+    CSR-flavoured spec, so the attached model carries the sparse arrays
+    too. Without a spec the cache may already hold the model through
+    fork inheritance; a spawned worker with neither loads the model from
+    the on-disk cache when ``model_cache_dir`` names one (installed here
+    as this process's default, so lazy evaluator builds resolve against
+    it), or rebuilds it (correct, just slower). Remote workers skip this
+    function entirely: they hydrate by cache key, with a streamed
+    transfer as the miss fallback (:mod:`repro.distributed.worker`).
+    """
+    if model_cache_dir:
+        from repro.models.coupling import set_model_cache_dir
+
+        set_model_cache_dir(model_cache_dir)
+    if spec is not None:
+        model = CouplingModel.attach_shared(spec, problem.network)
+        CouplingModel.register(spec.cache_key, model)
 
 
 def _init_worker(
@@ -164,79 +284,36 @@ def _init_worker(
     backend: str = "dense",
     model_cache_dir=None,
 ) -> None:
-    """Pool initializer: install this worker's problem and model once.
-
-    When a :class:`~repro.models.coupling.SharedModelSpec` is provided the
-    coupling matrices are attached from shared memory and seeded into the
-    model cache, so evaluator construction resolves to them instead of
-    rebuilding. Sparse-backend pools ship a CSR-flavoured spec, so the
-    attached model carries the sparse arrays too. Without a spec the
-    cache may already hold the model through fork inheritance; a spawned
-    worker without either loads the model from the on-disk cache when
-    ``model_cache_dir`` names one (installed here as this process's
-    default, so lazy evaluator builds resolve against it), or rebuilds
-    it (correct, just slower).
+    """Pool initializer: hydrate the model, install the process context.
 
     ``backend`` is the parent evaluator's *resolved* contraction backend
     (never ``"auto"``): worker evaluators must run the same kernel as the
     parent for shard results to be bit-identical to the inline path.
-
-    Evaluators themselves are built lazily per objective by
-    :func:`worker_evaluator`: the pool is keyed without the objective
-    (see :mod:`repro.core.pool`), so one warm pool serves e.g. both the
-    SNR and the power-loss pass of a Table II cell.
     """
+    global _PROCESS_CONTEXT
     dtype = np.dtype(dtype_name)
-    if model_cache_dir:
-        from repro.models.coupling import set_model_cache_dir
-
-        set_model_cache_dir(model_cache_dir)
-    if spec is not None:
-        model = CouplingModel.attach_shared(spec, problem.network)
-        CouplingModel.register(spec.cache_key, model)
-    _WORKER.clear()
-    _WORKER["problem"] = problem
-    _WORKER["dtype"] = dtype
-    _WORKER["backend"] = str(backend)
-    _WORKER["evaluators"] = {}
+    hydrate_model(problem, dtype, spec, model_cache_dir)
+    _PROCESS_CONTEXT = WorkerContext(problem, dtype, backend)
 
 
 def worker_evaluator(objective=None) -> MappingEvaluator:
-    """This worker's evaluator for ``objective`` (built once, then cached).
+    """The current context's evaluator for ``objective``.
 
     Parameters
     ----------
     objective : Objective or str, optional
         Objective of the evaluator; defaults to the objective of the
-        problem the pool was initialized with. Building an evaluator for
-        a second objective is cheap — the coupling model is shared
+        problem the context was initialized with. Building an evaluator
+        for a second objective is cheap — the coupling model is shared
         through the process cache.
 
     Returns
     -------
     MappingEvaluator
-        The cached per-objective evaluator of this worker process.
+        The cached per-objective evaluator of the current
+        :class:`WorkerContext` (see :func:`current_context`).
     """
-    from repro.core.objectives import Objective
-
-    problem: MappingProblem = _WORKER["problem"]
-    objective = (
-        problem.objective if objective is None else Objective.parse(objective)
-    )
-    evaluators: Dict[object, MappingEvaluator] = _WORKER["evaluators"]
-    evaluator = evaluators.get(objective)
-    if evaluator is None:
-        if problem.objective is objective:
-            target = problem
-        else:
-            target = MappingProblem(problem.cg, problem.network, objective)
-        evaluator = MappingEvaluator(
-            target,
-            dtype=_WORKER["dtype"],
-            backend=_WORKER.get("backend", "dense"),
-        )
-        evaluators[objective] = evaluator
-    return evaluator
+    return current_context().evaluator(objective)
 
 
 def run_strategy_task(

@@ -1,4 +1,4 @@
-"""Persistent, reusable worker pools for parallel evaluation and DSE.
+"""Persistent, reusable executor backends for parallel evaluation and DSE.
 
 PR 2 introduced multi-process design-space exploration, but every
 ``compare()`` call and every chain-decomposed ``run()`` built — and tore
@@ -8,14 +8,18 @@ cheap under Linux ``fork`` but repays caching under ``spawn`` /
 many-cell sweeps such as ``reproduce_table2`` (32 problem instances, each
 formerly paying two pool builds).
 
-This module owns the pools instead:
+This module owns the executors instead:
 
-* :func:`get_pool` returns a lazily created :class:`PersistentPool` keyed
-  on ``(communication graph, network signature, coupling dtype,
-  n_workers)`` — everything the worker-side evaluator depends on *except*
-  the objective. Workers cache one evaluator per objective
-  (see :func:`repro.core.parallel.worker_evaluator`), so the two
-  objective passes of a Table II cell reuse one warm pool.
+* :func:`get_pool` returns a lazily created
+  :class:`~repro.core.executor.ExecutorBackend` keyed on
+  ``(communication graph, network signature, coupling dtype, backend,
+  n_workers, executor spec)`` — everything the worker-side evaluator
+  depends on *except* the objective. Workers cache one evaluator per
+  objective (see :func:`repro.core.parallel.worker_evaluator`), so the
+  two objective passes of a Table II cell reuse one warm pool. The
+  executor spec (``"local"`` / ``"inline"`` / ``"tcp://HOST:PORT"``)
+  selects the implementation; ``"local"`` keeps the historical
+  :class:`PersistentPool` behaviour.
 * A small LRU (:data:`MAX_POOLS`) bounds the number of live pools;
   evicted pools are shut down deterministically.
 * :func:`shutdown_pools` tears everything down; it is registered with
@@ -23,14 +27,17 @@ This module owns the pools instead:
   model's shared-memory export hook, so at interpreter exit the workers
   terminate before the segments they attach are unlinked and the
   resource tracker never sees a leaked segment.
+* :func:`executor_stats` snapshots every live backend's
+  :meth:`~repro.core.executor.ExecutorBackend.info` — the service
+  ``stats`` endpoint's executor section.
 
 Determinism
 -----------
 Pools never change results: every entry point that uses them
 (:meth:`repro.core.evaluator.MappingEvaluator.evaluate_batch` sharding,
 :meth:`repro.core.dse.DesignSpaceExplorer.compare` / ``run``) is
-bit-identical to its sequential path for any ``n_workers``; the pool only
-decides *where* the arithmetic runs.
+bit-identical to its sequential path for any ``n_workers`` and any
+executor backend; the pool only decides *where* the arithmetic runs.
 """
 
 from __future__ import annotations
@@ -39,17 +46,25 @@ import atexit
 import hashlib
 import threading
 from collections import OrderedDict
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.executor import (
+    ExecutorBackend,
+    InlineBackend,
+    LocalProcessBackend,
+    _ProcessBackendBase,
+    parse_executor_spec,
+)
 from repro.core.problem import MappingProblem
 
 __all__ = [
     "MAX_POOLS",
     "BuildPool",
     "PersistentPool",
+    "executor_stats",
     "get_build_pool",
     "get_pool",
     "pool_key",
@@ -63,7 +78,7 @@ __all__ = [
 MAX_POOLS = 3
 
 #: key -> pool, in least-recently-used-first order.
-_POOLS: "OrderedDict[Tuple, PersistentPool]" = OrderedDict()
+_POOLS: "OrderedDict[Tuple, ExecutorBackend]" = OrderedDict()
 
 #: Guards the registry: the ``serve`` daemon hits :func:`get_pool` /
 #: :func:`release_pools` from concurrent request-handler and coalescer
@@ -77,6 +92,9 @@ _ATEXIT_REGISTERED = False
 #: First element of every :class:`BuildPool` key; problem-pool keys
 #: start with a CG content hash, which can never collide with this.
 _BUILD_POOL_TAG = "model-build"
+
+#: The historical name of the local process backend (PR 3–6 API).
+PersistentPool = LocalProcessBackend
 
 
 def _cg_fingerprint(problem: MappingProblem) -> str:
@@ -97,7 +115,11 @@ def _cg_fingerprint(problem: MappingProblem) -> str:
 
 
 def pool_key(
-    problem: MappingProblem, dtype, n_workers: int, backend: str = "dense"
+    problem: MappingProblem,
+    dtype,
+    n_workers: int,
+    backend: str = "dense",
+    executor: str = "local",
 ) -> Tuple:
     """The cache key of the pool serving ``problem`` at ``dtype``.
 
@@ -117,6 +139,13 @@ def pool_key(
         first so worker results are bit-identical to the parent's).
         Pools of different backends never alias: their workers attach
         different shared-memory layouts.
+    executor : str, optional
+        Executor spec (``"local"`` / ``"inline"`` / ``"tcp://…"``,
+        see :func:`repro.core.executor.parse_executor_spec`). Appended
+        as the *last* key component, so the objective-free prefix
+        ``key[:4]`` the service coalescer groups on — and every
+        key-index filter of :func:`release_pools` — is unchanged from
+        the pre-executor key shape.
 
     Returns
     -------
@@ -129,99 +158,11 @@ def pool_key(
         np.dtype(dtype).name,
         str(backend),
         int(n_workers),
+        parse_executor_spec(executor),
     )
 
 
-class _PoolBase:
-    """Executor lifecycle shared by problem pools and build pools."""
-
-    _executor: Optional[ProcessPoolExecutor] = None
-    broken: bool = False
-
-    @property
-    def executor(self) -> ProcessPoolExecutor:
-        """The live executor (raises after :meth:`close`)."""
-        if self._executor is None:
-            raise RuntimeError("pool has been shut down")
-        return self._executor
-
-    def submit(self, fn, /, *args, **kwargs) -> Future:
-        """Submit a task, marking the pool broken on executor failure.
-
-        A broken pool (a worker died mid-task) is dropped from the cache
-        on the next :func:`get_pool` / :func:`get_build_pool` call, which
-        builds a fresh one.
-        """
-        try:
-            return self.executor.submit(fn, *args, **kwargs)
-        except Exception:
-            self.broken = True
-            raise
-
-    def close(self, wait: bool = True) -> None:
-        """Shut the executor down (idempotent)."""
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=wait)
-
-
-class PersistentPool(_PoolBase):
-    """One reusable :class:`ProcessPoolExecutor` plus its wiring.
-
-    Workers are initialized once with the problem, the coupling dtype,
-    the shared-memory spec of the coupling model (fork-inheritance
-    fallback when segments are unavailable) and the on-disk model cache
-    directory; afterwards every submitted task — whole strategy runs,
-    independent chains, or batch shards — finds its evaluator warm in
-    the worker process.
-
-    Not instantiated directly; use :func:`get_pool`.
-    """
-
-    def __init__(
-        self,
-        key: Tuple,
-        problem: MappingProblem,
-        dtype,
-        n_workers: int,
-        backend: str = "dense",
-        model_cache_dir: Optional[str] = None,
-    ):
-        from repro.core import parallel as _parallel
-        from repro.models.coupling import CouplingModel
-
-        self.key = key
-        self.problem = problem
-        self.dtype = np.dtype(dtype)
-        self.n_workers = int(n_workers)
-        self.backend = str(backend)
-        self.model_cache_dir = model_cache_dir
-        self.broken = False
-        model = CouplingModel.for_network(
-            problem.network, dtype=self.dtype, cache_dir=model_cache_dir
-        )
-        try:
-            spec = model.shared_export(self.backend).spec
-        except Exception:  # segments unavailable: fork inheritance fallback
-            spec = None
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            initializer=_parallel._init_worker,
-            initargs=(
-                problem,
-                self.dtype.name,
-                spec,
-                self.backend,
-                model_cache_dir,
-            ),
-        )
-
-    def __repr__(self) -> str:
-        state = "closed" if self._executor is None else f"{self.n_workers} workers"
-        return f"PersistentPool({self.problem!r}, {state})"
-
-
-class BuildPool(_PoolBase):
+class BuildPool(_ProcessBackendBase):
     """A problem-free executor for CouplingModel column-build tasks.
 
     Unlike :class:`PersistentPool` the workers carry no initializer
@@ -229,15 +170,16 @@ class BuildPool(_PoolBase):
     its network plus a column range (see
     :func:`repro.models.coupling._build_columns_task`), so one pool
     serves the model builds of any number of architectures in a sweep.
-    Registered in the same LRU/atexit registry as the problem pools.
+    Registered in the same LRU/atexit registry as the problem pools, and
+    always local — model builds never dispatch remotely.
 
     Not instantiated directly; use :func:`get_build_pool`.
     """
 
+    kind = "build"
+
     def __init__(self, key: Tuple, n_workers: int):
-        self.key = key
-        self.n_workers = int(n_workers)
-        self.broken = False
+        super().__init__(key, n_workers)
         self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
 
     def __repr__(self) -> str:
@@ -265,14 +207,40 @@ def _register_pool(key: Tuple, pool) -> None:
             _ATEXIT_REGISTERED = True
 
 
+def _build_backend(
+    key: Tuple,
+    problem: MappingProblem,
+    dtype,
+    n_workers: int,
+    backend: str,
+    model_cache_dir: Optional[str],
+    executor: str,
+) -> ExecutorBackend:
+    """Instantiate the backend class an executor spec names."""
+    if executor == "inline":
+        return InlineBackend(
+            key, problem, dtype, n_workers, backend, model_cache_dir
+        )
+    if executor.startswith("tcp://"):
+        from repro.distributed.scheduler import RemoteTcpBackend
+
+        return RemoteTcpBackend(
+            key, problem, dtype, n_workers, backend, model_cache_dir, executor
+        )
+    return LocalProcessBackend(
+        key, problem, dtype, n_workers, backend, model_cache_dir
+    )
+
+
 def get_pool(
     problem: MappingProblem,
     dtype,
     n_workers: int,
     backend: str = "dense",
     model_cache_dir: Optional[str] = None,
-) -> PersistentPool:
-    """Fetch (or lazily create) the persistent pool for a problem.
+    executor: str = "local",
+) -> ExecutorBackend:
+    """Fetch (or lazily create) the persistent executor for a problem.
 
     Parameters
     ----------
@@ -282,22 +250,29 @@ def get_pool(
     dtype : numpy dtype-like
         Coupling-matrix dtype of the worker evaluators.
     n_workers : int
-        Number of worker processes; must be >= 1.
+        Logical worker count; must be >= 1. For the local backend this
+        is the pool's process count; for remote backends it stays the
+        shard/chain decomposition knob (the determinism contract's
+        ``n_workers``) while the number of *connected* workers only
+        affects placement.
     backend : str, optional
         Resolved contraction backend for the worker evaluators
         (``"dense"`` or ``"sparse"``); decides which shared-memory
-        flavour the workers attach.
+        flavour local workers attach.
     model_cache_dir : str, optional
         On-disk model cache directory handed to the worker initializer
         (so spawn-mode workers without shared memory load the coupling
         model from disk instead of rebuilding it). Not part of the pool
         key — it cannot change any result.
+    executor : str, optional
+        Executor spec selecting the backend implementation (default
+        ``"local"``; see :func:`repro.core.executor.parse_executor_spec`).
 
     Returns
     -------
-    PersistentPool
-        A warm pool, freshly created only on the first call for this
-        key (or after the previous pool broke / was evicted).
+    ExecutorBackend
+        A warm backend, freshly created only on the first call for this
+        key (or after the previous one broke / was evicted).
 
     Notes
     -----
@@ -306,7 +281,8 @@ def get_pool(
     are shut down at interpreter exit, before the shared-memory segments
     they attach are unlinked.
     """
-    key = pool_key(problem, dtype, n_workers, backend)
+    executor = parse_executor_spec(executor)
+    key = pool_key(problem, dtype, n_workers, backend, executor)
     with _LOCK:
         pool = _POOLS.get(key)
         if pool is not None:
@@ -319,8 +295,8 @@ def get_pool(
             # straggler outliving the registry entry could otherwise
             # hold attachments past the exporter's unlink.
             pool.close(wait=True)
-        pool = PersistentPool(
-            key, problem, dtype, n_workers, backend, model_cache_dir
+        pool = _build_backend(
+            key, problem, dtype, n_workers, backend, model_cache_dir, executor
         )
         _register_pool(key, pool)
         return pool
@@ -427,3 +403,27 @@ def shutdown_pools() -> None:
                 return
             _, pool = _POOLS.popitem(last=False)
         pool.close(wait=True)
+
+
+def executor_stats() -> dict:
+    """Observability snapshot of every live executor backend.
+
+    One :meth:`~repro.core.executor.ExecutorBackend.info` dict per
+    registered backend plus cross-backend totals — the executor section
+    of the service ``stats`` endpoint. Registry stand-ins without an
+    ``info`` method (tests plant fakes) are skipped.
+    """
+    with _LOCK:
+        pools = list(_POOLS.values())
+    backends = []
+    totals = {"tasks_dispatched": 0, "tasks_retried": 0, "workers": 0}
+    for pool in pools:
+        info_method = getattr(pool, "info", None)
+        if info_method is None:
+            continue
+        info = info_method()
+        backends.append(info)
+        totals["tasks_dispatched"] += info.get("tasks_dispatched", 0)
+        totals["tasks_retried"] += info.get("tasks_retried", 0)
+        totals["workers"] += info.get("workers_connected", info.get("n_workers", 0))
+    return {"backends": backends, "totals": totals}

@@ -1,0 +1,441 @@
+"""Scheduler side of distributed execution: WorkerHub + RemoteTcpBackend.
+
+The :class:`WorkerHub` is the process-wide rendezvous point for one
+listening address: it accepts ``phonocmap worker`` connections, holds a
+shared task queue, and runs one dispatch thread per connected worker.
+Dispatch threads pull tasks, lazily initialize the task's execution
+context on their worker (shipping the pickled problem and — only on a
+double cache miss — streaming the coupling model once), run the
+synchronous request/reply round-trip, and resolve the task's future.
+
+Failure handling is bounded retry + reassignment, mirroring the local
+broken-pool rebuild: a connection error mid-task requeues the task (up
+to :data:`MAX_TASK_ATTEMPTS` total attempts) for any other live worker
+and retires the dead one; when attempts run out — or no worker is left
+to reassign to — the future fails with
+:class:`~repro.core.executor.WorkerLostError`, which the evaluator/DSE
+retry layer treats exactly like a ``BrokenProcessPool``.
+
+Determinism: tasks are pure functions of their pickled arguments, so
+which worker runs a task — first try or third — cannot change its
+result; ``n_workers`` on the backend stays the *logical* decomposition
+knob and the number of connected workers only affects placement.
+
+:class:`RemoteTcpBackend` plugs the hub into the pool registry
+(:func:`repro.core.pool.get_pool` with ``executor="tcp://HOST:PORT"``).
+Backends share hubs by address: closing a backend never tears a hub
+down, because other pool-registry entries (another dtype, another
+problem) may be dispatching through it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import socket
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import parallel as _parallel
+from repro.core.executor import (
+    ExecutorBackend,
+    WorkerLostError,
+    parse_executor_spec,
+    split_tcp_address,
+)
+from repro.distributed import wire
+from repro.errors import ExecutorError
+
+__all__ = ["MAX_TASK_ATTEMPTS", "RemoteTcpBackend", "WorkerHub", "get_hub"]
+
+#: Total tries per task (1 initial + 2 reassignments) before its future
+#: fails with :class:`WorkerLostError`.
+MAX_TASK_ATTEMPTS = 3
+
+#: How long a backend waits for the first worker to connect before
+#: failing a submit — long enough to start workers by hand, short
+#: enough that a forgotten ``phonocmap worker`` surfaces as an error.
+WORKER_WAIT_TIMEOUT_S = 60.0
+
+#: Per-round-trip socket timeout on the scheduler side. A worker silent
+#: for this long is treated as lost (task requeued elsewhere).
+ROUND_TRIP_TIMEOUT_S = 3600.0
+
+
+class _Task:
+    """One queued task: wire form plus the future and retry bookkeeping."""
+
+    __slots__ = ("ctx_id", "fn_name", "payload", "future", "attempts", "backend")
+
+    def __init__(self, ctx_id: str, fn_name: str, payload: str, backend):
+        self.ctx_id = ctx_id
+        self.fn_name = fn_name
+        self.payload = payload
+        self.future: Future = Future()
+        self.attempts = 0
+        self.backend = backend
+
+
+class _Context:
+    """A registered execution context workers can be initialized with."""
+
+    __slots__ = ("ctx_id", "problem_payload", "dtype_name", "backend", "model_supplier")
+
+    def __init__(self, ctx_id, problem_payload, dtype_name, backend, model_supplier):
+        self.ctx_id = ctx_id
+        self.problem_payload = problem_payload
+        self.dtype_name = dtype_name
+        self.backend = backend
+        #: Called only on a worker's double cache miss; returns the
+        #: ``export_arrays`` payload for the one-time stream.
+        self.model_supplier = model_supplier
+
+
+class WorkerHub:
+    """Listener + task queue + per-worker dispatch threads for one address."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        #: Bound port — differs from the requested one when it was 0.
+        self.port = self._listener.getsockname()[1]
+        self._tasks: "queue.Queue[_Task]" = queue.Queue()
+        self._contexts: Dict[str, _Context] = {}
+        self._lock = threading.Lock()
+        self._worker_event = threading.Event()
+        self._stop = threading.Event()
+        self.workers_connected = 0
+        self.workers_lost = 0
+        self.tasks_dispatched = 0
+        self.tasks_retried = 0
+        self.models_streamed = 0
+        self.model_bytes_streamed = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"phonocmap-hub-{self.port}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    # -- the backend-facing surface ------------------------------------------
+
+    def register_context(
+        self,
+        ctx_id: str,
+        problem,
+        dtype,
+        backend: str,
+        model_supplier: Callable[[], dict],
+    ) -> None:
+        """Make a context available for worker-side initialization."""
+        with self._lock:
+            if ctx_id not in self._contexts:
+                self._contexts[ctx_id] = _Context(
+                    ctx_id,
+                    wire.encode_payload(problem),
+                    np.dtype(dtype).name,
+                    str(backend),
+                    model_supplier,
+                )
+
+    def ensure_worker(self, timeout: float = WORKER_WAIT_TIMEOUT_S) -> None:
+        """Block until at least one worker is connected, or raise."""
+        if not self._worker_event.wait(timeout):
+            raise ExecutorError(
+                f"no worker connected to tcp://{self.host}:{self.port} "
+                f"after {timeout:.0f}s — start one with "
+                f"'phonocmap worker --connect HOST:{self.port}'"
+            )
+
+    def submit(self, ctx_id: str, fn_name: str, args, kwargs, backend) -> Future:
+        """Queue one task for any worker; returns its future."""
+        task = _Task(ctx_id, fn_name, wire.encode_payload((args, kwargs)), backend)
+        with self._lock:
+            self.tasks_dispatched += 1
+        self._tasks.put(task)
+        return task.future
+
+    def stats(self) -> dict:
+        """Hub-level observability counters."""
+        return {
+            "address": f"tcp://{self.host}:{self.port}",
+            "workers_connected": self.workers_connected,
+            "workers_lost": self.workers_lost,
+            "tasks_queued": self._tasks.qsize(),
+            "tasks_dispatched": self.tasks_dispatched,
+            "tasks_retried": self.tasks_retried,
+            "models_streamed": self.models_streamed,
+            "model_bytes_streamed": self.model_bytes_streamed,
+        }
+
+    def close(self) -> None:
+        """Stop accepting, hang up on every worker (tests / teardown)."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # -- listener / dispatch machinery ---------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_worker,
+                args=(conn,),
+                name=f"phonocmap-dispatch-{self.port}",
+                daemon=True,
+            ).start()
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        """Own one worker connection: init contexts, dispatch, retry."""
+        conn.settimeout(ROUND_TRIP_TIMEOUT_S)
+        rfile = conn.makefile("rb")
+        wfile = conn.makefile("wb")
+        hello = wire.read_message(rfile)
+        if hello is None or hello.get("op") != "hello":
+            conn.close()
+            return
+        with self._lock:
+            self.workers_connected += 1
+            self._worker_event.set()
+        initialized = set()
+        task: Optional[_Task] = None
+        try:
+            while not self._stop.is_set():
+                try:
+                    task = self._tasks.get(timeout=0.2)
+                except queue.Empty:
+                    continue
+                if task.future.cancelled():
+                    task = None
+                    continue
+                task.attempts += 1
+                try:
+                    if task.ctx_id not in initialized:
+                        self._init_context(rfile, wfile, task.ctx_id)
+                        initialized.add(task.ctx_id)
+                    reply = self._round_trip(rfile, wfile, task)
+                except (ConnectionError, OSError, EOFError):
+                    raise  # worker lost: handled below, task still in hand
+                self._resolve(task, reply)
+                task = None
+        except (ConnectionError, OSError, EOFError):
+            pass
+        finally:
+            with self._lock:
+                self.workers_connected -= 1
+                survivors = self.workers_connected
+                if survivors == 0:
+                    self._worker_event.clear()
+            if task is not None:
+                self._reassign(task, survivors)
+            conn.close()
+
+    def _init_context(self, rfile, wfile, ctx_id: str) -> None:
+        """Initialize a context on the connected worker (may stream)."""
+        with self._lock:
+            context = self._contexts[ctx_id]
+        wire.write_message(
+            wfile,
+            {
+                "op": "init",
+                "ctx_id": ctx_id,
+                "problem": context.problem_payload,
+                "dtype": context.dtype_name,
+                "backend": context.backend,
+            },
+        )
+        while True:
+            reply = wire.read_message(rfile)
+            if reply is None:
+                raise ConnectionError("worker hung up during init")
+            op = reply.get("op")
+            if op == "ready":
+                return
+            if op == "need_model":
+                payload = wire.encode_payload(context.model_supplier())
+                with self._lock:
+                    self.models_streamed += 1
+                    self.model_bytes_streamed += len(payload)
+                wire.write_message(wfile, {"op": "model", "payload": payload})
+            else:
+                raise ConnectionError(f"unexpected init reply {op!r}")
+
+    def _round_trip(self, rfile, wfile, task: _Task) -> dict:
+        """Send one task, await its reply."""
+        wire.write_message(
+            wfile,
+            {
+                "op": "task",
+                "task_id": id(task),
+                "ctx_id": task.ctx_id,
+                "fn": task.fn_name,
+                "payload": task.payload,
+            },
+        )
+        reply = wire.read_message(rfile)
+        if reply is None:
+            raise ConnectionError("worker hung up mid-task")
+        return reply
+
+    def _resolve(self, task: _Task, reply: dict) -> None:
+        """Resolve a task's future from the worker's reply."""
+        op = reply.get("op")
+        if op == "result":
+            task.future.set_result(wire.decode_payload(reply["payload"]))
+            return
+        if op == "error":
+            error = None
+            if reply.get("payload"):
+                try:
+                    error = wire.decode_payload(reply["payload"])
+                except Exception:
+                    error = None
+            if not isinstance(error, BaseException):
+                error = ExecutorError(
+                    f"remote task failed: {reply.get('error')}\n"
+                    f"{reply.get('traceback', '')}"
+                )
+            task.future.set_exception(error)
+            return
+        raise ConnectionError(f"unexpected task reply {op!r}")
+
+    def _reassign(self, task: _Task, survivors: int) -> None:
+        """Requeue a task from a dead worker, or fail it out."""
+        with self._lock:
+            self.workers_lost += 1
+        if task.attempts < MAX_TASK_ATTEMPTS and survivors > 0:
+            with self._lock:
+                self.tasks_retried += 1
+            if task.backend is not None:
+                task.backend.note_retry()
+            self._tasks.put(task)
+            return
+        reason = (
+            "no live worker left to reassign to"
+            if survivors == 0
+            else f"task failed on {task.attempts} workers"
+        )
+        task.future.set_exception(
+            WorkerLostError(f"worker lost mid-task and {reason}")
+        )
+
+
+#: address ("host:port") -> hub, plus spec aliases for port-0 binds.
+_HUBS: Dict[str, WorkerHub] = {}
+_HUBS_LOCK = threading.Lock()
+
+
+def get_hub(spec: str) -> WorkerHub:
+    """Fetch (or lazily create) the hub listening at an executor spec.
+
+    Hubs are per-address singletons: every backend whose spec resolves
+    to the same listen address shares one listener, one worker fleet
+    and one task queue. Port 0 explicitly requests a *fresh* ephemeral
+    listener (tests, embedding); the created hub is registered under
+    its resolved address only, so backends addressing the real port
+    keep finding it.
+    """
+    spec = parse_executor_spec(spec)
+    host, port = split_tcp_address(spec)
+    with _HUBS_LOCK:
+        if port != 0:
+            hub = _HUBS.get(f"{host}:{port}")
+            if hub is not None:
+                return hub
+        hub = WorkerHub(host, port)
+        _HUBS[f"{hub.host}:{hub.port}"] = hub
+        return hub
+
+
+def shutdown_hubs() -> None:
+    """Close every hub (test teardown)."""
+    with _HUBS_LOCK:
+        hubs = set(_HUBS.values())
+        _HUBS.clear()
+    for hub in hubs:
+        hub.close()
+
+
+class RemoteTcpBackend(ExecutorBackend):
+    """Executor backend dispatching through a :class:`WorkerHub`.
+
+    Registered in the pool registry like any other backend
+    (``get_pool(..., executor="tcp://HOST:PORT")``). On construction it
+    resolves the coupling model locally — a process-cache hit whenever
+    an evaluator for the problem exists, and the source of the streamed
+    fallback payload — and registers its execution context with the
+    hub. ``n_workers`` remains the logical shard/chain count; the hub's
+    connected-worker count only affects placement.
+    """
+
+    kind = "tcp"
+
+    def __init__(
+        self,
+        key: Tuple,
+        problem,
+        dtype,
+        n_workers: int,
+        backend: str = "dense",
+        model_cache_dir: Optional[str] = None,
+        executor: str = "tcp://127.0.0.1:0",
+    ):
+        from repro.models.coupling import CouplingModel
+
+        super().__init__(key, n_workers)
+        self.problem = problem
+        self.dtype = np.dtype(dtype)
+        self.backend = str(backend)
+        self.spec = parse_executor_spec(executor)
+        self.hub = get_hub(self.spec)
+        self._closed = False
+        self._ctx_id = hashlib.sha1(repr(key).encode()).hexdigest()[:16]
+        model = CouplingModel.for_network(
+            problem.network, dtype=self.dtype, cache_dir=model_cache_dir
+        )
+        self.hub.register_context(
+            self._ctx_id, problem, self.dtype, self.backend, model.export_arrays
+        )
+
+    def _submit(self, fn, /, *args, **kwargs) -> Future:
+        if self._closed:
+            raise RuntimeError("pool has been shut down")
+        if fn is _parallel.run_strategy_task:
+            fn_name = "strategy"
+        elif fn is _parallel.evaluate_shard_task:
+            fn_name = "shard"
+        else:
+            raise ExecutorError(
+                f"{fn!r} is not a registered distributed task function"
+            )
+        self.hub.ensure_worker()
+        return self.hub.submit(self._ctx_id, fn_name, args, kwargs, self)
+
+    def alive(self) -> bool:
+        return not self.broken and not self._closed
+
+    def info(self) -> dict:
+        info = super().info()
+        info.update(self.hub.stats())
+        return info
+
+    def close(self, wait: bool = True) -> None:
+        # The hub is shared by address across backends (other dtypes,
+        # other problems) — closing one backend must not strand them.
+        self._closed = True
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"hub {self.hub.host}:{self.hub.port}"
+        return f"RemoteTcpBackend({self.problem!r}, {state})"

@@ -1,0 +1,89 @@
+"""Newline-JSON framing shared by the service and the distributed stack.
+
+One message per line: a JSON object, UTF-8 encoded, terminated by
+``\\n``. This is the PR 6 service framing, factored out so the
+``phonocmap worker`` / scheduler link (:mod:`repro.distributed.worker`,
+:mod:`repro.distributed.scheduler`) and the unix-socket service
+transport (:mod:`repro.service.server`) speak the same protocol with the
+same code.
+
+Binary values (pickled problems, streamed model arrays) ride inside the
+JSON envelope as zlib-compressed, base64-encoded pickle payloads —
+:func:`encode_payload` / :func:`decode_payload`. JSON-with-base64 is
+deliberate over a binary framing: it keeps the protocol debuggable with
+``nc`` and needs nothing beyond the standard library (the container has
+no msgpack). The big payloads are rare by design — the distributed
+scheduler ships ~40-byte model cache keys, not matrices — so the base64
+overhead is confined to the one-time cache-miss fallback.
+
+Security note: payloads are **pickle** and are only ever exchanged
+between a scheduler and workers the same user started on hosts they
+control; the worker CLI refuses to listen on public interfaces by
+default for the same reason.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import zlib
+from typing import Any, Optional
+
+__all__ = [
+    "decode_payload",
+    "encode_payload",
+    "read_frame",
+    "read_message",
+    "write_message",
+]
+
+
+def read_frame(rfile) -> Optional[bytes]:
+    """Read one raw frame (line) from a buffered reader.
+
+    Returns ``None`` on EOF, a blank line (keep-alive / polite
+    hang-up), or a connection-level error — all the cases where the
+    peer has nothing more to say on this connection.
+    """
+    try:
+        line = rfile.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line or not line.strip():
+        return None
+    return line
+
+
+def read_message(rfile) -> Optional[dict]:
+    """Read and decode one JSON message; ``None`` on EOF or bad frame."""
+    frame = read_frame(rfile)
+    if frame is None:
+        return None
+    try:
+        message = json.loads(frame)
+    except ValueError:
+        return None
+    return message if isinstance(message, dict) else None
+
+
+def write_message(wfile, message: dict) -> None:
+    """Encode and write one JSON message, flushed.
+
+    Raises the underlying :class:`OSError` on a dead peer — callers
+    own the decision between requeue (scheduler) and hang-up (server).
+    """
+    wfile.write(json.dumps(message, separators=(",", ":")).encode() + b"\n")
+    wfile.flush()
+
+
+def encode_payload(obj: Any) -> str:
+    """Pack an arbitrary picklable object into a JSON-safe string."""
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    ).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(zlib.decompress(base64.b64decode(text.encode("ascii"))))

@@ -1,0 +1,185 @@
+"""The ``phonocmap worker`` process: remote execution with cache-keyed hydration.
+
+A worker dials the scheduler (``phonocmap worker --connect HOST:PORT``),
+announces itself, and then serves a simple request loop over the
+newline-JSON wire protocol (:mod:`repro.distributed.wire`):
+
+``init``
+    Carries a pickled :class:`~repro.core.problem.MappingProblem`
+    (kilobytes — CG plus network description, never coupling matrices)
+    plus dtype / contraction backend. The worker hydrates the coupling
+    model for the problem's **cache key** locally: process cache first,
+    then the on-disk model cache (PR 5), and only when both miss does it
+    ask the scheduler to stream the arrays once (``need_model`` /
+    ``model``), persisting them to its disk cache so every later
+    hydration for that key is again key-only. The reply reports which
+    source won (``"process"`` / ``"disk"`` / ``"streamed"``) — the
+    parity suite asserts ``"streamed"`` never happens on a warm cache.
+
+``task``
+    Names a registered task function (``"strategy"`` →
+    :func:`repro.core.parallel.run_strategy_task`, ``"shard"`` →
+    :func:`repro.core.parallel.evaluate_shard_task`) plus pickled
+    arguments. The task runs under the context built by ``init`` —
+    exactly the state a local pool worker holds — so results are
+    bit-identical to any other backend. Task-level exceptions are
+    pickled back whole (the scheduler re-raises the original exception,
+    matching local-pool semantics) and do **not** kill the worker.
+
+``ping`` / ``shutdown``
+    Liveness probe / graceful exit.
+
+A vanished scheduler (EOF, connection error) ends the worker: workers
+are cheap, cattle-style processes — restart them to reconnect.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import traceback
+from typing import Optional
+
+import numpy as np
+
+from repro.core import parallel as _parallel
+from repro.core.executor import split_tcp_address
+from repro.distributed import wire
+from repro.models import coupling as _coupling
+from repro.models.coupling import CouplingModel
+
+__all__ = ["run_worker"]
+
+#: Registered task functions a scheduler may dispatch, by wire name.
+TASK_FUNCTIONS = {
+    "strategy": _parallel.run_strategy_task,
+    "shard": _parallel.evaluate_shard_task,
+}
+
+
+def _hydrate(
+    network,
+    dtype,
+    model_cache_dir: Optional[str],
+    rfile,
+    wfile,
+    ctx_id: str,
+) -> str:
+    """Materialize the coupling model for a cache key; returns the source.
+
+    Resolution order mirrors :meth:`CouplingModel.for_network` with the
+    build step replaced by a one-time streamed transfer from the
+    scheduler — a worker never burns CPU rebuilding a matrix the
+    scheduler already holds.
+    """
+    key = CouplingModel.cache_key(network, dtype)
+    if key in _coupling._CACHE:
+        return "process"
+    model = None
+    if model_cache_dir:
+        model = CouplingModel.load_cached(network, dtype, model_cache_dir)
+    if model is not None:
+        CouplingModel.register(key, model)
+        return "disk"
+    wire.write_message(wfile, {"op": "need_model", "ctx_id": ctx_id})
+    message = wire.read_message(rfile)
+    if message is None or message.get("op") != "model":
+        raise ConnectionError("scheduler hung up during model transfer")
+    model = CouplingModel.from_arrays(
+        network, wire.decode_payload(message["payload"])
+    )
+    if model_cache_dir:
+        model.save_cached(model_cache_dir)
+    CouplingModel.register(key, model)
+    return "streamed"
+
+
+def run_worker(address: str, model_cache_dir: Optional[str] = None) -> int:
+    """Serve tasks from the scheduler at ``address`` until it hangs up.
+
+    Parameters
+    ----------
+    address : str
+        ``HOST:PORT`` (a ``tcp://`` prefix is tolerated) of the
+        scheduler's :class:`~repro.distributed.scheduler.WorkerHub`.
+    model_cache_dir : str, optional
+        On-disk model cache this worker hydrates from (and persists
+        streamed models into). Strongly recommended: a shared or
+        pre-seeded cache keeps model matrices off the wire entirely.
+
+    Returns
+    -------
+    int
+        Process exit code (0 on a graceful shutdown or scheduler EOF).
+    """
+    host, port = split_tcp_address(address)
+    sock = socket.create_connection((host, port))
+    try:
+        # Generous per-message timeout: a silent scheduler for this long
+        # means the link is gone, and exiting lets a supervisor restart.
+        sock.settimeout(3600.0)
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        wire.write_message(
+            wfile,
+            {"op": "hello", "pid": os.getpid(), "host": socket.gethostname()},
+        )
+        contexts = {}
+        while True:
+            message = wire.read_message(rfile)
+            if message is None:
+                return 0
+            op = message.get("op")
+            if op == "shutdown":
+                return 0
+            if op == "ping":
+                wire.write_message(wfile, {"op": "pong"})
+            elif op == "init":
+                ctx_id = message["ctx_id"]
+                problem = wire.decode_payload(message["problem"])
+                dtype = np.dtype(message["dtype"])
+                source = _hydrate(
+                    problem.network, dtype, model_cache_dir, rfile, wfile, ctx_id
+                )
+                contexts[ctx_id] = _parallel.WorkerContext(
+                    problem, dtype, message.get("backend", "dense")
+                )
+                wire.write_message(
+                    wfile,
+                    {"op": "ready", "ctx_id": ctx_id, "model_source": source},
+                )
+            elif op == "task":
+                reply = _run_task(contexts, message)
+                wire.write_message(wfile, reply)
+            # Unknown ops are skipped: lets the protocol grow without
+            # stranding older workers.
+    finally:
+        sock.close()
+
+
+def _run_task(contexts: dict, message: dict) -> dict:
+    """Execute one dispatched task; never raises (errors ride the reply)."""
+    task_id = message.get("task_id")
+    try:
+        context = contexts[message["ctx_id"]]
+        fn = TASK_FUNCTIONS[message["fn"]]
+        args, kwargs = wire.decode_payload(message["payload"])
+        with _parallel.activate_context(context):
+            result = fn(*args, **kwargs)
+        return {
+            "op": "result",
+            "task_id": task_id,
+            "payload": wire.encode_payload(result),
+        }
+    except Exception as error:  # noqa: BLE001 — forwarded to the scheduler
+        try:
+            payload = wire.encode_payload(error)
+        except Exception:  # unpicklable exception: ship the text
+            payload = None
+        return {
+            "op": "error",
+            "task_id": task_id,
+            "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(),
+            "payload": payload,
+        }

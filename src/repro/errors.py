@@ -40,6 +40,10 @@ class OptimizationError(ReproError):
     """An optimization strategy was configured or used incorrectly."""
 
 
+class ExecutorError(ReproError):
+    """An execution backend is misconfigured or cannot serve tasks."""
+
+
 class ServiceError(ReproError):
     """A mapping-service request is invalid or cannot be admitted.
 

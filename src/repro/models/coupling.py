@@ -1295,6 +1295,49 @@ class CouplingModel:
             shutil.rmtree(tmp, ignore_errors=True)
             return None
 
+    def export_arrays(self) -> dict:
+        """Pack this model's arrays for a one-time streamed transfer.
+
+        The cache-miss fallback of distributed hydration: when a remote
+        worker holds neither a process- nor disk-cached model for a
+        cache key, the scheduler streams this payload once and the
+        worker persists it (:meth:`from_arrays` + :meth:`save_cached`),
+        making every later hydration key-only again. Same array set as
+        the disk cache (:attr:`_DISK_ARRAYS`), so a streamed model is
+        bit-identical to a built or disk-loaded one.
+        """
+        payload = {
+            name: np.ascontiguousarray(getattr(self, name))
+            for name in self._DISK_ARRAYS
+        }
+        payload["nnz"] = self.nnz
+        return payload
+
+    @classmethod
+    def from_arrays(cls, network: PhotonicNoC, payload: dict) -> "CouplingModel":
+        """Rebuild a model from an :meth:`export_arrays` payload."""
+        n_tiles = network.topology.n_tiles
+        n_pairs = n_tiles * n_tiles
+        coupling = np.asarray(payload["coupling_linear"])
+        if coupling.shape != (n_pairs, n_pairs):
+            raise ModelError(
+                f"streamed coupling matrix has shape {coupling.shape}, "
+                f"expected {(n_pairs, n_pairs)} for {network.signature!r}"
+            )
+        model = cls.__new__(cls)
+        model.network = network
+        model.n_tiles = n_tiles
+        model.n_pairs = n_pairs
+        model.signal_linear = np.asarray(payload["signal_linear"])
+        model.insertion_loss_db = np.asarray(payload["insertion_loss_db"])
+        model.coupling_linear = coupling
+        model._coupling_T = None
+        model._csr = None
+        nnz = payload.get("nnz")
+        model._nnz = int(nnz) if nnz is not None else None
+        model._shared_handles = {}
+        return model
+
     @classmethod
     def for_network(
         cls,

@@ -67,35 +67,76 @@ class ServiceClient:
             return self._request_unix(payload)
         return self._request_http(payload)
 
-    def _request_unix(self, payload: dict) -> dict:
-        if self._sock is None:
-            from repro.service.server import _connect_unix
+    @staticmethod
+    def _idempotent(payload: dict) -> bool:
+        """Whether a request may be transparently retried once.
 
+        A retried request must be unable to produce a *different*
+        answer or a double side effect. ``stats`` is read-only;
+        ``evaluate``/``distribution``/``optimize`` requests are pure
+        functions of their body **only when deterministic** — explicit
+        mappings, or an explicit seed (a ``seed: null`` request draws
+        fresh OS entropy per execution, so it is not retried).
+        """
+        if not isinstance(payload, dict):
+            return False
+        if payload.get("kind") == "stats":
+            return True
+        if payload.get("mappings") is not None:
+            return True
+        return payload.get("seed") is not None
+
+    def _request_unix(self, payload: dict) -> dict:
+        """One request over the persistent unix connection.
+
+        A connection that was reused from an earlier request may have
+        been dropped server-side (daemon restart, idle reap) without
+        this client noticing; when that happens mid-request the client
+        reconnects and retries **once**, and only for idempotent
+        requests (:meth:`_idempotent`) — a freshly dialed connection
+        failing means the daemon is genuinely unreachable, so that
+        raises immediately.
+        """
+        retried = False
+        while True:
+            fresh = self._sock is None
+            if fresh:
+                from repro.service.server import _connect_unix
+
+                try:
+                    self._sock = _connect_unix(self.socket_path, self.timeout)
+                except OSError as error:
+                    raise ServiceError(
+                        f"cannot reach daemon at {self.socket_path}: {error}",
+                        status=503,
+                        kind="unreachable",
+                    ) from None
+                self._reader = self._sock.makefile("rb")
+            line = None
             try:
-                self._sock = _connect_unix(self.socket_path, self.timeout)
+                self._sock.sendall(
+                    json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+                )
+                line = self._reader.readline()
             except OSError as error:
+                self.close()
+                if not fresh and not retried and self._idempotent(payload):
+                    retried = True
+                    continue
                 raise ServiceError(
-                    f"cannot reach daemon at {self.socket_path}: {error}",
+                    f"daemon connection failed: {error}",
                     status=503,
                     kind="unreachable",
                 ) from None
-            self._reader = self._sock.makefile("rb")
-        try:
-            self._sock.sendall(
-                json.dumps(payload, separators=(",", ":")).encode() + b"\n"
-            )
-            line = self._reader.readline()
-        except OSError as error:
-            self.close()
-            raise ServiceError(
-                f"daemon connection failed: {error}", status=503, kind="unreachable"
-            ) from None
-        if not line:
-            self.close()
-            raise ServiceError(
-                "daemon closed the connection", status=503, kind="unreachable"
-            )
-        return json.loads(line)
+            if not line:
+                self.close()
+                if not fresh and not retried and self._idempotent(payload):
+                    retried = True
+                    continue
+                raise ServiceError(
+                    "daemon closed the connection", status=503, kind="unreachable"
+                )
+            return json.loads(line)
 
     def _request_http(self, payload: dict) -> dict:
         connection = http.client.HTTPConnection(

@@ -79,6 +79,11 @@ class ServiceCore:
     coalesce_window_s : float, optional
         Linger window of the batch coalescers (see
         :class:`~repro.service.coalesce.BatchCoalescer`).
+    executor : str, optional
+        Execution backend spec for the shared evaluators' sharded
+        flights — ``"local"`` (default), ``"inline"``, or
+        ``"tcp://HOST:PORT"`` to dispatch coalesced flights to
+        ``phonocmap worker`` processes. Bit-identical either way.
     """
 
     def __init__(
@@ -87,7 +92,11 @@ class ServiceCore:
         model_cache_dir: Optional[str] = None,
         limits: Optional[ServiceLimits] = None,
         coalesce_window_s: float = 0.004,
+        executor: str = "local",
     ) -> None:
+        from repro.core.executor import parse_executor_spec
+
+        self.executor = parse_executor_spec(executor)
         self.n_workers = max(1, int(n_workers))
         self.model_cache_dir = model_cache_dir
         self.limits = limits if limits is not None else ServiceLimits()
@@ -230,6 +239,7 @@ class ServiceCore:
                 dtype=request.dtype,
                 backend=request.backend,
                 model_cache_dir=self.model_cache_dir,
+                executor=self.executor,
             )
             # The objective-free pool key (minus n_workers): requests
             # agreeing on it can share flights whatever their objective.
@@ -242,6 +252,7 @@ class ServiceCore:
                     n_workers=self.n_workers,
                     backend=evaluator.backend,
                     model_cache_dir=self.model_cache_dir,
+                    executor=self.executor,
                 )
                 coalescer = BatchCoalescer(
                     shared,
@@ -380,11 +391,15 @@ class ServiceCore:
         totals["coalescing_ratio"] = (
             totals["batches"] / totals["flights"] if totals["flights"] else None
         )
+        from repro.core.pool import executor_stats
+
         return {
             "uptime_s": time.monotonic() - self._started,
             "active_requests": active,
             "served": served,
             "rejected_queue_full": rejected,
+            "executor": self.executor,
+            "executors": executor_stats(),
             "n_workers": self.n_workers,
             "model_cache_dir": self.model_cache_dir,
             "limits": {

@@ -28,6 +28,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro.distributed import wire
 from repro.errors import ServiceError
 from repro.service.core import ServiceCore
 
@@ -35,22 +36,20 @@ __all__ = ["ServiceServer"]
 
 
 class _UnixJSONHandler(socketserver.StreamRequestHandler):
-    """One connection: read JSON lines, answer JSON lines."""
+    """One connection: read JSON lines, answer JSON lines.
+
+    Framing is the shared :mod:`repro.distributed.wire` protocol — the
+    same newline-JSON link the distributed scheduler/worker pair speaks.
+    """
 
     def handle(self) -> None:  # noqa: D102 — socketserver plumbing
         while True:
-            try:
-                line = self.rfile.readline()
-            except (ConnectionError, OSError):
+            frame = wire.read_frame(self.rfile)
+            if frame is None:
                 return
-            if not line or not line.strip():
-                return
-            body, _status = self.server.core.handle_json(line)
+            body, _status = self.server.core.handle_json(frame)
             try:
-                self.wfile.write(
-                    json.dumps(body, separators=(",", ":")).encode() + b"\n"
-                )
-                self.wfile.flush()
+                wire.write_message(self.wfile, body)
             except (BrokenPipeError, ConnectionError, OSError):
                 return  # client hung up mid-response; request already served
 
@@ -61,7 +60,41 @@ class _UnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
 
     def __init__(self, path: str, core: ServiceCore):
         self.core = core
+        self._connections = set()
+        self._connections_lock = threading.Lock()
         super().__init__(path, _UnixJSONHandler)
+
+    def get_request(self):
+        request, client_address = super().get_request()
+        with self._connections_lock:
+            self._connections.add(request)
+        return request, client_address
+
+    def shutdown_request(self, request):
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        """Drop every persistent client connection (used by stop()).
+
+        Without this, clients idling on a keep-alive connection would
+        hang on a daemon that has already drained and stopped serving —
+        closing the sockets hands them the EOF their reconnect logic
+        keys on.
+        """
+        with self._connections_lock:
+            victims = list(self._connections)
+            self._connections.clear()
+        for sock in victims:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
 
 
 class _HTTPHandler(BaseHTTPRequestHandler):
@@ -184,6 +217,11 @@ class ServiceServer:
         if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=timeout)
         self.core.close(timeout=timeout)
+        # In-flight requests have drained; drop lingering keep-alive
+        # connections so their clients fail over instead of hanging.
+        close_connections = getattr(self._server, "close_connections", None)
+        if close_connections is not None:
+            close_connections()
         from repro.core.pool import shutdown_pools
 
         shutdown_pools()

@@ -1,0 +1,90 @@
+"""Unit tests of the shared newline-JSON wire framing."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.executor import parse_executor_spec, split_tcp_address
+from repro.distributed import wire
+from repro.errors import ExecutorError
+
+
+class TestFraming:
+    def test_round_trip(self):
+        buffer = io.BytesIO()
+        wire.write_message(buffer, {"op": "hello", "pid": 7})
+        wire.write_message(buffer, {"op": "ping"})
+        buffer.seek(0)
+        assert wire.read_message(buffer) == {"op": "hello", "pid": 7}
+        assert wire.read_message(buffer) == {"op": "ping"}
+        assert wire.read_message(buffer) is None  # EOF
+
+    def test_one_message_per_line(self):
+        buffer = io.BytesIO()
+        wire.write_message(buffer, {"a": 1})
+        assert buffer.getvalue().count(b"\n") == 1
+
+    def test_blank_line_reads_as_none(self):
+        assert wire.read_frame(io.BytesIO(b"\n")) is None
+        assert wire.read_frame(io.BytesIO(b"")) is None
+
+    def test_garbage_frame_reads_as_none(self):
+        assert wire.read_message(io.BytesIO(b"not json\n")) is None
+        assert wire.read_message(io.BytesIO(b"[1, 2]\n")) is None  # not a dict
+
+    def test_read_frame_survives_connection_error(self):
+        class Dead:
+            def readline(self):
+                raise ConnectionResetError
+
+        assert wire.read_frame(Dead()) is None
+
+
+class TestPayloads:
+    def test_payload_round_trip_preserves_arrays_bitwise(self):
+        rng = np.random.default_rng(3)
+        original = {"matrix": rng.random((16, 16)), "nnz": 12}
+        decoded = wire.decode_payload(wire.encode_payload(original))
+        np.testing.assert_array_equal(decoded["matrix"], original["matrix"])
+        assert decoded["matrix"].dtype == original["matrix"].dtype
+        assert decoded["nnz"] == 12
+
+    def test_payload_is_json_safe_ascii(self):
+        text = wire.encode_payload({"x": np.arange(5)})
+        assert isinstance(text, str)
+        text.encode("ascii")  # must not raise
+
+    def test_exceptions_round_trip(self):
+        error = ValueError("bad shard")
+        decoded = wire.decode_payload(wire.encode_payload(error))
+        assert isinstance(decoded, ValueError)
+        assert str(decoded) == "bad shard"
+
+
+class TestExecutorSpecs:
+    def test_defaults_and_passthrough(self):
+        assert parse_executor_spec(None) == "local"
+        assert parse_executor_spec("local") == "local"
+        assert parse_executor_spec("inline") == "inline"
+
+    def test_tcp_normalization(self):
+        assert parse_executor_spec("tcp://host:99") == "tcp://host:99"
+
+    def test_rejects_unknown_specs(self):
+        with pytest.raises(ExecutorError):
+            parse_executor_spec("udp://host:99")
+        with pytest.raises(ExecutorError):
+            parse_executor_spec("threads")
+
+    def test_split_tcp_address(self):
+        assert split_tcp_address("host:99") == ("host", 99)
+        assert split_tcp_address("tcp://host:99") == ("host", 99)
+        with pytest.raises(ExecutorError):
+            split_tcp_address("no-port")
+        with pytest.raises(ExecutorError):
+            split_tcp_address("host:nan")
+        with pytest.raises(ExecutorError):
+            split_tcp_address("host:70000")

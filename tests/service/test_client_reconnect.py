@@ -1,0 +1,138 @@
+"""Client reconnect semantics and the stats executor section.
+
+The :class:`~repro.service.client.ServiceClient` keeps one persistent
+unix connection per client. A daemon restart (or idle reap) silently
+kills that connection server-side; the client must absorb exactly one
+such failure — by redialing and retrying — and only for requests whose
+replay cannot change the answer: ``stats``, explicit-mapping
+``evaluate``, and anything carrying an explicit ``seed``. An unseeded
+request draws fresh OS entropy per execution, so replaying it could
+return a different answer: it surfaces the failure instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import pool as pool_registry
+from repro.errors import ServiceError
+from repro.service import ServiceClient, ServiceCore, ServiceServer
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    pool_registry.shutdown_pools()
+
+
+def _serve(path):
+    server = ServiceServer(ServiceCore(n_workers=1), socket_path=path)
+    server.start()
+    return server
+
+
+class TestIdempotencyRule:
+    def test_rule(self):
+        idempotent = ServiceClient._idempotent
+        assert idempotent({"kind": "stats"})
+        assert idempotent({"kind": "optimize", "seed": 7})
+        assert idempotent({"kind": "evaluate", "mappings": [[0, 1]]})
+        assert idempotent({"kind": "distribution", "samples": 8, "seed": 0})
+        assert not idempotent({"kind": "distribution", "samples": 8})
+        assert not idempotent({"kind": "optimize", "seed": None})
+        assert not idempotent("not a dict")
+
+
+class TestReconnect:
+    def test_stats_survives_daemon_restart(self, tmp_path):
+        path = str(tmp_path / "daemon.sock")
+        server = _serve(path)
+        client = ServiceClient(socket_path=path)
+        try:
+            first = client.request({"kind": "stats"})
+            assert first["ok"], first
+            server.stop()
+            server = _serve(path)  # rebinds the same path
+            # The client's persistent connection is now dead; the retry
+            # must be transparent for a read-only request.
+            second = client.request({"kind": "stats"})
+            assert second["ok"], second
+        finally:
+            client.close()
+            server.stop()
+
+    def test_seeded_request_bit_identical_across_restart(self, tmp_path):
+        path = str(tmp_path / "daemon.sock")
+        payload = {"kind": "distribution", "app": "pip",
+                   "samples": 64, "seed": 5}
+        server = _serve(path)
+        client = ServiceClient(socket_path=path)
+        try:
+            before = client.request(payload)
+            assert before["ok"], before
+            server.stop()
+            server = _serve(path)
+            after = client.request(payload)
+            assert after["ok"], after
+            assert after["result"] == before["result"]
+        finally:
+            client.close()
+            server.stop()
+
+    def test_unseeded_request_is_not_retried(self, tmp_path):
+        path = str(tmp_path / "daemon.sock")
+        server = _serve(path)
+        client = ServiceClient(socket_path=path)
+        try:
+            assert client.request({"kind": "stats"})["ok"]
+            server.stop()
+            server = _serve(path)
+            with pytest.raises(ServiceError) as excinfo:
+                client.request(
+                    {"kind": "distribution", "app": "pip", "samples": 8}
+                )
+            assert excinfo.value.kind == "unreachable"
+            assert excinfo.value.status == 503
+            # The connection was dropped; the *next* idempotent request
+            # dials fresh and succeeds.
+            assert client.request({"kind": "stats"})["ok"]
+        finally:
+            client.close()
+            server.stop()
+
+    def test_fresh_connection_failure_raises_immediately(self, tmp_path):
+        client = ServiceClient(socket_path=str(tmp_path / "nobody.sock"))
+        with pytest.raises(ServiceError) as excinfo:
+            client.request({"kind": "stats"})  # idempotent, but fresh dial
+        assert excinfo.value.kind == "unreachable"
+
+
+class TestStatsExecutorSection:
+    def test_stats_reports_executor_info(self, tmp_path):
+        path = str(tmp_path / "daemon.sock")
+        server = _serve(path)
+        try:
+            with ServiceClient(socket_path=path) as client:
+                warm = client.request(
+                    {"kind": "distribution", "app": "pip",
+                     "samples": 64, "seed": 2}
+                )
+                assert warm["ok"], warm
+                stats = client.request({"kind": "stats"})["result"]
+        finally:
+            server.stop()
+        assert stats["executor"] == "local"
+        executors = stats["executors"]
+        assert set(executors) == {"backends", "totals"}
+        assert set(executors["totals"]) == {
+            "tasks_dispatched", "tasks_retried", "workers",
+        }
+        for entry in executors["backends"]:
+            assert {"kind", "broken", "tasks_dispatched"} <= set(entry)
+
+    def test_core_threads_executor_spec_through(self):
+        core = ServiceCore(n_workers=1, executor="inline")
+        try:
+            assert core.stats()["executor"] == "inline"
+        finally:
+            core.close(timeout=30)
