@@ -1,0 +1,198 @@
+"""Objective-registry races: contract smoke plus variation-sampling speedup.
+
+Not a paper artefact: an engineering race for the PR 8 physics-aware
+objectives (the laser-power budget and the variation-robust SNR built on
+the paper's Table I parameters). Two parts:
+
+* **Contract smoke** (always, and all ``--quick`` does): for every
+  registered objective, batch scoring must be bit-identical to
+  single-row scoring and invariant to chunk size — the same properties
+  ``tests/core/test_objective_contracts.py`` locks down, proven here
+  end to end on a fresh process so the CI wiring check is independent
+  of pytest.
+* **Variation-sampling race** (full mode): scores a large batch under
+  ``robust_snr`` sequentially (naive: one worker walks every mapping
+  against every perturbed sample model) and sharded across the visible
+  CPUs. Results must be bit-identical; with at least 4 CPUs visible the
+  sharded path must win by ``--min-speedup`` (default 3x).
+
+Expected runtime: a few seconds with ``--quick``; ~1-2 minutes in full
+mode at the default batch size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_objectives.py --quick --json bench-results
+    PYTHONPATH=src python benchmarks/bench_objectives.py --json .
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.experiments import build_case_study_network
+from repro.appgraph import grid_side_for, load_benchmark
+from repro.core import (
+    MappingEvaluator,
+    MappingProblem,
+    Objective,
+    random_assignment_batch,
+    spec_for,
+)
+from repro.core.pool import shutdown_pools
+from repro.photonics import VariationSpec
+
+try:  # script mode (python benchmarks/bench_objectives.py)
+    from common import add_json_argument, record_bench
+except ImportError:  # package mode (pytest from the repo root)
+    from benchmarks.common import add_json_argument, record_bench
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def check_contracts(app: str, rows_n: int) -> dict:
+    """Batch-vs-single and chunk invariance for every objective."""
+    import repro.core.evaluator as evaluator_module
+
+    cg = load_benchmark(app)
+    network = build_case_study_network("mesh", grid_side_for(cg), "crux")
+    variation = VariationSpec(n_samples=2, sigma=0.03, seed=9)
+    results = {}
+    for objective in Objective:
+        needs_variation = spec_for(objective).requires_variation
+        problem = MappingProblem(
+            cg,
+            network,
+            objective,
+            variation=variation if needs_variation else None,
+        )
+        evaluator = MappingEvaluator(problem)
+        rows = random_assignment_batch(
+            rows_n, evaluator.n_tasks, evaluator.n_tiles,
+            np.random.default_rng(17),
+        )
+        batch = evaluator.evaluate_batch(rows).score
+        single = np.array(
+            [evaluator.evaluate(rows[i]).score for i in range(rows_n)]
+        )
+        saved = evaluator_module._CHUNK_BYTES
+        try:
+            evaluator_module._CHUNK_BYTES = 1
+            chunked = MappingEvaluator(problem).evaluate_batch(rows).score
+        finally:
+            evaluator_module._CHUNK_BYTES = saved
+        results[objective.value] = {
+            "batch_equals_single": bool(np.array_equal(batch, single)),
+            "chunk_invariant": bool(np.array_equal(batch, chunked)),
+        }
+    return results
+
+
+def race_variation_sampling(
+    app: str, samples: int, batch_rows: int, workers: int
+) -> dict:
+    """Sequential vs sharded robust_snr scoring of one large batch."""
+    cg = load_benchmark(app)
+    network = build_case_study_network("mesh", grid_side_for(cg), "crux")
+    problem = MappingProblem(
+        cg,
+        network,
+        "robust_snr",
+        variation=VariationSpec(n_samples=samples, sigma=0.03, seed=5),
+    )
+    naive = MappingEvaluator(problem)
+    sharded = MappingEvaluator(problem, n_workers=workers, executor="local")
+    rows = random_assignment_batch(
+        batch_rows, naive.n_tasks, naive.n_tiles, np.random.default_rng(3)
+    )
+    # Warm the pool (fork + model hydration) out of the measured window.
+    sharded.evaluate_batch(rows[:workers], min_shard_rows=1)
+    t0 = time.perf_counter()
+    sequential_scores = naive.evaluate_batch(rows).score
+    t_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sharded_scores = sharded.evaluate_batch(rows, min_shard_rows=1).score
+    t_par = time.perf_counter() - t0
+    return {
+        "label": f"robust_snr {app} rows={batch_rows} samples={samples}",
+        "t_seq": t_seq,
+        "t_par": t_par,
+        "speedup": t_seq / t_par if t_par > 0 else float("inf"),
+        "workers": workers,
+        "identical": bool(np.array_equal(sharded_scores, sequential_scores)),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--app", default="dvopd")
+    parser.add_argument("--quick", action="store_true",
+                        help="contract smoke only (CI wiring check)")
+    parser.add_argument("--samples", type=int, default=6,
+                        help="variation samples in the race (default 6)")
+    parser.add_argument("--rows", type=int, default=4096,
+                        help="batch rows in the race (default 4096)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard width (default: visible CPUs)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="speedup floor, enforced with >= 4 visible CPUs")
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+
+    app = "pip" if args.quick else args.app
+    contracts = check_contracts(app, rows_n=24 if args.quick else 64)
+    ok = True
+    for name, flags in contracts.items():
+        status = "ok" if all(flags.values()) else "FAIL"
+        ok = ok and all(flags.values())
+        print(f"contract {name:>14s}: batch==single "
+              f"{flags['batch_equals_single']}, chunk-invariant "
+              f"{flags['chunk_invariant']}  [{status}]")
+
+    race = None
+    enforced = False
+    if not args.quick:
+        cpus = _available_cpus()
+        workers = args.workers or min(cpus, 8)
+        try:
+            race = race_variation_sampling(
+                app, args.samples, args.rows, workers
+            )
+        finally:
+            shutdown_pools()
+        print(f"{race['label']}: seq {race['t_seq']:.2f}s, "
+              f"sharded({workers}) {race['t_par']:.2f}s "
+              f"-> {race['speedup']:.2f}x, identical={race['identical']}")
+        ok = ok and race["identical"]
+        enforced = cpus >= 4
+        if enforced and race["speedup"] < args.min_speedup:
+            print(f"FAIL: speedup {race['speedup']:.2f}x below the "
+                  f"{args.min_speedup}x floor with {cpus} CPUs visible")
+            ok = False
+        elif not enforced:
+            print(f"note: only {cpus} CPU(s) visible; the "
+                  f"{args.min_speedup}x floor is reported, not enforced")
+
+    record_bench(
+        args,
+        "objectives",
+        passed=ok,
+        contracts=contracts,
+        race=race,
+        speedup_enforced=enforced,
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

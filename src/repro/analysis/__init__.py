@@ -22,6 +22,12 @@ from repro.analysis.scalability import (
     format_scalability,
     scalability_study,
 )
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepResult,
+    grid_points,
+    sweep_device_points,
+)
 
 __all__ = [
     "DistributionResult",
@@ -43,4 +49,8 @@ __all__ = [
     "ScalabilityRow",
     "format_scalability",
     "scalability_study",
+    "SweepPoint",
+    "SweepResult",
+    "grid_points",
+    "sweep_device_points",
 ]

@@ -82,8 +82,14 @@ def build_case_study_network(
     topology_name: str,
     side: int,
     router: str = "crux",
+    params: Optional[PhysicalParameters] = None,
 ) -> PhotonicNoC:
-    """The architecture of the paper's case studies (§III)."""
+    """The architecture of the paper's case studies (§III).
+
+    ``params`` picks the device parameter set (default: the paper's
+    Table I entry of the component library); sweeps pass each
+    library-instantiated point here.
+    """
     if topology_name == "mesh":
         topology = mesh(side, side)
     elif topology_name == "torus":
@@ -92,7 +98,7 @@ def build_case_study_network(
         raise ConfigurationError(
             f"case studies use 'mesh' or 'torus', got {topology_name!r}"
         )
-    return PhotonicNoC(topology, router=router)
+    return PhotonicNoC(topology, router=router, params=params)
 
 
 # ---------------------------------------------------------------------------

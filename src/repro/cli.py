@@ -13,6 +13,7 @@ commands mirror the workflows of the original toolset:
 * ``table2``      — reproduce the paper's Table II;
 * ``fig3``        — reproduce the paper's Fig. 3 distributions;
 * ``scalability`` — the network-scalability extension study;
+* ``sweep``       — optimize across a device-parameter grid;
 * ``export``      — dump a benchmark CG as JSON/DOT/edge list;
 * ``serve``       — the long-running mapping service daemon;
 * ``worker``      — a remote execution worker dialing a scheduler.
@@ -48,9 +49,12 @@ from repro.appgraph.benchmarks import (
 from repro.appgraph.io import cg_to_dict, cg_to_dot, cg_to_edge_lines, load_cg_json
 from repro.core.dse import DesignSpaceExplorer
 from repro.core.mapping import Mapping
+from repro.core.objectives import objective_names
 from repro.core.problem import MappingProblem
 from repro.core.registry import available_strategies
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
+from repro.photonics.library import default_library
+from repro.photonics.parameters import VariationSpec
 from repro.router.registry import available_routers
 
 __all__ = ["main", "build_parser", "SUBCOMMANDS"]
@@ -111,6 +115,55 @@ def _add_architecture_arguments(parser: argparse.ArgumentParser) -> None:
         "--router", default="crux", choices=available_routers(),
         help="optical router microarchitecture (default: crux)",
     )
+    parser.add_argument(
+        "--device", metavar="SPEC", default="date16",
+        help="device parameter set: a component-library entry name, or "
+             "'name:coeff=value,...' to instantiate (and content-register) "
+             "an override point (default: date16, the paper's Table I)",
+    )
+
+
+def _add_objective_arguments(parser: argparse.ArgumentParser) -> None:
+    """Objective + process-variation knobs (optimize / evaluate / sweep)."""
+    parser.add_argument(
+        "--objective", choices=objective_names(), default="snr",
+        help="optimization objective (default: snr)",
+    )
+    parser.add_argument(
+        "--variation-samples", type=int, default=None, metavar="N",
+        help="process-variation samples for robust objectives (default: 8)",
+    )
+    parser.add_argument(
+        "--variation-sigma", type=float, default=None, metavar="S",
+        help="relative per-coefficient variation std-dev (default: 0.02)",
+    )
+    parser.add_argument(
+        "--variation-seed", type=int, default=None, metavar="SEED",
+        help="seed of the variation sample stream (default: 0)",
+    )
+    parser.add_argument(
+        "--variation-quantile", type=float, default=None, metavar="Q",
+        help="aggregate the per-sample worst-case SNR at quantile Q "
+             "instead of the mean",
+    )
+
+
+def _variation_from(args: argparse.Namespace) -> Optional[VariationSpec]:
+    """Build the explicit variation plan, or None for the objective default."""
+    values = (
+        args.variation_samples,
+        args.variation_sigma,
+        args.variation_seed,
+        args.variation_quantile,
+    )
+    if all(value is None for value in values):
+        return None
+    return VariationSpec(
+        n_samples=8 if args.variation_samples is None else args.variation_samples,
+        sigma=0.02 if args.variation_sigma is None else args.variation_sigma,
+        seed=0 if args.variation_seed is None else args.variation_seed,
+        quantile=args.variation_quantile,
+    )
 
 
 def _add_application_arguments(parser: argparse.ArgumentParser) -> None:
@@ -131,7 +184,8 @@ def _load_application(args: argparse.Namespace):
 
 def _build_network(args: argparse.Namespace, cg):
     side = args.side if args.side is not None else grid_side_for(cg)
-    return build_case_study_network(args.topology, side, args.router)
+    params = default_library().resolve(getattr(args, "device", "date16"))
+    return build_case_study_network(args.topology, side, args.router, params=params)
 
 
 # ---------------------------------------------------------------------------
@@ -162,6 +216,7 @@ def _configure_evaluate(parser: argparse.ArgumentParser) -> None:
         "--report", action="store_true",
         help="print the full mapping report with noise breakdowns",
     )
+    _add_objective_arguments(parser)
     # The same evaluator knobs every other heavy subcommand exposes
     # (--float32 / --backend / --model-cache) — `evaluate` used to take
     # only --model-cache and silently score at float64/dense defaults.
@@ -171,10 +226,7 @@ def _configure_evaluate(parser: argparse.ArgumentParser) -> None:
 def _configure_optimize(parser: argparse.ArgumentParser) -> None:
     _add_application_arguments(parser)
     _add_architecture_arguments(parser)
-    parser.add_argument(
-        "--objective", choices=("snr", "loss"), default="snr",
-        help="optimization objective (default: snr)",
-    )
+    _add_objective_arguments(parser)
     parser.add_argument(
         "--strategy", choices=available_strategies(), default="r-pbla"
     )
@@ -248,6 +300,56 @@ def _configure_scalability(parser: argparse.ArgumentParser) -> None:
              "(default: 1, sequential)",
     )
     _add_model_cache_argument(parser)
+
+
+def _configure_sweep(parser: argparse.ArgumentParser) -> None:
+    _add_application_arguments(parser)
+    _add_architecture_arguments(parser)
+    _add_objective_arguments(parser)
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="one sweep axis: a physical coefficient and its values; "
+             "repeat for more axes (the sweep runs their cartesian "
+             "product). No axes: the single --device point",
+    )
+    parser.add_argument(
+        "--strategy", choices=available_strategies(), default="r-pbla"
+    )
+    parser.add_argument("--budget", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per point (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--no-delta", action="store_true",
+        help="force full (non-incremental) evaluation of every candidate",
+    )
+    parser.add_argument(
+        "--json-out", metavar="FILE",
+        help="also write the sweep points as a JSON document",
+    )
+    _add_evaluator_arguments(parser)
+
+
+def _parse_sweep_grid(param_args: List[str]):
+    """``--param name=v1,v2`` occurrences -> the sweep grid axes."""
+    grid = []
+    for item in param_args:
+        name, sep, values = item.partition("=")
+        if not sep or not name.strip() or not values.strip():
+            raise ConfigurationError(
+                f"--param must look like name=v1,v2,... , got {item!r}"
+            )
+        try:
+            axis = [float(v) for v in values.split(",") if v.strip()]
+        except ValueError:
+            raise ConfigurationError(
+                f"--param {name.strip()!r} has a non-numeric value in "
+                f"{values!r}"
+            ) from None
+        grid.append((name.strip(), axis))
+    return grid
 
 
 def _configure_export(parser: argparse.ArgumentParser) -> None:
@@ -339,7 +441,9 @@ def _cmd_table1(_args) -> int:
 def _cmd_evaluate(args) -> int:
     cg = _load_application(args)
     network = _build_network(args, cg)
-    problem = MappingProblem(cg, network)
+    problem = MappingProblem(
+        cg, network, args.objective, variation=_variation_from(args)
+    )
     evaluator = problem.evaluator(
         dtype=_evaluator_dtype(args), backend=args.backend
     )
@@ -354,6 +458,14 @@ def _cmd_evaluate(args) -> int:
     print(f"architecture: {network.signature.split('|params')[0]}")
     print(f"worst-case SNR:            {format_db(metrics.worst_snr_db)} dB")
     print(f"worst-case insertion loss: {metrics.worst_insertion_loss_db:7.2f} dB")
+    if metrics.laser_power_db is not None:
+        print(f"laser-power budget:        {metrics.laser_power_db:7.2f} dB")
+    if metrics.robust_snr_db is not None:
+        print(
+            f"variation-robust SNR:      {format_db(metrics.robust_snr_db)} dB"
+            f"  ({problem.variation_fingerprint})"
+        )
+    print(f"objective ({problem.objective.value}): {metrics.score:.4f}")
     if args.report:
         from repro.analysis.inspect import mapping_report
 
@@ -372,13 +484,19 @@ def _cmd_evaluate(args) -> int:
 def _cmd_optimize(args) -> int:
     cg = _load_application(args)
     network = _build_network(args, cg)
-    problem = MappingProblem(cg, network, args.objective)
+    problem = MappingProblem(
+        cg, network, args.objective, variation=_variation_from(args)
+    )
     explorer = DesignSpaceExplorer(
         problem, dtype=_evaluator_dtype(args), use_delta=not args.no_delta,
         n_workers=args.workers, backend=args.backend,
         model_cache_dir=args.model_cache, executor=args.executor,
     )
     result = explorer.run(args.strategy, budget=args.budget, seed=args.seed)
+    objective_line = f"objective: {problem.objective.value}"
+    if problem.variation is not None:
+        objective_line += f"  [{problem.variation_fingerprint}]"
+    print(objective_line)
     print(result.summary())
     print("mapping (task -> tile):")
     for task, tile in result.best_mapping.as_dict().items():
@@ -429,6 +547,54 @@ def _cmd_scalability(args) -> int:
         n_workers=args.workers, model_cache_dir=args.model_cache,
     )
     print(format_scalability(rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweep import sweep_device_points
+
+    cg = _load_application(args)
+    result = sweep_device_points(
+        cg,
+        _parse_sweep_grid(args.param),
+        topology=args.topology,
+        side=args.side,
+        router=args.router,
+        base=args.device,
+        objective=args.objective,
+        variation=_variation_from(args),
+        strategy=args.strategy,
+        budget=args.budget,
+        seed=args.seed,
+        dtype=_evaluator_dtype(args),
+        backend=args.backend,
+        use_delta=not args.no_delta,
+        n_workers=args.workers,
+        model_cache_dir=args.model_cache,
+    )
+    print(result.format())
+    best = result.best()
+    print(f"best point: {best.key}  score {best.score:.4f}")
+    if args.json_out:
+        document = {
+            "application": result.application,
+            "objective": result.objective.value,
+            "strategy": result.strategy,
+            "budget": result.budget,
+            "points": [
+                {
+                    "key": point.key,
+                    "overrides": point.overrides,
+                    "content_hash": point.content_hash,
+                    "score": point.score,
+                    "evaluations": int(point.result.evaluations),
+                }
+                for point in result.points
+            ],
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"sweep written to {args.json_out}")
     return 0
 
 
@@ -523,6 +689,8 @@ SUBCOMMANDS = (
                _configure_fig3, _cmd_fig3),
     Subcommand("scalability", "network scalability extension study",
                _configure_scalability, _cmd_scalability),
+    Subcommand("sweep", "optimize across a device-parameter grid",
+               _configure_sweep, _cmd_sweep),
     Subcommand("export", "dump a benchmark CG",
                _configure_export, _cmd_export),
     Subcommand("serve", "run the long-lived mapping-service daemon",

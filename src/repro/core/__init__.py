@@ -8,7 +8,7 @@ extensions).
 """
 
 from repro.core.annealing import SimulatedAnnealing
-from repro.core.delta import DeltaEvaluator
+from repro.core.delta import DeltaEvaluator, delta_engine
 from repro.core.dse import DesignSpaceExplorer
 from repro.core.evaluator import (
     BatchMetrics,
@@ -19,7 +19,13 @@ from repro.core.evaluator import (
 )
 from repro.core.genetic import GeneticAlgorithm, pmx_crossover
 from repro.core.mapping import Mapping, random_assignment, random_assignment_batch
-from repro.core.objectives import SNR_CAP_DB, Objective
+from repro.core.objectives import (
+    SNR_CAP_DB,
+    Objective,
+    ObjectiveSpec,
+    objective_names,
+    spec_for,
+)
 from repro.core.parallel import merge_chain_results, split_budget, spawn_seeds
 from repro.core.pbla import PriorityBasedListAlgorithm, apply_move, swap_moves
 from repro.core.pool import get_pool, release_pools, shutdown_pools
@@ -38,6 +44,7 @@ from repro.core.tabu import TabuSearch
 __all__ = [
     "SimulatedAnnealing",
     "DeltaEvaluator",
+    "delta_engine",
     "DesignSpaceExplorer",
     "BatchMetrics",
     "EdgeMetrics",
@@ -51,6 +58,9 @@ __all__ = [
     "random_assignment_batch",
     "SNR_CAP_DB",
     "Objective",
+    "ObjectiveSpec",
+    "objective_names",
+    "spec_for",
     "PriorityBasedListAlgorithm",
     "apply_move",
     "swap_moves",

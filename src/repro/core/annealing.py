@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.core.delta import DeltaEvaluator, score_neighbourhood
+from repro.core.delta import delta_engine, score_neighbourhood
 from repro.core.evaluator import MappingEvaluator
 from repro.core.mapping import random_assignment_batch
 from repro.core.moves import Move, apply_move
@@ -81,7 +81,7 @@ class SimulatedAnnealing(MappingStrategy):
         rng: np.random.Generator,
     ) -> OptimizationResult:
         tracker = BestTracker(evaluator)
-        engine = DeltaEvaluator(evaluator) if self._use_delta else None
+        engine = delta_engine(evaluator, self._use_delta)
         # Clamp to the budget too: a budget of 1 must not pay a
         # 2-evaluation calibration (std of one sample is simply 0).
         samples = min(self.calibration_samples, max(2, budget // 4), budget)

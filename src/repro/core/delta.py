@@ -83,12 +83,36 @@ from typing import Iterable, Optional
 import numpy as np
 
 import repro.core.evaluator as _evaluator_module
-from repro.core.evaluator import MappingEvaluator
+from repro.core.evaluator import MappingEvaluator, _row_sum
 from repro.core.moves import Move, apply_move
-from repro.core.objectives import SNR_CAP_DB
+from repro.core.objectives import SNR_CAP_DB, spec_for
 from repro.errors import MappingError
 
-__all__ = ["DeltaEvaluator", "incumbent_score", "score_neighbourhood"]
+__all__ = [
+    "DeltaEvaluator",
+    "delta_engine",
+    "incumbent_score",
+    "score_neighbourhood",
+]
+
+
+def delta_engine(
+    evaluator: MappingEvaluator,
+    use_delta: bool = True,
+    refresh_interval: Optional[int] = 64,
+) -> "Optional[DeltaEvaluator]":
+    """A :class:`DeltaEvaluator` when the objective supports one, else None.
+
+    The single construction seam strategies use: objectives whose
+    :class:`~repro.core.objectives.ObjectiveSpec` declares
+    ``supports_delta=False`` (e.g. ``robust_snr``, whose score depends on
+    every variation sample's noise field) silently fall back to full
+    batch evaluation — the same path ``use_delta=False`` takes — instead
+    of raising deep inside a strategy.
+    """
+    if not use_delta or not spec_for(evaluator.objective).supports_delta:
+        return None
+    return DeltaEvaluator(evaluator, refresh_interval=refresh_interval)
 
 
 def incumbent_score(engine, evaluator, assignment) -> float:
@@ -127,6 +151,14 @@ class DeltaEvaluator:
     ) -> None:
         if refresh_interval is not None and refresh_interval < 1:
             raise MappingError("refresh_interval must be >= 1 or None")
+        spec = spec_for(evaluator.objective)
+        if not spec.supports_delta:
+            raise MappingError(
+                f"objective {evaluator.objective.value!r} declares no "
+                "incremental (delta) support; use delta_engine() to fall "
+                "back to full batch evaluation"
+            )
+        self._score_table = spec.table
         self._ev = evaluator
         self._model = evaluator.model
         self._n_tiles = evaluator.n_tiles
@@ -469,12 +501,22 @@ class DeltaEvaluator:
         return il, signal, noise, aff, new_pa, scatter
 
     def _scores_from(self, il, signal, noise) -> np.ndarray:
-        """Objective scores from (M, E) tables — mirrors ``_edge_tables``."""
+        """Objective scores from (M, E) tables — mirrors ``_tables_from_pairs``.
+
+        Only the objective's own table is materialized (the spec's
+        ``table`` name, resolved at construction); every transform below
+        is row-local, so the scores are bit-identical to the full
+        pipeline's for the same rows.
+        """
+        if self._score_table == "worst_il":
+            return il.min(axis=1)
+        if self._score_table == "weighted_il":
+            return _row_sum(il * self._bw)
+        if self._score_table == "laser_power":
+            return self._ev._laser_power_table(il)
         with np.errstate(divide="ignore"):
             snr = 10.0 * np.log10(signal / np.where(noise > 0.0, noise, 1.0))
         snr = np.where(noise > 0.0, snr, SNR_CAP_DB)
-        worst_il = il.min(axis=1)
-        worst_snr = snr.min(axis=1)
-        mean_snr = snr.mean(axis=1)
-        weighted = il @ self._bw
-        return self._ev._score(worst_il, worst_snr, mean_snr, weighted)
+        if self._score_table == "mean_snr":
+            return _row_sum(snr) / snr.shape[1]
+        return snr.min(axis=1)

@@ -77,7 +77,12 @@ import numpy as np
 from repro.appgraph.graph import CommunicationGraph
 from repro.core.executor import parse_executor_spec
 from repro.core.mapping import Mapping
-from repro.core.objectives import SNR_CAP_DB, Objective
+from repro.core.objectives import (
+    BASE_TABLES,
+    SNR_CAP_DB,
+    VARIATION_TABLES,
+    spec_for,
+)
 from repro.core.problem import MappingProblem
 from repro.errors import MappingError
 from repro.models.coupling import CouplingModel
@@ -101,6 +106,25 @@ MIN_SHARD_ROWS = 64
 #: Recognized contraction backends.
 BACKENDS = ("auto", "dense", "sparse")
 
+def _row_sum(table: np.ndarray) -> np.ndarray:
+    """Sum over the last axis with a batch-size-independent order.
+
+    numpy's native last-axis reduction (``table.sum(axis=-1)``) blocks
+    its pairwise accumulation differently depending on the *leading*
+    dimensions, so the same row summed inside a 1-row chunk and inside a
+    64-row chunk can disagree in the last ULP — which would break the
+    bit-identical-for-any-chunk/shard contract for every sum-based
+    metric (mean SNR, the bandwidth-weighted loss, the laser-power
+    budget, the robust aggregate). One vectorized add per reduced column
+    accumulates strictly left to right: the order depends only on the
+    reduced width, never on how many rows ride along.
+    """
+    out = np.zeros(table.shape[:-1], dtype=np.float64)
+    for k in range(table.shape[-1]):
+        out += table[..., k]
+    return out
+
+
 #: ``backend="auto"`` picks the sparse contraction when
 #: ``SPARSE_AUTO_FACTOR * E^2 >= nnz``: the sparse kernel streams ~nnz
 #: coupling values per mapping while the dense kernel gathers ~E^2, and
@@ -121,7 +145,13 @@ class EdgeMetrics:
 
 @dataclass(frozen=True)
 class MappingMetrics:
-    """Scalar metrics of one evaluated mapping."""
+    """Scalar metrics of one evaluated mapping.
+
+    ``laser_power_db`` is the negated total laser-power budget (the
+    ``laser_power`` objective's score; always computed).
+    ``robust_snr_db`` is the variation-aggregated worst-case SNR — only
+    present when the problem carries a variation plan.
+    """
 
     worst_insertion_loss_db: float
     worst_snr_db: float
@@ -129,6 +159,8 @@ class MappingMetrics:
     weighted_loss_db: float
     score: float
     edges: Optional[EdgeMetrics] = None
+    laser_power_db: Optional[float] = None
+    robust_snr_db: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -185,13 +217,14 @@ class PendingBatch:
         Returns
         -------
         tuple of numpy.ndarray
-            ``(worst_il, worst_snr, mean_snr, weighted_il)`` per-row
-            vectors — the objective-free tables the pool workers return.
-            Unlike :meth:`result` this charges **nothing** to the
-            evaluator's evaluation counter: it is the seam the service
-            layer's cross-request batch coalescer uses to score one
-            merged flight and re-split it per request, each request
-            applying its own objective and charging its own evaluator.
+            Per-row metric vectors, one per name in the evaluator's
+            :attr:`MappingEvaluator.table_names` (the objective-free
+            tables the pool workers return). Unlike :meth:`result` this
+            charges **nothing** to the evaluator's evaluation counter:
+            it is the seam the service layer's cross-request batch
+            coalescer uses to score one merged flight and re-split it
+            per request, each request applying its own objective and
+            charging its own evaluator.
         """
         if self._tables is None:
             if self._futures is None:
@@ -243,14 +276,33 @@ class PendingBatch:
         re-charging.
         """
         if self._metrics is None:
-            worst_il, worst_snr, mean_snr, weighted_il = self.tables()
+            tables = self.tables()
             self._tables = None
             self._evaluator.evaluations += self._n
-            score = self._evaluator._score(
-                worst_il, worst_snr, mean_snr, weighted_il
-            )
-            self._metrics = BatchMetrics(worst_il, worst_snr, score)
+            score = self._evaluator._score_tables(tables)
+            # worst_il / worst_snr are the first two wire columns in
+            # every table set (BASE_TABLES order).
+            self._metrics = BatchMetrics(tables[0], tables[1], score)
         return self._metrics
+
+
+class _SparseModelState:
+    """Per-sample CSR state for sparse-backend variation scoring.
+
+    The weight/row-dot scratch buffers are shared across models (they
+    are sized by ``n_pairs``, identical for every sample of one
+    topology); only the CSR arrays and the per-CSR value scratch —
+    sized by that sample's nonzero count — are per-model.
+    """
+
+    __slots__ = ("csr", "values", "coupling")
+
+    def __init__(self, model) -> None:
+        self.csr = model.csr()
+        self.values = (
+            np.empty(self.csr.nnz, dtype=np.float64) if self.csr.nnz else None
+        )
+        self.coupling = model.coupling_linear
 
 
 class MappingEvaluator:
@@ -342,6 +394,42 @@ class MappingEvaluator:
             self._w_scratch = np.zeros(n_pairs, dtype=np.float64)
             self._rowdot_scratch = np.zeros(n_pairs, dtype=np.float64)
             self._value_scratch: Optional[np.ndarray] = None  # (nnz,), lazy
+        # Variation-robust scoring: one coupling model per perturbed
+        # device sample, each resolved through the same process/disk
+        # cache chain as the nominal model (the perturbed params' content
+        # hashes key distinct cache entries), so repeated sweeps and
+        # worker hydrations never rebuild a sample they have seen.
+        self.variation = problem.variation
+        self._sample_models: tuple = ()
+        self._sample_sparse: tuple = ()
+        if self.variation is not None:
+            sample_params = self.variation.samples(problem.network.params)
+            self._sample_models = tuple(
+                CouplingModel.for_network(
+                    problem.network.with_params(params),
+                    dtype=dtype,
+                    cache_dir=self.model_cache_dir,
+                )
+                for params in sample_params
+            )
+            if self.backend == "sparse":
+                self._sample_sparse = tuple(
+                    _SparseModelState(model) for model in self._sample_models
+                )
+        #: Names of the per-row metric tables this evaluator produces, in
+        #: wire order (grows the ``robust_snr`` column when the problem
+        #: carries a variation plan).
+        self.table_names = (
+            BASE_TABLES if self.variation is None else VARIATION_TABLES
+        )
+        score_table = spec_for(self.objective).table
+        if score_table not in self.table_names:
+            raise MappingError(
+                f"objective {self.objective.value!r} needs the "
+                f"{score_table!r} metric table, which this problem does "
+                "not produce (missing variation plan)"
+            )
+        self._score_index = self.table_names.index(score_table)
         self.evaluations = 0
 
     @staticmethod
@@ -535,27 +623,24 @@ class MappingEvaluator:
     def _evaluate_rows(self, assignments: np.ndarray):
         """Score validated rows sequentially, without counting.
 
-        Returns the ``(worst_il, worst_snr, mean_snr, weighted_il)``
-        per-row metric tables; used by the inline path, and by pool
-        workers scoring one shard each (objective-free — the score is
-        applied by whoever collects the tables).
+        Returns the per-row metric tables named by :attr:`table_names`
+        (in that order); used by the inline path, and by pool workers
+        scoring one shard each (objective-free — the score is applied by
+        whoever collects the tables).
         """
         n_mappings = assignments.shape[0]
         chunk = self._chunk_rows()
-        worst_il = np.empty(n_mappings, dtype=np.float64)
-        worst_snr = np.empty(n_mappings, dtype=np.float64)
-        mean_snr = np.empty(n_mappings, dtype=np.float64)
-        weighted_il = np.empty(n_mappings, dtype=np.float64)
+        out = {
+            name: np.empty(n_mappings, dtype=np.float64)
+            for name in self.table_names
+        }
         for start in range(0, n_mappings, chunk):
             stop = min(start + chunk, n_mappings)
             self._evaluate_chunk(
                 assignments[start:stop],
-                worst_il[start:stop],
-                worst_snr[start:stop],
-                mean_snr[start:stop],
-                weighted_il[start:stop],
+                {name: column[start:stop] for name, column in out.items()},
             )
-        return worst_il, worst_snr, mean_snr, weighted_il
+        return tuple(out[name] for name in self.table_names)
 
     def _chunk_rows(self) -> int:
         """Mappings per chunk keeping per-chunk transients within budget.
@@ -573,37 +658,63 @@ class MappingEvaluator:
             return max(1, _CHUNK_BYTES // (itemsize * width))
         return max(1, _CHUNK_BYTES // max(1, itemsize * n_edges * n_edges))
 
-    def _edge_tables(self, assignments: np.ndarray):
-        """(il, snr, noise, signal) tables of shape (M, E) for a chunk."""
+    def _pair_table(self, assignments: np.ndarray) -> np.ndarray:
+        """(M, E) flat tile-pair indices of a chunk of assignments.
+
+        Pair indices depend only on the mapping and the topology, so one
+        table serves the nominal model and every variation sample.
+        """
         src_tiles = assignments[:, self._edges[:, 0]]
         dst_tiles = assignments[:, self._edges[:, 1]]
-        pairs = self.model.pair_indices(src_tiles, dst_tiles)
-        il = self.model.insertion_loss_db[pairs]
-        signal = self.model.signal_linear[pairs]
+        return self.model.pair_indices(src_tiles, dst_tiles)
+
+    def _tables_from_pairs(self, pairs, model=None, sparse_state=None):
+        """(il, snr, noise, signal) tables of shape (M, E) for one model.
+
+        ``model=None`` scores against the nominal coupling model with
+        the evaluator's own scratch state; variation sampling passes
+        each perturbed sample model (and, in sparse mode, its CSR state)
+        through the same kernels, so every sample inherits the
+        row-local-reduction determinism guarantees.
+        """
+        if model is None:
+            model = self.model
+        il = model.insertion_loss_db[pairs]
+        signal = model.signal_linear[pairs]
         if self.backend == "sparse":
-            noise = self._sparse_noise(pairs)
+            noise = self._sparse_noise(pairs, sparse_state)
         else:
-            noise = self._dense_noise(pairs)
+            noise = self._dense_noise(pairs, model.coupling_linear)
         with np.errstate(divide="ignore"):
             snr = 10.0 * np.log10(signal / np.where(noise > 0.0, noise, 1.0))
         snr = np.where(noise > 0.0, snr, SNR_CAP_DB)
         return il, snr, noise, signal
 
-    def _dense_noise(self, pairs: np.ndarray) -> np.ndarray:
-        """Masked noise contraction over the dense coupling matrix.
+    def _edge_tables(self, assignments: np.ndarray):
+        """(il, snr, noise, signal) nominal-model tables for a chunk."""
+        return self._tables_from_pairs(self._pair_table(assignments))
 
-        NOT einsum: einsum's accumulation order varies with the batch
-        size M (it blocks differently for small batches), which would
-        break the bit-identical-for-any-shard-split guarantee of
-        ``evaluate_batch``. An in-place multiply plus a last-axis
-        pairwise sum reduces each (m, v) row over a contiguous run whose
-        order depends only on E.
+    def _dense_noise(
+        self, pairs: np.ndarray, coupling: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Masked noise contraction over a dense coupling matrix.
+
+        NOT einsum, and NOT a native ``grid.sum(axis=2)``: both block
+        their accumulation differently depending on the batch size M,
+        which would break the bit-identical-for-any-shard-split
+        guarantee of ``evaluate_batch``. An in-place multiply plus the
+        sequential :func:`_row_sum` reduces each (m, v) row in an order
+        that depends only on E.
         """
-        grid = self.model.coupling_linear[pairs[:, :, None], pairs[:, None, :]]
+        if coupling is None:
+            coupling = self.model.coupling_linear
+        grid = coupling[pairs[:, :, None], pairs[:, None, :]]
         grid *= self._mask_linear
-        return grid.sum(axis=2)
+        return _row_sum(grid)
 
-    def _sparse_noise(self, pairs: np.ndarray) -> np.ndarray:
+    def _sparse_noise(
+        self, pairs: np.ndarray, state: Optional[_SparseModelState] = None
+    ) -> np.ndarray:
         """Masked noise contraction streaming the CSR coupling rows.
 
         Per mapping ``m``: one CSR matvec against the 0/1 indicator of
@@ -625,18 +736,24 @@ class MappingEvaluator:
         exactly 0.0 when the true noise is.
         """
         n_moves, n_edges = pairs.shape
-        csr = self._csr
-        if self._value_scratch is None and csr.nnz:
-            self._value_scratch = np.empty(csr.nnz, dtype=np.float64)
+        if state is None:
+            csr = self._csr
+            if self._value_scratch is None and csr.nnz:
+                self._value_scratch = np.empty(csr.nnz, dtype=np.float64)
+            values = self._value_scratch
+            coupling = self.model.coupling_linear
+        else:
+            csr = state.csr
+            values = state.values
+            coupling = state.coupling
         w = self._w_scratch
         rowdot = self._rowdot_scratch
         unmasked = np.empty((n_moves, n_edges), dtype=np.float64)
         for m in range(n_moves):
             w[pairs[m]] = 1.0
-            csr.row_dots(w, out=rowdot, scratch=self._value_scratch)
+            csr.row_dots(w, out=rowdot, scratch=values)
             np.take(rowdot, pairs[m], out=unmasked[m])
             w[pairs[m]] = 0.0
-        coupling = self.model.coupling_linear
         # Conflict correction, accumulated one conflict column at a time:
         # an (M, E, K) gather-then-sum would reduce a *non-contiguous*
         # fancy-indexing result, and numpy's buffered reduction of
@@ -654,27 +771,75 @@ class MappingEvaluator:
             grid_rows = np.ascontiguousarray(
                 coupling[pairs[suspect_m, suspect_v][:, None], pairs[suspect_m]]
             ) * self._mask_linear[suspect_v]
-            # Contiguous 2D last-axis sums are row-stable for any leading
-            # dimension, so which chunk a suspect lands in cannot change
-            # its recomputed value.
-            noise[suspect_m, suspect_v] = grid_rows.sum(axis=1)
+            # _row_sum keeps the recomputed value independent of how
+            # many suspects share the chunk.
+            noise[suspect_m, suspect_v] = _row_sum(grid_rows)
         return noise
 
-    def _evaluate_chunk(self, assignments, out_il, out_snr, out_mean, out_weighted):
-        il, snr, _noise, _signal = self._edge_tables(assignments)
-        out_il[:] = il.min(axis=1)
-        out_snr[:] = snr.min(axis=1)
-        out_mean[:] = snr.mean(axis=1)
-        out_weighted[:] = il @ self._bandwidth_weights
+    def _laser_power_table(self, il: np.ndarray) -> np.ndarray:
+        """Per-row negated laser-power budget from the (M, E) IL table.
 
-    def _score(self, worst_il, worst_snr, mean_snr, weighted_il) -> np.ndarray:
-        if self.objective is Objective.SNR:
-            return worst_snr
-        if self.objective is Objective.INSERTION_LOSS:
-            return worst_il
-        if self.objective is Objective.MEAN_SNR:
-            return mean_snr
-        return weighted_il
+        Every CG edge needs transmit power proportional to the
+        reciprocal of its end-to-end transmission — ``10^(-il_db/10)``,
+        with ``il_db <= 0`` — and the mapping's budget sums the per-edge
+        requirements (PROTEUS-style worst-case provisioning: the laser
+        must drive all communications at their loss). The score is the
+        negated budget in dB, so *maximizing* it minimizes the
+        provisioned laser power. Row-local (an elementwise power plus
+        the sequential :func:`_row_sum` of width E), so the table keeps
+        the bit-identical-for-any-chunk/shard guarantee.
+        """
+        required = np.power(10.0, il * -0.1)
+        return -10.0 * np.log10(_row_sum(required))
+
+    def _robust_table(self, pairs: np.ndarray) -> np.ndarray:
+        """Per-row variation-aggregated worst-case SNR for a chunk.
+
+        Scores the chunk against every perturbed sample model in sample
+        order (sample ``j`` is a pure function of ``(seed, j)``), then
+        aggregates per row over the contiguous ``(M, S)`` sample axis —
+        mean, or the configured quantile. Both aggregations are
+        row-local with a reduction order depending only on S, so the
+        robust column is bit-identical for any chunking, sharding,
+        coalescing or executor placement, exactly like the base tables.
+        """
+        n_rows = pairs.shape[0]
+        n_samples = len(self._sample_models)
+        worst = np.empty((n_rows, n_samples), dtype=np.float64)
+        for j, model in enumerate(self._sample_models):
+            state = self._sample_sparse[j] if self._sample_sparse else None
+            _il, snr, _noise, _signal = self._tables_from_pairs(
+                pairs, model=model, sparse_state=state
+            )
+            worst[:, j] = snr.min(axis=1)
+        if self.variation.quantile is None:
+            return _row_sum(worst) / n_samples
+        return np.quantile(worst, self.variation.quantile, axis=1)
+
+    def _evaluate_chunk(self, assignments, out):
+        """Fill one chunk's slice of every metric table in ``out``."""
+        pairs = self._pair_table(assignments)
+        il, snr, _noise, _signal = self._tables_from_pairs(pairs)
+        out["worst_il"][:] = il.min(axis=1)
+        out["worst_snr"][:] = snr.min(axis=1)
+        out["mean_snr"][:] = _row_sum(snr) / snr.shape[1]
+        out["weighted_il"][:] = _row_sum(il * self._bandwidth_weights)
+        out["laser_power"][:] = self._laser_power_table(il)
+        if "robust_snr" in out:
+            out["robust_snr"][:] = self._robust_table(pairs)
+
+    def _score_tables(self, tables) -> np.ndarray:
+        """The objective score column of a :attr:`table_names`-ordered tuple."""
+        return tables[self._score_index]
+
+    def _score_named(self, tables: dict) -> np.ndarray:
+        """The objective score from a ``{table name: column}`` dict.
+
+        The delta engine's dispatch seam: it reconstructs the base
+        tables from its incremental per-edge state and scores them here,
+        so objective dispatch lives in exactly one place.
+        """
+        return tables[self.table_names[self._score_index]]
 
     # -- single evaluation -----------------------------------------------------------
 
@@ -689,24 +854,37 @@ class MappingEvaluator:
                 self.cg, np.asarray(mapping), self.problem.n_tiles
             ).assignment
         batch = assignment[None, :]
-        il, snr, noise, signal = self._edge_tables(batch)
+        pairs = self._pair_table(batch)
+        il, snr, noise, signal = self._tables_from_pairs(pairs)
         self.evaluations += 1
-        worst_il = float(il.min())
-        worst_snr = float(snr.min())
-        mean_snr = float(snr.mean())
-        weighted = float(il[0] @ self._bandwidth_weights)
-        score = float(
-            self._score(
-                np.array([worst_il]),
-                np.array([worst_snr]),
-                np.array([mean_snr]),
-                np.array([weighted]),
-            )[0]
-        )
+        # The same _row_sum kernels as _evaluate_chunk, on the 1-row
+        # batch: row i of any batch and evaluate() of row i agree bit
+        # for bit (the objective contract suite enforces this).
+        columns = {
+            "worst_il": float(il.min()),
+            "worst_snr": float(snr.min()),
+            "mean_snr": float(_row_sum(snr)[0] / snr.shape[1]),
+            "weighted_il": float(_row_sum(il * self._bandwidth_weights)[0]),
+            "laser_power": float(self._laser_power_table(il)[0]),
+        }
+        robust = None
+        if self.variation is not None:
+            robust = float(self._robust_table(pairs)[0])
+            columns["robust_snr"] = robust
+        score = columns[self.table_names[self._score_index]]
         edges = None
         if with_edges:
             edges = EdgeMetrics(il[0].copy(), snr[0].copy(), noise[0].copy(), signal[0].copy())
-        return MappingMetrics(worst_il, worst_snr, mean_snr, weighted, score, edges)
+        return MappingMetrics(
+            columns["worst_il"],
+            columns["worst_snr"],
+            columns["mean_snr"],
+            columns["weighted_il"],
+            score,
+            edges,
+            laser_power_db=columns["laser_power"],
+            robust_snr_db=robust,
+        )
 
     # -- conveniences ------------------------------------------------------------------
 

@@ -214,6 +214,7 @@ class _ProcessBackendBase(ExecutorBackend):
         return self.executor.submit(fn, *args, **kwargs)
 
     def alive(self) -> bool:
+        """Whether the pool can still accept submissions."""
         return not self.broken and self._executor is not None
 
     def close(self, wait: bool = True) -> None:
@@ -339,9 +340,11 @@ class InlineBackend(ExecutorBackend):
         return future
 
     def alive(self) -> bool:
+        """Whether the backend can still accept submissions."""
         return not self.broken and not self._closed
 
     def close(self, wait: bool = True) -> None:
+        """Mark the backend closed (nothing to shut down inline)."""
         self._closed = True
 
     def __repr__(self) -> str:

@@ -1,4 +1,4 @@
-"""Optimization objectives (paper §II-D.1, eqs. 3–4).
+"""Optimization objectives (paper §II-D.1, eqs. 3–4) and their registry.
 
 Both paper objectives are *max-min* problems and are handled uniformly as
 "maximize the score":
@@ -11,20 +11,70 @@ Both paper objectives are *max-min* problems and are handled uniformly as
 
 Two bandwidth-aware extension objectives are provided beyond the paper
 (see DESIGN.md §1): average-case variants weighting every CG edge equally
-or by bandwidth instead of taking the worst case.
+or by bandwidth instead of taking the worst case. PR 8 adds two
+physics-aware objectives from the related work:
+
+* ``LASER_POWER`` — minimize the mapping's total laser-power budget
+  (PROTEUS-style co-management): each CG edge needs transmit power
+  proportional to the reciprocal of its end-to-end transmission, the
+  budget sums those requirements, and the score is the negated budget in
+  dB — so maximizing the score minimizes the provisioned laser power.
+* ``ROBUST_SNR`` — maximize the expectation (or a configured quantile) of
+  the worst-case SNR over N process-variation samples of the device
+  parameters (Chittamuru et al.), drawn by a ``SeedSequence``-derived
+  stream (see :class:`repro.photonics.parameters.VariationSpec`).
+
+Objective contract
+------------------
+Every objective is described by an :class:`ObjectiveSpec` in
+:data:`OBJECTIVE_SPECS`: which per-row metric table scores it, whether the
+incremental delta engine supports it (``supports_delta`` — objectives
+computable from one incumbent's per-edge IL/signal/noise rows), and
+whether it needs a variation plan (``requires_variation``). The spec is
+what the evaluator, the delta engine and the CLI/service validation layer
+dispatch on, and the property suite in
+``tests/core/test_objective_contracts.py`` enforces the cross-layer
+determinism contract — per-seed determinism, batch/chunk/shard/coalesce
+invariance, dense-vs-sparse parity, delta parity or a declared opt-out —
+for **every** registered objective.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import Enum
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Objective", "SNR_CAP_DB"]
+__all__ = [
+    "Objective",
+    "ObjectiveSpec",
+    "OBJECTIVE_SPECS",
+    "SNR_CAP_DB",
+    "BASE_TABLES",
+    "VARIATION_TABLES",
+    "objective_names",
+    "spec_for",
+]
 
 #: Finite stand-in for "no measurable crosstalk noise" (keeps optimizer
 #: arithmetic finite; physically there is always a noise floor).
 SNR_CAP_DB = 200.0
+
+#: Per-row metric tables every evaluation produces, in wire order. Workers
+#: return exactly these columns for problems without a variation plan.
+BASE_TABLES: Tuple[str, ...] = (
+    "worst_il",
+    "worst_snr",
+    "mean_snr",
+    "weighted_il",
+    "laser_power",
+)
+
+#: Table set for problems carrying a variation plan: the base tables plus
+#: the variation-aggregated worst-case SNR column.
+VARIATION_TABLES: Tuple[str, ...] = BASE_TABLES + ("robust_snr",)
 
 
 class Objective(Enum):
@@ -38,6 +88,11 @@ class Objective(Enum):
     MEAN_SNR = "mean_snr"
     #: Extension: bandwidth-weighted mean insertion loss.
     WEIGHTED_LOSS = "weighted_loss"
+    #: Extension: negated total laser-power budget (PROTEUS-style).
+    LASER_POWER = "laser_power"
+    #: Extension: variation-robust worst-case SNR (mean/quantile over
+    #: process-variation samples).
+    ROBUST_SNR = "robust_snr"
 
     @classmethod
     def parse(cls, value: "str | Objective") -> "Objective":
@@ -53,8 +108,8 @@ class Objective(Enum):
 
     @property
     def is_snr_based(self) -> bool:
-        """Whether this objective scores SNR (vs insertion loss)."""
-        return self in (Objective.SNR, Objective.MEAN_SNR)
+        """Whether this objective scores SNR (vs insertion loss / power)."""
+        return self in (Objective.SNR, Objective.MEAN_SNR, Objective.ROBUST_SNR)
 
     @property
     def description(self) -> str:
@@ -65,4 +120,68 @@ class Objective(Enum):
             "(power-loss optimization)",
             Objective.MEAN_SNR: "maximize mean SNR over CG edges",
             Objective.WEIGHTED_LOSS: "maximize bandwidth-weighted mean loss",
+            Objective.LASER_POWER: "minimize the total laser-power budget "
+            "(negated dB sum of per-edge required power)",
+            Objective.ROBUST_SNR: "maximize worst-case SNR aggregated over "
+            "process-variation samples",
         }[self]
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """Capability declaration of one registered objective.
+
+    Attributes
+    ----------
+    objective : Objective
+        The objective this spec describes.
+    table : str
+        Name of the per-row metric table the score reads (one of
+        :data:`BASE_TABLES` / :data:`VARIATION_TABLES`).
+    supports_delta : bool
+        Whether :class:`~repro.core.delta.DeltaEvaluator` can score
+        one-move neighbourhoods incrementally: true exactly for
+        objectives computable from a single incumbent's per-edge
+        IL/signal/noise rows. Strategies fall back to full batch
+        evaluation when false (see :func:`repro.core.delta.delta_engine`).
+    requires_variation : bool
+        Whether evaluating this objective needs a
+        :class:`~repro.photonics.parameters.VariationSpec` on the
+        problem (a default plan is attached when none is given).
+    """
+
+    objective: "Objective"
+    table: str
+    supports_delta: bool
+    requires_variation: bool
+
+
+#: The objective registry: one capability spec per registered objective.
+OBJECTIVE_SPECS: Dict[Objective, ObjectiveSpec] = {
+    Objective.SNR: ObjectiveSpec(Objective.SNR, "worst_snr", True, False),
+    Objective.INSERTION_LOSS: ObjectiveSpec(
+        Objective.INSERTION_LOSS, "worst_il", True, False
+    ),
+    Objective.MEAN_SNR: ObjectiveSpec(
+        Objective.MEAN_SNR, "mean_snr", True, False
+    ),
+    Objective.WEIGHTED_LOSS: ObjectiveSpec(
+        Objective.WEIGHTED_LOSS, "weighted_il", True, False
+    ),
+    Objective.LASER_POWER: ObjectiveSpec(
+        Objective.LASER_POWER, "laser_power", True, False
+    ),
+    Objective.ROBUST_SNR: ObjectiveSpec(
+        Objective.ROBUST_SNR, "robust_snr", False, True
+    ),
+}
+
+
+def spec_for(objective: "str | Objective") -> ObjectiveSpec:
+    """The :class:`ObjectiveSpec` of an objective (accepts the string form)."""
+    return OBJECTIVE_SPECS[Objective.parse(objective)]
+
+
+def objective_names() -> Tuple[str, ...]:
+    """The registered objective value strings, in declaration order."""
+    return tuple(member.value for member in Objective)

@@ -195,7 +195,10 @@ class WorkerContext:
             if problem.objective is objective:
                 target = problem
             else:
-                target = MappingProblem(problem.cg, problem.network, objective)
+                # Keep the variation plan on objective flips: the pool
+                # key includes it, so every evaluator of this context
+                # must produce the same metric-table set.
+                target = problem.with_objective(objective)
             evaluator = MappingEvaluator(
                 target, dtype=self.dtype, backend=self.backend
             )
@@ -369,9 +372,13 @@ def evaluate_shard_task(assignments: np.ndarray):
     Returns
     -------
     tuple of numpy.ndarray
-        ``(worst_il, worst_snr, mean_snr, weighted_il)`` per-row metric
-        vectors. The objective-dependent score is applied by the parent,
-        which keeps this task — and therefore the pool — objective-free.
+        Per-row metric vectors, one per name in the worker evaluator's
+        ``table_names`` (the base tables, plus the robust column when
+        the pool's problem carries a variation plan — identical to the
+        parent's set because the variation fingerprint is part of the
+        pool key). The objective-dependent score is applied by the
+        parent, which keeps this task — and therefore the pool —
+        objective-free.
 
     Notes
     -----

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.delta import DeltaEvaluator, incumbent_score, score_neighbourhood
+from repro.core.delta import delta_engine, incumbent_score, score_neighbourhood
 from repro.core.evaluator import MappingEvaluator
 from repro.core.mapping import random_assignment
 from repro.core.moves import Move, apply_move, swap_moves
@@ -55,7 +55,7 @@ class PriorityBasedListAlgorithm(MappingStrategy):
         rng: np.random.Generator,
     ) -> OptimizationResult:
         tracker = BestTracker(evaluator)
-        engine = DeltaEvaluator(evaluator) if self._use_delta else None
+        engine = delta_engine(evaluator, self._use_delta)
         restarts = -1  # the first start is not a restart
         current = None
         current_score = -np.inf

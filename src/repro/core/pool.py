@@ -143,20 +143,29 @@ def pool_key(
         Executor spec (``"local"`` / ``"inline"`` / ``"tcp://…"``,
         see :func:`repro.core.executor.parse_executor_spec`). Appended
         as the *last* key component, so the objective-free prefix
-        ``key[:4]`` the service coalescer groups on — and every
-        key-index filter of :func:`release_pools` — is unchanged from
-        the pre-executor key shape.
+        ``key[:5]`` the service coalescer groups on — and every
+        key-index filter of :func:`release_pools` — keeps its shape.
 
     Returns
     -------
     tuple
         Hashable key for :data:`_POOLS`.
+
+    Notes
+    -----
+    The problem's **variation fingerprint** (empty string when no
+    variation plan is attached) sits at index 4: it is objective-free in
+    the same sense as the rest of the key — workers score any objective
+    from the metric tables — but it decides *which* tables the workers
+    produce (the robust column exists only under a variation plan), so
+    pools and coalesced flights must never mix plans.
     """
     return (
         _cg_fingerprint(problem),
         problem.network.signature,
         np.dtype(dtype).name,
         str(backend),
+        problem.variation_fingerprint,
         int(n_workers),
         parse_executor_spec(executor),
     )

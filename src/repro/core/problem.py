@@ -1,9 +1,9 @@
 """The mapping problem instance (paper §II-D.1).
 
-Bundles the three things the design-space exploration needs — the
-application's Communication Graph, the assembled photonic NoC, and the
-objective — and enforces the feasibility condition of eq. (2):
-``size(C) <= size(T)``.
+Bundles what the design-space exploration needs — the application's
+Communication Graph, the assembled photonic NoC, the objective and (for
+variation-robust objectives) the process-variation sampling plan — and
+enforces the feasibility condition of eq. (2): ``size(C) <= size(T)``.
 """
 
 from __future__ import annotations
@@ -11,21 +11,40 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.appgraph.graph import CommunicationGraph
-from repro.core.objectives import Objective
+from repro.core.objectives import Objective, spec_for
 from repro.errors import MappingError
 from repro.noc.network import PhotonicNoC
+from repro.photonics.parameters import VariationSpec
 
 __all__ = ["MappingProblem"]
 
 
 class MappingProblem:
-    """One instance of the photonic-NoC mapping problem."""
+    """One instance of the photonic-NoC mapping problem.
+
+    Parameters
+    ----------
+    cg : CommunicationGraph
+        The application's communication graph.
+    network : PhotonicNoC
+        The assembled target architecture.
+    objective : str or Objective, optional
+        What the exploration maximizes (default worst-case SNR).
+    variation : VariationSpec, optional
+        Process-variation sampling plan. Required by (and defaulted for)
+        objectives whose spec declares ``requires_variation``; may also
+        be attached explicitly alongside any objective, in which case
+        the evaluator computes the robust metric table too. Part of the
+        problem identity: pools and coalesced flights only mix requests
+        with the same plan.
+    """
 
     def __init__(
         self,
         cg: CommunicationGraph,
         network: PhotonicNoC,
         objective: Union[str, Objective] = Objective.SNR,
+        variation: Optional[VariationSpec] = None,
     ) -> None:
         objective = Objective.parse(objective)
         if cg.n_tasks > network.topology.n_tiles:
@@ -34,9 +53,12 @@ class MappingProblem:
                 f"{network.topology.signature} only {network.topology.n_tiles} "
                 "tiles (violates eq. 2)"
             )
+        if variation is None and spec_for(objective).requires_variation:
+            variation = VariationSpec()
         self.cg = cg
         self.network = network
         self.objective = objective
+        self.variation = variation
 
     @property
     def n_tasks(self) -> int:
@@ -48,6 +70,23 @@ class MappingProblem:
         """Number of tiles of the target topology."""
         return self.network.topology.n_tiles
 
+    @property
+    def variation_fingerprint(self) -> str:
+        """Exact identity of the variation plan (empty when none)."""
+        return "" if self.variation is None else self.variation.fingerprint
+
+    def with_objective(
+        self, objective: Union[str, Objective]
+    ) -> "MappingProblem":
+        """The same problem under a different objective.
+
+        Keeps the variation plan, so an objective flip on a warm
+        (objective-free) pool reuses the workers' table pipeline.
+        """
+        return MappingProblem(
+            self.cg, self.network, objective, variation=self.variation
+        )
+
     def evaluator(self, dtype=None, backend: str = "auto") -> "MappingEvaluator":
         """Build the (matrix-backed) evaluator for this problem."""
         from repro.core.evaluator import MappingEvaluator
@@ -57,8 +96,11 @@ class MappingProblem:
         return MappingEvaluator(self, dtype=dtype, backend=backend)
 
     def __repr__(self) -> str:
+        variation = (
+            "" if self.variation is None else f", variation={self.variation_fingerprint}"
+        )
         return (
             f"MappingProblem({self.cg.name!r} -> "
             f"{self.network.topology.signature}/{self.network.router_spec.name}, "
-            f"objective={self.objective.value})"
+            f"objective={self.objective.value}{variation})"
         )

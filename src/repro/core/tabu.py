@@ -19,7 +19,7 @@ from collections import deque
 import numpy as np
 
 from repro.core.delta import (
-    DeltaEvaluator,
+    delta_engine,
     incumbent_score,
     score_neighbourhood,
 )
@@ -76,7 +76,7 @@ class TabuSearch(MappingStrategy):
         rng: np.random.Generator,
     ) -> OptimizationResult:
         tracker = BestTracker(evaluator)
-        engine = DeltaEvaluator(evaluator) if self._use_delta else None
+        engine = delta_engine(evaluator, self._use_delta)
         current = random_assignment(evaluator.n_tasks, evaluator.n_tiles, rng)
         current_score = incumbent_score(engine, evaluator, current)
         tracker.offer(current, current_score)

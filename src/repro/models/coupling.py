@@ -100,6 +100,11 @@ MODEL_VERSION = 1
 
 _CACHE: Dict[str, "CouplingModel"] = {}
 
+#: Process-wide count of from-scratch model builds (every cache-miss
+#: construction increments it). Observability for cache-effectiveness
+#: assertions: a warm device-parameter sweep must leave it unchanged.
+BUILD_COUNT = 0
+
 #: Process-wide default directory of the on-disk model cache (``None``
 #: disables it). Seeded from ``PHONOCMAP_MODEL_CACHE``; the CLI's
 #: ``--model-cache`` and pool worker initializers override it.
@@ -760,6 +765,8 @@ class CouplingModel:
         build_workers: int = 1,
         builder: str = "vectorized",
     ) -> None:
+        global BUILD_COUNT
+        BUILD_COUNT += 1
         self.network = network
         self.n_tiles = network.topology.n_tiles
         self.n_pairs = self.n_tiles * self.n_tiles

@@ -218,17 +218,41 @@ class PhotonicNoC:
                 add(gid, WG_IN, WG_OUT, TraversalState.PASSIVE)
         return NetworkPath(src, dst, traversals, losses)
 
+    # -- derivation -----------------------------------------------------------------
+
+    def with_params(self, params: PhysicalParameters) -> "PhotonicNoC":
+        """The same architecture built with different physical coefficients.
+
+        Recompiles the router (by its registered name) against ``params``
+        and re-elaborates the paths, keeping topology, routing algorithm
+        and floorplan. This is the seam device-library sweeps and
+        process-variation sampling use to turn one nominal network into
+        one network per parameter point.
+        """
+        return PhotonicNoC(
+            self.topology,
+            router=self.router_spec.name,
+            routing=self.routing,
+            params=params,
+            floorplan=self.floorplan,
+        )
+
     # -- identity -------------------------------------------------------------------
 
     @property
     def signature(self) -> str:
-        """Stable identity of the architecture, for model caching."""
-        params_sig = ",".join(
-            f"{k}={v}" for k, v in sorted(self.params.as_dict().items())
-        )
+        """Stable identity of the architecture, for model caching.
+
+        The device coefficients enter as the parameter set's canonical
+        :attr:`~repro.photonics.parameters.PhysicalParameters.content_hash`
+        — an injective encoding, so two networks differing in any
+        coefficient can never share a signature, and therefore never a
+        model-cache entry or a worker pool.
+        """
         return (
             f"{self.topology.signature}|{self.router_spec.name}"
-            f"|{self.routing.name}|{self.floorplan.signature}|{params_sig}"
+            f"|{self.routing.name}|{self.floorplan.signature}"
+            f"|params={self.params.content_hash}"
         )
 
     def __repr__(self) -> str:

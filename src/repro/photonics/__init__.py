@@ -23,7 +23,13 @@ from repro.photonics.elements import (
     traversal_loss_db,
 )
 from repro.photonics.library import ComponentLibrary, default_library
-from repro.photonics.parameters import TABLE_I_ROWS, PhysicalParameters
+from repro.photonics.parameters import (
+    TABLE_I_ROWS,
+    PhysicalParameters,
+    VariationSpec,
+    perturbed,
+    sample_set_hash,
+)
 from repro.photonics.units import (
     combine_losses_db,
     db_to_linear,
@@ -52,6 +58,9 @@ __all__ = [
     "default_library",
     "TABLE_I_ROWS",
     "PhysicalParameters",
+    "VariationSpec",
+    "perturbed",
+    "sample_set_hash",
     "combine_losses_db",
     "db_to_linear",
     "dbm_to_mw",

@@ -5,14 +5,34 @@ PhoNoCMap ships a built-in library (the paper's Table I, registered as
 technology parameter sets, mirroring the paper's statement that users "can
 choose to design a network based on the built-in library of devices, or
 extend the library itself with new photonic building blocks".
+
+Parameterized, content-addressed instances (PR 8)
+-------------------------------------------------
+Beyond plain named entries the library is a *generator*:
+:meth:`ComponentLibrary.instantiate` derives a new parameter set from a
+named base entry plus coefficient overrides, and registers it under a
+content-addressed key ``"<base>@<hash12>"`` — the first 12 hex digits of
+the instance's canonical :attr:`~repro.photonics.parameters.PhysicalParameters.content_hash`.
+Instantiation is idempotent (the same point always resolves to the same
+key and the same object identity is irrelevant — content is the key), so
+device parameter sweeps address their points stably, and every instance's
+full content hash flows into the network signature and from there into
+the model-cache and pool keys. :meth:`ComponentLibrary.resolve` parses
+the CLI-facing spec syntax ``"name"`` / ``"name:coeff=value,..."``, and
+:meth:`ComponentLibrary.variations` materializes a
+:class:`~repro.photonics.parameters.VariationSpec`'s process-variation
+samples of any entry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Tuple, Union
 
 from repro.errors import ConfigurationError
-from repro.photonics.parameters import PhysicalParameters
+from repro.photonics.parameters import (
+    PhysicalParameters,
+    VariationSpec,
+)
 
 __all__ = ["ComponentLibrary", "default_library"]
 
@@ -58,6 +78,71 @@ class ComponentLibrary:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- parameterized instances -------------------------------------------
+
+    def instance_key(self, base: str, params: PhysicalParameters) -> str:
+        """The content-addressed registry key of a derived instance."""
+        return f"{base}@{params.content_hash[:12]}"
+
+    def instantiate(
+        self, name: str = DEFAULT_NAME, **overrides: float
+    ) -> PhysicalParameters:
+        """Derive (and register) a parameterized instance of an entry.
+
+        The instance is ``get(name)`` with ``overrides`` applied, and is
+        registered under its content-addressed key (idempotent — the
+        same parameter point always maps to the same key, and distinct
+        points can never collide because the key is derived from an
+        injective encoding of the coefficients). With no overrides the
+        base entry is returned unchanged and nothing new is registered.
+        """
+        base = self.get(name)
+        if not overrides:
+            return base
+        params = base.with_overrides(**overrides)
+        self._entries.setdefault(self.instance_key(name, params), params)
+        return params
+
+    def resolve(
+        self, spec: Union[str, PhysicalParameters]
+    ) -> PhysicalParameters:
+        """Resolve a device spec to a parameter set.
+
+        Accepts an already-built :class:`PhysicalParameters`, a
+        registered entry name, or the CLI syntax
+        ``"name:coeff=value,coeff=value"`` (empty name means the default
+        entry), instantiating — and content-registering — the override
+        point on the fly.
+        """
+        if isinstance(spec, PhysicalParameters):
+            return spec
+        name, _, tail = str(spec).partition(":")
+        name = name or DEFAULT_NAME
+        if not tail:
+            return self.get(name)
+        overrides = {}
+        for term in tail.split(","):
+            key, sep, value = term.partition("=")
+            if not sep or not key:
+                raise ConfigurationError(
+                    f"device spec term {term!r} must look like coeff=value"
+                )
+            try:
+                overrides[key.strip()] = float(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"device spec value {value!r} for {key!r} is not a number"
+                ) from None
+        return self.instantiate(name, **overrides)
+
+    def variations(
+        self,
+        spec: Union[str, PhysicalParameters],
+        variation: VariationSpec,
+    ) -> Tuple[PhysicalParameters, ...]:
+        """The process-variation samples of an entry under ``variation``."""
+        return variation.samples(self.resolve(spec))
 
 
 _DEFAULT_LIBRARY = ComponentLibrary()

@@ -5,17 +5,46 @@ The defaults reproduce Table I of the paper exactly; every coefficient is a
 propagation loss which is in dB/cm. All coefficients can be overridden to
 model a different technology node, which is how the paper's "Physical
 Parameters" library box (Fig. 1) is realized here.
+
+Content addressing and process variation (PR 8)
+-----------------------------------------------
+Every parameter set carries a **canonical content hash**
+(:attr:`PhysicalParameters.content_hash`): the SHA-1 of an injective text
+encoding of its coefficients (``float.hex`` per field, in declaration
+order). Two distinct parameter sets can therefore never serialize to the
+same text — the hash input is unique by construction — and the hash is
+what the network signature, the on-disk model cache and the objective-free
+pool keys embed, which is what makes device-library parameter sweeps a
+cache-hitting axis of the design-space exploration.
+
+:class:`VariationSpec` describes per-device process variation (Chittamuru
+et al.): :func:`perturbed` scales every coefficient by ``1 + sigma * g``
+with ``g`` drawn from a per-sample ``SeedSequence``-derived stream, and
+:meth:`VariationSpec.samples` materializes the N perturbed parameter sets.
+Sample ``i`` depends only on ``(seed, i)`` (``SeedSequence.spawn`` is
+prefix-stable), ``sigma=0`` reproduces the nominal set bit-exactly, and
+:func:`sample_set_hash` fingerprints a sample collection independent of
+order.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.photonics.units import db_to_linear
 
-__all__ = ["PhysicalParameters", "TABLE_I_ROWS"]
+__all__ = [
+    "PhysicalParameters",
+    "TABLE_I_ROWS",
+    "VariationSpec",
+    "perturbed",
+    "sample_set_hash",
+]
 
 #: Rows of Table I: (parameter description, notation, attribute, value, reference)
 TABLE_I_ROWS: Tuple[Tuple[str, str, str, float, str], ...] = (
@@ -113,6 +142,33 @@ class PhysicalParameters:
         """Kp,on as a linear power ratio."""
         return db_to_linear(self.pse_on_crosstalk_db)
 
+    # -- content addressing ---------------------------------------------------
+
+    def canonical_text(self) -> str:
+        """Injective text encoding of this parameter set.
+
+        One ``name=hex`` term per coefficient, in field declaration
+        order, with ``float.hex()`` values — an exact, lossless
+        representation, so two distinct parameter sets can never encode
+        to the same text. This is the hash input of
+        :attr:`content_hash`, which makes hash collisions between
+        distinct parameter sets impossible by construction (up to SHA-1
+        itself).
+        """
+        return ";".join(
+            f"{f.name}={float(getattr(self, f.name)).hex()}" for f in fields(self)
+        )
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-1 hex digest of :meth:`canonical_text`.
+
+        The canonical identity of this device parameter set: embedded in
+        :attr:`repro.noc.network.PhotonicNoC.signature` and therefore in
+        the on-disk model-cache key and the objective-free pool key.
+        """
+        return hashlib.sha1(self.canonical_text().encode()).hexdigest()
+
     # -- utilities -----------------------------------------------------------
 
     def propagation_loss_db(self, length_cm: float) -> float:
@@ -144,3 +200,115 @@ class PhysicalParameters:
         """Yield ``(description, notation, value)`` rows in Table I order."""
         for description, notation, attribute, _default, _ref in TABLE_I_ROWS:
             yield description, notation, getattr(self, attribute)
+
+
+# ---------------------------------------------------------------------------
+# Process variation
+# ---------------------------------------------------------------------------
+
+
+def perturbed(
+    params: PhysicalParameters, sigma: float, rng: np.random.Generator
+) -> PhysicalParameters:
+    """One process-variation sample of ``params``.
+
+    Every coefficient is scaled by ``1 + sigma * g`` with ``g`` standard
+    normal, drawn in field declaration order from ``rng`` (so the sample
+    is a pure function of the generator state). Perturbed values are
+    clipped to 0 dB: these coefficients describe attenuation, and a
+    lucky draw must not turn a loss into gain.
+
+    ``sigma=0`` reproduces ``params`` **bit-exactly**: the scale factor
+    is exactly ``1.0`` and ``value * 1.0`` round-trips every float.
+    """
+    if sigma < 0.0:
+        raise ConfigurationError(f"variation sigma {sigma} must be >= 0")
+    draws = rng.standard_normal(len(fields(params)))
+    values = {}
+    for f, g in zip(fields(params), draws):
+        value = float(getattr(params, f.name)) * (1.0 + float(sigma) * float(g))
+        values[f.name] = min(0.0, value)
+    return PhysicalParameters(**values)
+
+
+def sample_set_hash(samples: "Tuple[PhysicalParameters, ...]") -> str:
+    """Order-independent fingerprint of a collection of parameter sets.
+
+    SHA-1 over the *sorted* per-sample content hashes: reordering the
+    samples cannot change the digest, so any deterministic aggregation
+    over the set (mean, quantile — both order-free per row) is keyed
+    correctly whatever order the samples were materialized in.
+    """
+    digest = hashlib.sha1()
+    for sample_hash in sorted(p.content_hash for p in samples):
+        digest.update(sample_hash.encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Process-variation sampling plan for robust objectives.
+
+    Parameters
+    ----------
+    n_samples : int
+        Number of perturbed device samples to score per mapping.
+    sigma : float
+        Relative per-coefficient perturbation scale (see
+        :func:`perturbed`). ``0.0`` degenerates to ``n_samples`` copies
+        of the nominal parameters, bit-exactly.
+    seed : int
+        Root seed of the ``SeedSequence`` stream; sample ``i`` depends
+        only on ``(seed, i)``, never on ``n_samples`` (spawn is
+        prefix-stable) or on which worker draws it.
+    quantile : float, optional
+        When given, robust objectives aggregate the per-sample scores as
+        this quantile (e.g. ``0.1`` for a pessimistic tail); default
+        ``None`` aggregates as the mean.
+    """
+
+    n_samples: int = 8
+    sigma: float = 0.02
+    seed: int = 0
+    quantile: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if int(self.n_samples) < 1:
+            raise ConfigurationError(
+                f"variation n_samples {self.n_samples} must be >= 1"
+            )
+        if self.sigma < 0.0:
+            raise ConfigurationError(
+                f"variation sigma {self.sigma} must be >= 0"
+            )
+        if self.quantile is not None and not 0.0 <= self.quantile <= 1.0:
+            raise ConfigurationError(
+                f"variation quantile {self.quantile} must be in [0, 1]"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Exact identity of this sampling plan (pool-key component)."""
+        q = "mean" if self.quantile is None else float(self.quantile).hex()
+        return (
+            f"n={int(self.n_samples)},sigma={float(self.sigma).hex()},"
+            f"seed={int(self.seed)},agg={q}"
+        )
+
+    def samples(
+        self, base: PhysicalParameters
+    ) -> Tuple[PhysicalParameters, ...]:
+        """The ``n_samples`` perturbed parameter sets of ``base``.
+
+        Each sample draws from its own ``SeedSequence(seed).spawn``
+        child, so the returned tuple is a pure function of
+        ``(base, seed, sigma)`` per index — bit-identical wherever it is
+        materialized (parent process, pool worker, remote worker).
+        """
+        children = np.random.SeedSequence(int(self.seed)).spawn(
+            int(self.n_samples)
+        )
+        return tuple(
+            perturbed(base, self.sigma, np.random.default_rng(child))
+            for child in children
+        )

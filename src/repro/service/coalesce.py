@@ -2,10 +2,12 @@
 
 The daemon's defining optimization: concurrent requests that resolve to
 the **same objective-free pool key** — CG fingerprint, network
-signature, coupling dtype, resolved backend; exactly the key
-:func:`repro.core.pool.pool_key` was designed around — have their
-batch-shardable work merged into shared
+signature, coupling dtype, resolved backend, variation fingerprint;
+exactly the key :func:`repro.core.pool.pool_key` was designed around —
+have their batch-shardable work merged into shared
 :meth:`~repro.core.evaluator.MappingEvaluator.submit_batch` flights.
+(The variation fingerprint matters: it decides the wire table set, so
+requests sharing a flight always agree on the columns being produced.)
 
 Why this is sound
 -----------------
@@ -279,12 +281,13 @@ class CoalescedBatch:
     def result(self) -> BatchMetrics:
         """Collect this request's slice; charge its evaluator once."""
         if self._metrics is None:
-            worst_il, worst_snr, mean_snr, weighted_il = self._ticket.tables()
+            tables = self._ticket.tables()
             self._evaluator.evaluations += self._ticket.n_rows
-            score = self._evaluator._score(
-                worst_il, worst_snr, mean_snr, weighted_il
-            )
-            self._metrics = BatchMetrics(worst_il, worst_snr, score)
+            score = self._evaluator._score_tables(tables)
+            # worst_il / worst_snr lead every table set (BASE_TABLES
+            # order); the flight's evaluator shares this request's pool
+            # key, so the column layouts agree by construction.
+            self._metrics = BatchMetrics(tables[0], tables[1], score)
         return self._metrics
 
 

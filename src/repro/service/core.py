@@ -107,6 +107,7 @@ class ServiceCore:
         self._idle = threading.Condition(self._lock)
         self._active = 0
         self._served: Dict[str, int] = {}
+        self._served_objectives: Dict[str, int] = {}
         self._rejected_queue_full = 0
         self._queue_slots = threading.BoundedSemaphore(
             self.limits.max_inflight + self.limits.queue_size
@@ -172,9 +173,18 @@ class ServiceCore:
                 result = self._dispatch(request)
             finally:
                 self._run_slots.release()
+            objective = request.objective.value
             with self._lock:
                 self._served[request.kind] = self._served.get(request.kind, 0) + 1
-            return {"ok": True, "kind": request.kind, "result": result}, 200
+                self._served_objectives[objective] = (
+                    self._served_objectives.get(objective, 0) + 1
+                )
+            return {
+                "ok": True,
+                "kind": request.kind,
+                "objective": objective,
+                "result": result,
+            }, 200
         except ServiceError as error:
             return error_response(error)
         except ReproError as error:
@@ -241,9 +251,11 @@ class ServiceCore:
                 model_cache_dir=self.model_cache_dir,
                 executor=self.executor,
             )
-            # The objective-free pool key (minus n_workers): requests
-            # agreeing on it can share flights whatever their objective.
-            key = pool_key(problem, request.dtype, 1, evaluator.backend)[:4]
+            # The objective-free pool key (minus n_workers / executor):
+            # requests agreeing on it — including the variation
+            # fingerprint, which decides the wire table set — can share
+            # flights whatever their objective.
+            key = pool_key(problem, request.dtype, 1, evaluator.backend)[:5]
             coalescer = self._coalescers.get(key)
             if coalescer is None:
                 shared = MappingEvaluator(
@@ -263,8 +275,10 @@ class ServiceCore:
                 self._coalescer_meta[key] = {
                     "application": problem.cg.name,
                     "network": problem.network.signature.split("|params")[0],
+                    "params": problem.network.params.content_hash[:12],
                     "dtype": str(np.dtype(request.dtype).name),
                     "backend": evaluator.backend,
+                    "variation": problem.variation_fingerprint,
                 }
             evaluator.coalescer = coalescer
         return evaluator
@@ -292,7 +306,7 @@ class ServiceCore:
         result = _parallel.call_optimize(
             strategy, evaluator, request.budget, rng, request.use_delta
         )
-        return _serialize_result(result)
+        return _serialize_result(result, problem)
 
     def _handle_distribution(self, request: ServiceRequest) -> dict:
         """Random-mapping sweep; offline: ``random_mapping_distribution``.
@@ -379,6 +393,7 @@ class ServiceCore:
         """Counters and coalescing state (the ``stats`` request body)."""
         with self._lock:
             served = dict(self._served)
+            served_objectives = dict(self._served_objectives)
             active = self._active
             rejected = self._rejected_queue_full
         per_key = []
@@ -397,6 +412,7 @@ class ServiceCore:
             "uptime_s": time.monotonic() - self._started,
             "active_requests": active,
             "served": served,
+            "served_objectives": served_objectives,
             "rejected_queue_full": rejected,
             "executor": self.executor,
             "executors": executor_stats(),
@@ -413,11 +429,12 @@ class ServiceCore:
         }
 
 
-def _serialize_result(result: OptimizationResult) -> dict:
+def _serialize_result(result: OptimizationResult, problem) -> dict:
     """JSON body of one optimization result (floats round-trip exactly)."""
     metrics = result.best_metrics
-    return {
+    body = {
         "strategy": result.strategy,
+        "objective": problem.objective.value,
         "best_score": float(result.best_score),
         "best_mapping": result.best_mapping.as_dict(),
         "assignment": [int(t) for t in result.best_mapping.assignment],
@@ -429,3 +446,10 @@ def _serialize_result(result: OptimizationResult) -> dict:
         "mean_snr_db": float(metrics.mean_snr_db),
         "weighted_loss_db": float(metrics.weighted_loss_db),
     }
+    if metrics.laser_power_db is not None:
+        body["laser_power_db"] = float(metrics.laser_power_db)
+    if metrics.robust_snr_db is not None:
+        body["robust_snr_db"] = float(metrics.robust_snr_db)
+    if problem.variation is not None:
+        body["variation"] = problem.variation_fingerprint
+    return body

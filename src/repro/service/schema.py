@@ -25,6 +25,13 @@ Kind-specific fields: ``optimize`` takes ``strategy`` / ``budget`` /
 of task->tile assignment rows) or ``n_random`` + ``seed``, plus
 ``objective``.
 
+Variation fields (``variation_samples`` / ``variation_sigma`` /
+``variation_seed`` / ``variation_quantile``) configure the
+process-variation plan used by the ``robust_snr`` objective; they build a
+:class:`~repro.photonics.parameters.VariationSpec`. Requesting
+``robust_snr`` without them attaches the default plan, exactly like the
+offline API.
+
 Validation failures raise :class:`~repro.errors.ServiceError` with an
 HTTP-style status, which the transports turn into structured error
 responses — a malformed request can never take the daemon down.
@@ -44,11 +51,12 @@ from repro.appgraph.benchmarks import (
 )
 from repro.appgraph.graph import CommunicationGraph
 from repro.appgraph.io import cg_from_dict
-from repro.core.objectives import Objective
+from repro.core.objectives import Objective, objective_names
 from repro.core.problem import MappingProblem
 from repro.core.registry import available_strategies
 from repro.errors import ReproError, ServiceError
 from repro.noc.network import PhotonicNoC
+from repro.photonics.parameters import VariationSpec
 
 __all__ = ["REQUEST_KINDS", "ServiceRequest", "error_response", "parse_request"]
 
@@ -87,6 +95,7 @@ class ServiceRequest:
     side: Optional[int] = None
     router: str = "crux"
     objective: Objective = Objective.SNR
+    variation: Optional[VariationSpec] = None
     dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
     backend: str = "auto"
     seed: Optional[int] = None
@@ -111,7 +120,9 @@ class ServiceRequest:
     def problem(self) -> MappingProblem:
         """The mapping problem this request describes."""
         try:
-            return MappingProblem(self.cg, self.network(), self.objective)
+            return MappingProblem(
+                self.cg, self.network(), self.objective, variation=self.variation
+            )
         except ReproError as error:
             raise ServiceError(str(error), status=400, kind="infeasible") from None
 
@@ -181,10 +192,16 @@ def parse_request(payload: object) -> ServiceRequest:
     )
     request.seed = _int_field(payload, "seed", None, minimum=0)
 
+    objective = payload.get("objective", "snr")
     try:
-        request.objective = Objective.parse(payload.get("objective", "snr"))
-    except ReproError as error:
-        raise ServiceError(str(error), kind="unknown_objective") from None
+        request.objective = Objective.parse(objective)
+    except ReproError:
+        raise ServiceError(
+            f"unknown objective {objective!r}; known: {list(objective_names())}",
+            status=400,
+            kind="unknown_objective",
+        ) from None
+    request.variation = _parse_variation(payload)
 
     if kind == "optimize":
         request.strategy = str(payload.get("strategy", "r-pbla"))
@@ -206,6 +223,40 @@ def parse_request(payload: object) -> ServiceRequest:
         else:
             request.n_random = _int_field(payload, "n_random", 1)
     return request
+
+
+def _parse_variation(payload: dict) -> Optional[VariationSpec]:
+    """Build the request's process-variation plan, if any field is set.
+
+    Absent fields mean "no explicit plan": the problem layer attaches the
+    default plan when the objective requires one, so a plain
+    ``robust_snr`` request and the offline default agree bit-for-bit.
+    """
+    names = (
+        "variation_samples",
+        "variation_sigma",
+        "variation_seed",
+        "variation_quantile",
+    )
+    if not any(name in payload for name in names):
+        return None
+    n_samples = _int_field(payload, "variation_samples", 8, minimum=1)
+    seed = _int_field(payload, "variation_seed", 0, minimum=0)
+    try:
+        sigma = float(payload.get("variation_sigma", 0.02))
+        quantile = payload.get("variation_quantile")
+        if quantile is not None:
+            quantile = float(quantile)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            "variation_sigma / variation_quantile must be numbers"
+        ) from None
+    try:
+        return VariationSpec(
+            n_samples=n_samples, sigma=sigma, seed=seed, quantile=quantile
+        )
+    except ReproError as error:
+        raise ServiceError(str(error)) from None
 
 
 def _parse_assignments(

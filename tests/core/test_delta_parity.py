@@ -194,7 +194,7 @@ class TestAccumulatorDrift:
                 )
 
     @pytest.mark.parametrize(
-        "objective", ["snr", "loss", "mean_snr", "weighted_loss"]
+        "objective", ["snr", "loss", "mean_snr", "weighted_loss", "laser_power"]
     )
     def test_every_objective_tracks_full_evaluation(self, request, objective):
         evaluator = _evaluator(

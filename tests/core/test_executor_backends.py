@@ -71,12 +71,28 @@ class TestPoolKey:
         assert inline[-1] == "inline"
 
     def test_objective_free_prefix_is_stable(self, problem):
-        # The service coalescer groups on key[:4]; appending the
+        # The service coalescer groups on key[:5]; appending the
         # executor spec must not have changed that prefix's meaning.
         key = pool_key(problem, np.float64, 1, "dense")
         assert key[2] == "float64"
         assert key[3] == "dense"
-        assert len(key) == 6
+        assert key[4] == ""  # no variation spec on this problem
+        assert len(key) == 7
+
+    def test_variation_fingerprint_in_the_key(self, problem):
+        from repro.photonics import VariationSpec
+
+        varied = MappingProblem(
+            problem.cg,
+            problem.network,
+            "robust_snr",
+            variation=VariationSpec(n_samples=4, seed=3),
+        )
+        key = pool_key(varied, np.float64, 1, "dense")
+        assert key[4] == varied.variation_fingerprint
+        assert key[4].startswith("n=4,")
+        # The fingerprint is objective-free context: same spec, same slot.
+        assert key[:4] == pool_key(problem, np.float64, 1, "dense")[:4]
 
     def test_tcp_spec_is_normalized_into_the_key(self, problem):
         key = pool_key(problem, np.float64, 2, executor="tcp://h:9")

@@ -34,7 +34,10 @@ from repro.distributed.scheduler import get_hub
 from repro.errors import ExecutorError
 from repro.models.coupling import CouplingModel
 
-pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.filterwarnings("ignore::ResourceWarning"),
+]
 
 _SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 

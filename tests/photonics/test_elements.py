@@ -146,6 +146,10 @@ class TestStraightOutput:
         with pytest.raises(ModelError):
             straight_output(ElementKind.CPSE, A_OUT)
 
+    def test_waveguide_bad_port_raises(self):
+        with pytest.raises(ModelError, match="no input port"):
+            straight_output(ElementKind.WAVEGUIDE, A_IN + 7)
+
     def test_passive_loss_matches_traversal(self, params):
         assert passive_loss_db(ElementKind.CPSE, B_IN, params) == traversal_loss_db(
             ElementKind.CPSE, B_IN, B_OUT, PASSIVE, params

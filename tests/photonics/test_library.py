@@ -54,3 +54,54 @@ class TestComponentLibrary:
 
     def test_default_library_is_shared(self):
         assert default_library() is default_library()
+
+
+class TestResolveAndInstances:
+    def test_instantiate_registers_by_content_key(self):
+        library = ComponentLibrary()
+        params = library.instantiate("date16", crossing_loss_db=-0.09)
+        key = library.instance_key("date16", params)
+        assert key == f"date16@{params.content_hash[:12]}"
+        assert library.get(key) == params
+        # Idempotent: the same point maps to the same key, no duplicate.
+        again = library.instantiate("date16", crossing_loss_db=-0.09)
+        assert again == params
+        assert len(library) == 2
+
+    def test_instantiate_without_overrides_is_the_base(self):
+        library = ComponentLibrary()
+        assert library.instantiate("date16") == library.get("date16")
+        assert len(library) == 1
+
+    def test_resolve_passthrough_and_names(self):
+        library = ComponentLibrary()
+        params = PhysicalParameters(crossing_loss_db=-0.2)
+        assert library.resolve(params) is params
+        assert library.resolve("date16") == PhysicalParameters()
+
+    def test_resolve_cli_spec_with_overrides(self):
+        library = ComponentLibrary()
+        point = library.resolve("date16:crossing_loss_db=-0.06,ppse_on_loss_db=-0.6")
+        assert point.crossing_loss_db == -0.06
+        assert point.ppse_on_loss_db == -0.6
+        # Empty name part falls back to the default entry.
+        assert library.resolve(":crossing_loss_db=-0.06").crossing_loss_db == -0.06
+
+    def test_resolve_rejects_malformed_specs(self):
+        library = ComponentLibrary()
+        with pytest.raises(ConfigurationError, match="coeff=value"):
+            library.resolve("date16:crossing_loss_db")
+        with pytest.raises(ConfigurationError, match="not a number"):
+            library.resolve("date16:crossing_loss_db=soft")
+
+    def test_variations_resolve_then_sample(self):
+        from repro.photonics import VariationSpec
+
+        library = ComponentLibrary()
+        samples = library.variations(
+            "date16", VariationSpec(n_samples=3, sigma=0.02, seed=4)
+        )
+        assert len(samples) == 3
+        assert samples == VariationSpec(
+            n_samples=3, sigma=0.02, seed=4
+        ).samples(PhysicalParameters())

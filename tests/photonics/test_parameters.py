@@ -88,3 +88,22 @@ class TestOverrides:
     def test_as_dict_round_trip(self, params):
         rebuilt = PhysicalParameters(**params.as_dict())
         assert rebuilt == params
+
+
+class TestAllLinearViews:
+    def test_every_linear_view_matches_its_db_field(self, params):
+        from repro.photonics.units import db_to_linear
+
+        pairs = [
+            (params.crossing_loss_linear, params.crossing_loss_db),
+            (params.ppse_off_loss_linear, params.ppse_off_loss_db),
+            (params.ppse_on_loss_linear, params.ppse_on_loss_db),
+            (params.cpse_off_loss_linear, params.cpse_off_loss_db),
+            (params.cpse_on_loss_linear, params.cpse_on_loss_db),
+            (params.crossing_crosstalk_linear, params.crossing_crosstalk_db),
+            (params.pse_off_crosstalk_linear, params.pse_off_crosstalk_db),
+            (params.pse_on_crosstalk_linear, params.pse_on_crosstalk_db),
+        ]
+        for linear, db in pairs:
+            assert linear == db_to_linear(db)
+            assert 0.0 < linear <= 1.0

@@ -216,6 +216,7 @@ class TestExitCodes:
         monkeypatch.setattr(sys, "stdout", _NoFdStream())
         assert main(["info"]) == 0
 
+    @pytest.mark.slow
     def test_broken_pipe_in_a_real_pipeline(self):
         # The dup2 path: an unbuffered child writes into a pipe whose
         # read end is already closed — every write raises EPIPE, the
@@ -260,6 +261,73 @@ class TestExitCodes:
             assert command.name in parser.format_help()
 
 
+class TestObjectiveFlags:
+    def test_evaluate_laser_power_objective(self, capsys):
+        assert main(
+            ["evaluate", "--app", "pip", "--seed", "1",
+             "--objective", "laser_power"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "laser-power budget" in output
+        assert "objective (laser_power)" in output
+
+    def test_evaluate_robust_objective_prints_fingerprint(self, capsys):
+        assert main(
+            ["evaluate", "--app", "pip", "--seed", "1",
+             "--objective", "robust_snr", "--variation-samples", "2",
+             "--variation-sigma", "0.03"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "variation-robust SNR" in output
+        assert "n=2" in output
+
+    def test_optimize_robust_objective(self, capsys):
+        assert main(
+            ["optimize", "--app", "pip", "--strategy", "rs",
+             "--budget", "100", "--seed", "4",
+             "--objective", "robust_snr", "--variation-samples", "2"]
+        ) == 0
+        assert "robust_snr" in capsys.readouterr().out
+
+    def test_unknown_objective_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["evaluate", "--app", "pip", "--objective", "nonsense"])
+        assert excinfo.value.code == 2
+
+
+class TestSweep:
+    def test_sweep_table_and_best(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--app", "pip", "--strategy", "rs", "--budget", "80",
+             "--seed", "2", "--param", "crossing_loss_db=-0.04,-0.08",
+             "--model-cache", str(tmp_path / "cache"),
+             "--json-out", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Device sweep" in output
+        assert "best point:" in output
+        document = json.loads(out.read_text())
+        assert document["objective"] == "snr"
+        assert len(document["points"]) == 2
+        assert document["points"][1]["overrides"] == {
+            "crossing_loss_db": -0.08
+        }
+
+    def test_sweep_without_axes_runs_the_base_point(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "--app", "pip", "--strategy", "rs", "--budget", "60",
+             "--model-cache", str(tmp_path / "cache")]
+        ) == 0
+        assert "(base)" in capsys.readouterr().out
+
+    def test_malformed_param_axis_is_a_domain_error(self, capsys):
+        assert main(
+            ["sweep", "--app", "pip", "--param", "crossing_loss_db"]
+        ) == 2
+        assert "--param" in capsys.readouterr().err
+
+
 class TestServe:
     def test_socket_or_port_required(self, capsys):
         with pytest.raises(SystemExit):
@@ -267,6 +335,7 @@ class TestServe:
         with pytest.raises(SystemExit):
             main(["serve", "--socket", "/tmp/x.sock", "--port", "0"])
 
+    @pytest.mark.slow
     def test_daemon_serves_and_drains_on_sigterm(self, tmp_path):
         """Full daemon lifecycle through the real CLI, in a subprocess."""
         import os
