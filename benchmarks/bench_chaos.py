@@ -1,0 +1,117 @@
+"""Recovery-overhead bench: every chaos scenario against its oracle.
+
+Runs the named fault-injection scenarios from
+:mod:`repro.distributed.chaos` — hung, silent, killed, corrupting and
+disconnecting workers, fleet collapse under both worker-loss policies,
+and an authentication rejection — and measures what each recovery
+*costs*: the faulted run's wall time against the inline oracle's, plus
+the hub's liveness counters (workers lost, tasks retried, deadline
+overruns, heartbeats missed).
+
+Two things are asserted, not just reported:
+
+* every scenario holds its contract (``ok``) — results bit-identical to
+  the oracle, or the typed fast failure the policy demands;
+* every recovery lands inside the 30-second liveness bound the test
+  suite also enforces.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py             # full set
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick     # CI wiring check
+    PYTHONPATH=src python benchmarks/bench_chaos.py --json      # BENCH_chaos.json
+
+Paper artefact: none (engineering bench for the fault-tolerance layer;
+the workload is the paper's strategy-comparison pipeline).
+Expected runtime: ~1 minute; ~15 seconds with ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+try:  # script mode (python benchmarks/bench_chaos.py)
+    from common import add_json_argument, record_bench
+except ImportError:  # package mode (pytest from the repo root)
+    from benchmarks.common import add_json_argument, record_bench
+
+#: The per-scenario recovery bound (seconds), matching the test suite.
+LIVENESS_BOUND_S = 30.0
+
+#: ``--quick`` runs one representative scenario per failure domain.
+QUICK_SCENARIOS = ["baseline", "kill", "fleet-degrade", "auth"]
+
+
+def run_bench(argv: Optional[List[str]] = None) -> int:
+    from repro.distributed.chaos import SCENARIOS, run_scenario
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--app", default="mwd", help="benchmark CG (default mwd)")
+    parser.add_argument("--budget", type=int, default=400,
+                        help="evaluation budget per strategy (default 400)")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="clean TCP workers per scenario (default 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="one scenario per failure domain, small budget")
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+
+    names = QUICK_SCENARIOS if args.quick else sorted(SCENARIOS)
+    budget = min(args.budget, 200) if args.quick else args.budget
+
+    print(f"chaos recovery bench: {len(names)} scenarios, "
+          f"app={args.app} budget={budget} seed={args.seed}")
+    print(f"{'scenario':15s} {'ok':3s} {'oracle_s':>9s} {'faulted_s':>10s} "
+          f"{'overhead':>9s} {'lost':>5s} {'retried':>8s}")
+
+    rows = []
+    failures = 0
+    started = time.perf_counter()
+    for name in names:
+        report = run_scenario(
+            name, app=args.app, budget=budget, seed=args.seed,
+            n_workers=args.workers,
+        )
+        overhead = report["faulted_wall_s"] - report["oracle_wall_s"]
+        row = {
+            "scenario": name,
+            "ok": report["ok"],
+            "outcome": report["outcome"],
+            "oracle_wall_s": report["oracle_wall_s"],
+            "faulted_wall_s": report["faulted_wall_s"],
+            "recovery_overhead_s": overhead,
+            "workers_lost": report["hub"]["workers_lost"],
+            "tasks_retried": report["hub"]["tasks_retried"],
+            "tasks_timed_out": report["hub"]["tasks_timed_out"],
+            "heartbeats_missed": report["hub"]["heartbeats_missed"],
+        }
+        rows.append(row)
+        print(f"{name:15s} {'yes' if row['ok'] else 'NO':3s} "
+              f"{row['oracle_wall_s']:9.2f} {row['faulted_wall_s']:10.2f} "
+              f"{overhead:8.2f}s {row['workers_lost']:5d} "
+              f"{row['tasks_retried']:8d}")
+        if not row["ok"]:
+            failures += 1
+        if row["faulted_wall_s"] >= LIVENESS_BOUND_S:
+            print(f"  !! {name} exceeded the {LIVENESS_BOUND_S:.0f}s "
+                  "liveness bound")
+            failures += 1
+    total = time.perf_counter() - started
+
+    print(f"\n{len(rows) - failures}/{len(rows)} scenarios held the "
+          f"contract in {total:.1f}s")
+    record_bench(
+        args, "chaos",
+        app=args.app, budget=budget, seed=args.seed, workers=args.workers,
+        quick=args.quick, liveness_bound_s=LIVENESS_BOUND_S,
+        scenarios=rows, total_wall_s=total, failures=failures,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_bench())

@@ -16,7 +16,8 @@ commands mirror the workflows of the original toolset:
 * ``sweep``       — optimize across a device-parameter grid;
 * ``export``      — dump a benchmark CG as JSON/DOT/edge list;
 * ``serve``       — the long-running mapping service daemon;
-* ``worker``      — a remote execution worker dialing a scheduler.
+* ``worker``      — a remote execution worker dialing a scheduler;
+* ``chaos``       — run the deterministic fault-injection scenarios.
 """
 
 from __future__ import annotations
@@ -95,6 +96,14 @@ def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
              "or 'tcp://HOST:PORT' to listen for 'phonocmap worker' "
              "processes and dispatch shards to them. Results are "
              "bit-identical for every backend",
+    )
+    parser.add_argument(
+        "--on-worker-loss", choices=("raise", "degrade"), default=None,
+        help="what a tcp:// executor does when remote retries run out "
+             "or no worker is connected: 'raise' (default — fail fast "
+             "with a typed error) or 'degrade' (finish the work on a "
+             "local fallback backend, bit-identically). Also settable "
+             "via PHONOCMAP_ON_WORKER_LOSS",
     )
 
 
@@ -410,7 +419,48 @@ def _configure_worker(parser: argparse.ArgumentParser) -> None:
         help="address of the scheduler to serve tasks for (the process "
              "that was started with --executor tcp://HOST:PORT)",
     )
+    parser.add_argument(
+        "--auth-token", metavar="TOKEN", default=None,
+        help="shared secret presented to the scheduler in the hello "
+             "frame (default: PHONOCMAP_AUTH_TOKEN). Required when the "
+             "scheduler side sets a token; prefer the environment "
+             "variable — command lines are visible in 'ps'",
+    )
+    parser.add_argument(
+        "--reconnect", type=int, default=None, metavar="N",
+        help="redial a lost scheduler up to N consecutive times with "
+             "capped exponential backoff before exiting (default: "
+             "PHONOCMAP_RECONNECT_ATTEMPTS, else 0 — exit on first "
+             "loss and let a supervisor restart)",
+    )
     _add_model_cache_argument(parser)
+
+
+def _configure_chaos(parser: argparse.ArgumentParser) -> None:
+    from repro.distributed.chaos import SCENARIOS
+
+    parser.add_argument(
+        "--scenario", action="append", choices=sorted(SCENARIOS),
+        default=None, metavar="NAME",
+        help="scenario to run (repeatable; default: all of them)",
+    )
+    parser.add_argument(
+        "--app", choices=BENCHMARK_NAMES, default="mwd",
+        help="benchmark application the scenarios map (default: mwd)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=600,
+        help="optimizer evaluations per strategy (default: 600)",
+    )
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="clean TCP workers per scenario (default: 2)",
+    )
+    parser.add_argument(
+        "--json-out", metavar="FILE",
+        help="also write the scenario reports as a JSON document",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -601,7 +651,46 @@ def _cmd_sweep(args) -> int:
 def _cmd_worker(args) -> int:
     from repro.distributed.worker import run_worker
 
-    return run_worker(args.connect, model_cache_dir=args.model_cache)
+    return run_worker(
+        args.connect,
+        model_cache_dir=args.model_cache,
+        auth_token=args.auth_token,
+        reconnect_attempts=args.reconnect,
+    )
+
+
+def _cmd_chaos(args) -> int:
+    from repro.distributed.chaos import SCENARIOS, run_scenario
+
+    names = args.scenario or sorted(SCENARIOS)
+    reports = []
+    failures = 0
+    for name in names:
+        report = run_scenario(
+            name,
+            app=args.app,
+            budget=args.budget,
+            seed=args.seed,
+            n_workers=args.workers,
+        )
+        reports.append(report)
+        status = "ok" if report["ok"] else "FAIL"
+        print(
+            f"{status:4s} {name:14s} outcome={report['outcome']:24s} "
+            f"wall={report['faulted_wall_s']:6.2f}s "
+            f"(oracle {report['oracle_wall_s']:.2f}s)  "
+            f"lost={report['hub']['workers_lost']} "
+            f"retried={report['hub']['tasks_retried']} "
+            f"timed_out={report['hub']['tasks_timed_out']}"
+        )
+        if not report["ok"]:
+            failures += 1
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(reports, handle, indent=2)
+        print(f"reports written to {args.json_out}")
+    print(f"{len(reports) - failures}/{len(reports)} scenarios held the contract")
+    return 1 if failures else 0
 
 
 def _cmd_export(args) -> int:
@@ -697,6 +786,8 @@ SUBCOMMANDS = (
                _configure_serve, _cmd_serve),
     Subcommand("worker", "serve remote execution tasks for a scheduler",
                _configure_worker, _cmd_worker),
+    Subcommand("chaos", "run the deterministic fault-injection scenarios",
+               _configure_chaos, _cmd_chaos),
 )
 
 
@@ -732,6 +823,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     previous_cache_dir = get_model_cache_dir()
     if getattr(args, "model_cache", None):
         set_model_cache_dir(args.model_cache)
+    from repro.core.executor import set_worker_loss_policy
+
+    # Same save/restore contract as the cache dir: --on-worker-loss is a
+    # process-wide policy for this one command.
+    previous_policy = None
+    policy_set = False
+    if getattr(args, "on_worker_loss", None):
+        previous_policy = set_worker_loss_policy(args.on_worker_loss)
+        policy_set = True
     try:
         return args.run(args)
     except ReproError as error:
@@ -752,6 +852,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 130  # 128 + SIGINT, the shell convention
     finally:
         set_model_cache_dir(previous_cache_dir)
+        if policy_set:
+            set_worker_loss_policy(previous_policy)
 
 
 if __name__ == "__main__":

@@ -51,6 +51,7 @@ per ``(seed, n_workers)`` across all three backends.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
@@ -64,6 +65,8 @@ __all__ = [
     "LocalProcessBackend",
     "WorkerLostError",
     "parse_executor_spec",
+    "set_worker_loss_policy",
+    "worker_loss_policy",
 ]
 
 
@@ -75,6 +78,55 @@ class WorkerLostError(BrokenExecutor, ExecutorError):
     ``BrokenProcessPool``) treats a lost remote worker exactly like a
     killed local pool worker.
     """
+
+
+#: Valid ``on_worker_loss`` policies. ``"raise"`` keeps PR 7 semantics
+#: (exhausted retries / a workerless hub surface as
+#: :class:`WorkerLostError`); ``"degrade"`` lets a
+#: :class:`~repro.distributed.scheduler.RemoteTcpBackend` finish the
+#: work on a local fallback backend instead.
+WORKER_LOSS_POLICIES = ("raise", "degrade")
+
+_worker_loss_policy: Optional[str] = None
+
+
+def set_worker_loss_policy(policy: Optional[str]) -> Optional[str]:
+    """Set the process-wide worker-loss policy; returns the previous one.
+
+    ``None`` clears the process setting, falling back to the
+    ``PHONOCMAP_ON_WORKER_LOSS`` environment variable and finally to
+    ``"raise"``. The CLI's ``--on-worker-loss`` flag and
+    :class:`~repro.service.core.ServiceCore` route through here so the
+    policy reaches every backend the pool registry builds without
+    threading a parameter through each constructor.
+    """
+    global _worker_loss_policy
+    if policy is not None and policy not in WORKER_LOSS_POLICIES:
+        raise ExecutorError(
+            f"on_worker_loss must be one of {WORKER_LOSS_POLICIES}, "
+            f"got {policy!r}"
+        )
+    previous, _worker_loss_policy = _worker_loss_policy, policy
+    return previous
+
+
+def worker_loss_policy(explicit: Optional[str] = None) -> str:
+    """Resolve the effective worker-loss policy.
+
+    Precedence: an explicit per-backend value, then the process setting
+    (:func:`set_worker_loss_policy`), then ``PHONOCMAP_ON_WORKER_LOSS``,
+    then ``"raise"``.
+    """
+    for candidate in (explicit, _worker_loss_policy,
+                      os.environ.get("PHONOCMAP_ON_WORKER_LOSS")):
+        if candidate:
+            if candidate not in WORKER_LOSS_POLICIES:
+                raise ExecutorError(
+                    f"on_worker_loss must be one of {WORKER_LOSS_POLICIES}, "
+                    f"got {candidate!r}"
+                )
+            return candidate
+    return "raise"
 
 
 def parse_executor_spec(spec: Optional[str]) -> str:

@@ -425,7 +425,13 @@ def executor_stats() -> dict:
     with _LOCK:
         pools = list(_POOLS.values())
     backends = []
-    totals = {"tasks_dispatched": 0, "tasks_retried": 0, "workers": 0}
+    totals = {
+        "tasks_dispatched": 0,
+        "tasks_retried": 0,
+        "tasks_degraded": 0,
+        "workers": 0,
+        "degraded": False,
+    }
     for pool in pools:
         info_method = getattr(pool, "info", None)
         if info_method is None:
@@ -434,5 +440,8 @@ def executor_stats() -> dict:
         backends.append(info)
         totals["tasks_dispatched"] += info.get("tasks_dispatched", 0)
         totals["tasks_retried"] += info.get("tasks_retried", 0)
+        totals["tasks_degraded"] += info.get("tasks_degraded", 0)
         totals["workers"] += info.get("workers_connected", info.get("n_workers", 0))
+        if info.get("degraded"):
+            totals["degraded"] = True
     return {"backends": backends, "totals": totals}

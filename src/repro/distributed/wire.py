@@ -16,48 +16,142 @@ no msgpack). The big payloads are rare by design — the distributed
 scheduler ships ~40-byte model cache keys, not matrices — so the base64
 overhead is confined to the one-time cache-miss fallback.
 
+Robustness limits
+-----------------
+Both framing layers are bounded so a malformed or hostile peer cannot
+make the reader allocate unbounded memory:
+
+* :func:`read_frame` / :func:`read_message` cap the raw line length at
+  ``max_bytes`` (default :func:`max_frame_bytes`, 64 MiB, env
+  ``PHONOCMAP_MAX_FRAME_BYTES``); an over-long frame raises
+  :class:`~repro.errors.ProtocolError` instead of buffering forever.
+* :func:`decode_payload` caps the *decompressed* pickle size at
+  ``max_bytes`` (default :func:`max_payload_bytes`, 1 GiB, env
+  ``PHONOCMAP_MAX_PAYLOAD_BYTES``) via an incremental ``decompressobj``,
+  so a small zlib bomb cannot expand past the cap before being rejected.
+
+Socket timeouts propagate: :func:`read_frame` translates connection
+errors to ``None`` (peer gone — nothing more to say) but re-raises
+:class:`TimeoutError`, because a *silent* peer is a different condition
+from a *gone* one — the scheduler's heartbeat / task-deadline machinery
+keys on exactly that distinction.
+
 Security note: payloads are **pickle** and are only ever exchanged
-between a scheduler and workers the same user started on hosts they
-control; the worker CLI refuses to listen on public interfaces by
-default for the same reason.
+between a scheduler and workers that authenticated with the shared
+token (``PHONOCMAP_AUTH_TOKEN`` — see
+:mod:`repro.distributed.scheduler`) on hosts the same user controls;
+the worker CLI refuses to listen on public interfaces by default for
+the same reason.
 """
 
 from __future__ import annotations
 
 import base64
 import json
+import os
 import pickle
 import zlib
 from typing import Any, Optional
 
+from repro.errors import ProtocolError
+
 __all__ = [
     "decode_payload",
     "encode_payload",
+    "max_frame_bytes",
+    "max_payload_bytes",
     "read_frame",
     "read_message",
     "write_message",
 ]
 
+#: Default raw-frame (line) length cap; env ``PHONOCMAP_MAX_FRAME_BYTES``
+#: overrides. Large enough for sharded metric tables and explicit
+#: mapping batches, small enough that one hostile line cannot OOM a hub.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 
-def read_frame(rfile) -> Optional[bytes]:
-    """Read one raw frame (line) from a buffered reader.
+#: Default decompressed-payload cap; env ``PHONOCMAP_MAX_PAYLOAD_BYTES``
+#: overrides. Generous because the one-time model-stream fallback is a
+#: legitimate multi-hundred-MB payload on large meshes.
+DEFAULT_MAX_PAYLOAD_BYTES = 1024 * 1024 * 1024
 
-    Returns ``None`` on EOF, a blank line (keep-alive / polite
-    hang-up), or a connection-level error — all the cases where the
-    peer has nothing more to say on this connection.
-    """
+
+def _env_int(name: str, default: int) -> int:
+    """An integer environment override, falling back on bad values."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
     try:
-        line = rfile.readline()
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+def max_frame_bytes() -> int:
+    """The effective raw-frame length cap (env-overridable)."""
+    return _env_int("PHONOCMAP_MAX_FRAME_BYTES", DEFAULT_MAX_FRAME_BYTES)
+
+
+def max_payload_bytes() -> int:
+    """The effective decompressed-payload cap (env-overridable)."""
+    return _env_int("PHONOCMAP_MAX_PAYLOAD_BYTES", DEFAULT_MAX_PAYLOAD_BYTES)
+
+
+def read_frame(rfile, max_bytes: Optional[int] = None) -> Optional[bytes]:
+    """Read one raw frame (line) from a buffered reader, bounded.
+
+    Parameters
+    ----------
+    rfile : file-like
+        Buffered binary reader (a socket ``makefile``).
+    max_bytes : int, optional
+        Frame length cap; ``None`` uses :func:`max_frame_bytes`, ``0``
+        disables the cap (trusted same-process pipes only).
+
+    Returns
+    -------
+    bytes or None
+        The frame, or ``None`` on EOF, a blank line (keep-alive /
+        polite hang-up), or a connection-level error — all the cases
+        where the peer has nothing more to say on this connection.
+
+    Raises
+    ------
+    ProtocolError
+        The peer sent a line longer than ``max_bytes``.
+    TimeoutError
+        The underlying socket timed out — the peer is *silent*, not
+        gone; callers (heartbeats, task deadlines) decide what that
+        means.
+    """
+    limit = max_frame_bytes() if max_bytes is None else int(max_bytes)
+    try:
+        if limit:
+            line = rfile.readline(limit + 1)
+        else:
+            line = rfile.readline()
+    except TimeoutError:
+        raise  # silence is a first-class signal, not a hang-up
     except (ConnectionError, OSError):
         return None
+    if limit and len(line) > limit:
+        raise ProtocolError(
+            f"frame exceeds the {limit}-byte cap "
+            f"(set PHONOCMAP_MAX_FRAME_BYTES to raise it)"
+        )
     if not line or not line.strip():
         return None
     return line
 
 
-def read_message(rfile) -> Optional[dict]:
-    """Read and decode one JSON message; ``None`` on EOF or bad frame."""
-    frame = read_frame(rfile)
+def read_message(rfile, max_bytes: Optional[int] = None) -> Optional[dict]:
+    """Read and decode one JSON message; ``None`` on EOF or bad frame.
+
+    Propagates :class:`~repro.errors.ProtocolError` (oversized frame)
+    and :class:`TimeoutError` (silent peer) from :func:`read_frame`.
+    """
+    frame = read_frame(rfile, max_bytes=max_bytes)
     if frame is None:
         return None
     try:
@@ -84,6 +178,40 @@ def encode_payload(obj: Any) -> str:
     ).decode("ascii")
 
 
-def decode_payload(text: str) -> Any:
-    """Inverse of :func:`encode_payload`."""
-    return pickle.loads(zlib.decompress(base64.b64decode(text.encode("ascii"))))
+def decode_payload(text: str, max_bytes: Optional[int] = None) -> Any:
+    """Inverse of :func:`encode_payload`, with a decompression cap.
+
+    Parameters
+    ----------
+    text : str
+        The base64/zlib/pickle payload string.
+    max_bytes : int, optional
+        Decompressed-size cap; ``None`` uses :func:`max_payload_bytes`,
+        ``0`` disables the cap.
+
+    Raises
+    ------
+    ProtocolError
+        The payload is not valid base64/zlib, or its decompressed size
+        exceeds the cap (checked incrementally — a zlib bomb is
+        rejected without materializing past the cap).
+    """
+    limit = max_payload_bytes() if max_bytes is None else int(max_bytes)
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as error:
+        raise ProtocolError(f"undecodable payload: {error}") from None
+    try:
+        if limit:
+            decompressor = zlib.decompressobj()
+            data = decompressor.decompress(raw, limit)
+            if not decompressor.eof:
+                raise ProtocolError(
+                    f"payload decompresses past the {limit}-byte cap "
+                    f"(set PHONOCMAP_MAX_PAYLOAD_BYTES to raise it)"
+                )
+        else:
+            data = zlib.decompress(raw)
+    except zlib.error as error:
+        raise ProtocolError(f"undecodable payload: {error}") from None
+    return pickle.loads(data)

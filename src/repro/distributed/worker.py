@@ -27,24 +27,47 @@ newline-JSON wire protocol (:mod:`repro.distributed.wire`):
     matching local-pool semantics) and do **not** kill the worker.
 
 ``ping`` / ``shutdown``
-    Liveness probe / graceful exit.
+    Liveness probe (the hub's heartbeat) / graceful exit.
 
-A vanished scheduler (EOF, connection error) ends the worker: workers
-are cheap, cattle-style processes — restart them to reconnect.
+``goodbye``
+    The hub refused this worker (failed authentication). The worker
+    exits non-zero and never retries: a wrong token is a configuration
+    error, not weather.
+
+Authentication: when the hub requires a shared token
+(``PHONOCMAP_AUTH_TOKEN`` on both sides, or ``--auth-token``), the
+worker presents it in the hello frame.
+
+Reconnection: by default a vanished scheduler (EOF, connection error,
+timeout) still ends the worker — cattle-style, restart to reconnect.
+With ``reconnect_attempts > 0`` (``--reconnect`` /
+``PHONOCMAP_RECONNECT_ATTEMPTS``) the worker instead redials with
+capped exponential backoff plus *deterministic* jitter (hashed from
+``address | pid | attempt``, no RNG — two workers desynchronize their
+retries, yet every run of the same worker retries on the same
+schedule). A successfully served connection resets the budget.
+
+Fault injection: the serve loop is instrumented with the
+:mod:`repro.distributed.chaos` sites (``worker.loop``, ``worker.init``,
+``worker.task``, ``worker.result``); a plan arrives per process via
+``PHONOCMAP_CHAOS``. Without a plan the hooks are a dictionary miss.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import socket
+import time
 import traceback
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core import parallel as _parallel
 from repro.core.executor import split_tcp_address
-from repro.distributed import wire
+from repro.distributed import chaos, wire
+from repro.errors import ProtocolError
 from repro.models import coupling as _coupling
 from repro.models.coupling import CouplingModel
 
@@ -55,6 +78,41 @@ TASK_FUNCTIONS = {
     "strategy": _parallel.run_strategy_task,
     "shard": _parallel.evaluate_shard_task,
 }
+
+#: Per-message socket timeout: a scheduler silent for this long means
+#: the link is gone (the hub heartbeats idle workers far more often).
+READ_TIMEOUT_S = 3600.0
+
+#: Reconnect backoff shape: ``min(cap, base * 2**attempt)`` plus up to
+#: 25% deterministic jitter.
+BACKOFF_BASE_S = 0.5
+BACKOFF_CAP_S = 30.0
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def reconnect_backoff_s(address: str, attempt: int, pid: Optional[int] = None) -> float:
+    """The delay before reconnect ``attempt`` (1-based), jitter included.
+
+    Exponential with a cap, plus up to 25% jitter derived from
+    ``sha1(address | pid | attempt)`` — deterministic for a given
+    worker-and-attempt (replayable tests, reproducible incident
+    timelines) while distinct workers spread their redials instead of
+    stampeding a recovering hub in lockstep.
+    """
+    base = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2 ** (attempt - 1)))
+    seed = f"{address}|{os.getpid() if pid is None else pid}|{attempt}"
+    digest = hashlib.sha1(seed.encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return base * (1.0 + 0.25 * fraction)
 
 
 def _hydrate(
@@ -82,7 +140,9 @@ def _hydrate(
         CouplingModel.register(key, model)
         return "disk"
     wire.write_message(wfile, {"op": "need_model", "ctx_id": ctx_id})
-    message = wire.read_message(rfile)
+    # A streamed model is the one legitimately huge frame on this link;
+    # bound it by the payload cap, not the (much smaller) frame cap.
+    message = wire.read_message(rfile, max_bytes=wire.max_payload_bytes())
     if message is None or message.get("op") != "model":
         raise ConnectionError("scheduler hung up during model transfer")
     model = CouplingModel.from_arrays(
@@ -94,7 +154,12 @@ def _hydrate(
     return "streamed"
 
 
-def run_worker(address: str, model_cache_dir: Optional[str] = None) -> int:
+def run_worker(
+    address: str,
+    model_cache_dir: Optional[str] = None,
+    auth_token: Optional[str] = None,
+    reconnect_attempts: Optional[int] = None,
+) -> int:
     """Serve tasks from the scheduler at ``address`` until it hangs up.
 
     Parameters
@@ -106,35 +171,79 @@ def run_worker(address: str, model_cache_dir: Optional[str] = None) -> int:
         On-disk model cache this worker hydrates from (and persists
         streamed models into). Strongly recommended: a shared or
         pre-seeded cache keeps model matrices off the wire entirely.
+    auth_token : str, optional
+        Shared secret presented in the hello frame; defaults to
+        ``PHONOCMAP_AUTH_TOKEN``. Required when the hub enforces
+        authentication — without it the hub replies ``goodbye`` and
+        this function returns 1.
+    reconnect_attempts : int, optional
+        Consecutive redials after a lost connection before giving up
+        (default ``PHONOCMAP_RECONNECT_ATTEMPTS``, else 0: exit on the
+        first loss, the historical cattle-process behaviour). Delays
+        follow :func:`reconnect_backoff_s`; a connection that served
+        successfully resets the budget. An authentication rejection
+        never retries.
 
     Returns
     -------
     int
-        Process exit code (0 on a graceful shutdown or scheduler EOF).
+        Process exit code — 0 on a graceful shutdown or scheduler EOF,
+        1 on rejection or when the reconnect budget runs out on a
+        connect failure.
     """
+    if chaos.active() is None:
+        chaos.install_from_env()
+    if auth_token is None:
+        auth_token = os.environ.get("PHONOCMAP_AUTH_TOKEN") or None
+    if reconnect_attempts is None:
+        reconnect_attempts = _env_int("PHONOCMAP_RECONNECT_ATTEMPTS", 0)
+    attempt = 0
+    while True:
+        try:
+            code, retryable = _serve_connection(
+                address, model_cache_dir, auth_token
+            )
+            attempt = 0  # served: a later loss starts a fresh budget
+        except (ConnectionError, TimeoutError, OSError, ProtocolError, EOFError):
+            code, retryable = 1, True
+        if not retryable or attempt >= reconnect_attempts:
+            return code
+        attempt += 1
+        time.sleep(reconnect_backoff_s(address, attempt))
+
+
+def _serve_connection(
+    address: str,
+    model_cache_dir: Optional[str],
+    auth_token: Optional[str],
+) -> Tuple[int, bool]:
+    """Dial and serve one connection; returns ``(exit_code, retryable)``."""
     host, port = split_tcp_address(address)
     sock = socket.create_connection((host, port))
     try:
-        # Generous per-message timeout: a silent scheduler for this long
-        # means the link is gone, and exiting lets a supervisor restart.
-        sock.settimeout(3600.0)
+        sock.settimeout(READ_TIMEOUT_S)
         rfile = sock.makefile("rb")
         wfile = sock.makefile("wb")
-        wire.write_message(
-            wfile,
-            {"op": "hello", "pid": os.getpid(), "host": socket.gethostname()},
-        )
+        hello = {"op": "hello", "pid": os.getpid(), "host": socket.gethostname()}
+        if auth_token is not None:
+            hello["token"] = auth_token
+        wire.write_message(wfile, hello)
         contexts = {}
         while True:
+            chaos.trip("worker.loop")
             message = wire.read_message(rfile)
             if message is None:
-                return 0
+                return 0, True  # scheduler EOF: redial if budgeted
             op = message.get("op")
             if op == "shutdown":
-                return 0
+                return 0, False
+            if op == "goodbye":
+                # Refused (failed auth): a retry cannot succeed.
+                return 1, False
             if op == "ping":
                 wire.write_message(wfile, {"op": "pong"})
             elif op == "init":
+                chaos.trip("worker.init")
                 ctx_id = message["ctx_id"]
                 problem = wire.decode_payload(message["problem"])
                 dtype = np.dtype(message["dtype"])
@@ -149,7 +258,12 @@ def run_worker(address: str, model_cache_dir: Optional[str] = None) -> int:
                     {"op": "ready", "ctx_id": ctx_id, "model_source": source},
                 )
             elif op == "task":
+                chaos.trip("worker.task")
                 reply = _run_task(contexts, message)
+                if chaos.trip("worker.result") == "corrupt":
+                    # Not base64: the hub must fail to decode this and
+                    # retire the connection, never trust the frame.
+                    reply = dict(reply, payload="!!chaos-corrupt!!")
                 wire.write_message(wfile, reply)
             # Unknown ops are skipped: lets the protocol grow without
             # stranding older workers.

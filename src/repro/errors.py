@@ -44,6 +44,17 @@ class ExecutorError(ReproError):
     """An execution backend is misconfigured or cannot serve tasks."""
 
 
+class ProtocolError(ExecutorError):
+    """A wire frame or payload violates the protocol's size/format limits.
+
+    Raised when a peer sends a frame longer than the configured cap, a
+    payload that decompresses past the payload cap, or a reply that
+    cannot be decoded at all — the cases where the only safe reaction
+    is to drop the connection (a hostile or corrupted peer must not be
+    able to make the scheduler allocate unbounded memory).
+    """
+
+
 class ServiceError(ReproError):
     """A mapping-service request is invalid or cannot be admitted.
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Optional
 
 from repro.errors import ServiceError
@@ -37,8 +38,21 @@ class ServiceClient:
         Localhost HTTP port of the daemon. Exactly one of the two must
         be given.
     timeout : float, optional
-        Per-request socket timeout in seconds (default 300 — optimize
+        Per-request *read* timeout in seconds (default 300 — optimize
         requests legitimately run long).
+    connect_timeout : float, optional
+        Timeout for *dialing* the daemon (default 10). Separate from
+        ``timeout`` on purpose: a dead daemon should fail a health
+        check in seconds, not block for the read timeout the socket
+        default would imply.
+    retries : int, optional
+        How many times a **reused** connection that failed mid-request
+        may be transparently redialed (default 1, the historical
+        retry-once). Applies only to idempotent requests
+        (:meth:`_idempotent`); retries are spaced by capped exponential
+        backoff (0.2 s doubling, capped at 2 s). A *freshly* dialed
+        connection failing still raises immediately — the daemon is
+        genuinely unreachable, and hammering it helps nobody.
     """
 
     def __init__(
@@ -46,14 +60,26 @@ class ServiceClient:
         socket_path: Optional[str] = None,
         port: Optional[int] = None,
         timeout: float = 300.0,
+        connect_timeout: float = 10.0,
+        retries: int = 1,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ServiceError("exactly one of socket_path / port must be given")
         self.socket_path = socket_path
         self.port = port
         self.timeout = float(timeout)
+        self.connect_timeout = float(connect_timeout)
+        self.retries = max(0, int(retries))
         self._sock: Optional[socket.socket] = None
         self._reader = None
+
+    #: Backoff shape between idempotent retries.
+    _BACKOFF_BASE_S = 0.2
+    _BACKOFF_CAP_S = 2.0
+
+    def _backoff(self, retry: int) -> float:
+        """Delay before the ``retry``-th redial (1-based), capped."""
+        return min(self._BACKOFF_CAP_S, self._BACKOFF_BASE_S * (2 ** (retry - 1)))
 
     def request(self, payload: dict) -> dict:
         """Send one request object; block for and return its response.
@@ -92,19 +118,22 @@ class ServiceClient:
         A connection that was reused from an earlier request may have
         been dropped server-side (daemon restart, idle reap) without
         this client noticing; when that happens mid-request the client
-        reconnects and retries **once**, and only for idempotent
-        requests (:meth:`_idempotent`) — a freshly dialed connection
-        failing means the daemon is genuinely unreachable, so that
-        raises immediately.
+        reconnects and retries up to :attr:`retries` times with capped
+        backoff, and only for idempotent requests (:meth:`_idempotent`)
+        — a freshly dialed connection failing means the daemon is
+        genuinely unreachable, so that raises immediately.
         """
-        retried = False
+        retried = 0
         while True:
             fresh = self._sock is None
             if fresh:
                 from repro.service.server import _connect_unix
 
                 try:
-                    self._sock = _connect_unix(self.socket_path, self.timeout)
+                    self._sock = _connect_unix(
+                        self.socket_path, self.connect_timeout
+                    )
+                    self._sock.settimeout(self.timeout)
                 except OSError as error:
                     raise ServiceError(
                         f"cannot reach daemon at {self.socket_path}: {error}",
@@ -120,8 +149,9 @@ class ServiceClient:
                 line = self._reader.readline()
             except OSError as error:
                 self.close()
-                if not fresh and not retried and self._idempotent(payload):
-                    retried = True
+                if not fresh and retried < self.retries and self._idempotent(payload):
+                    retried += 1
+                    time.sleep(self._backoff(retried))
                     continue
                 raise ServiceError(
                     f"daemon connection failed: {error}",
@@ -130,8 +160,9 @@ class ServiceClient:
                 ) from None
             if not line:
                 self.close()
-                if not fresh and not retried and self._idempotent(payload):
-                    retried = True
+                if not fresh and retried < self.retries and self._idempotent(payload):
+                    retried += 1
+                    time.sleep(self._backoff(retried))
                     continue
                 raise ServiceError(
                     "daemon closed the connection", status=503, kind="unreachable"
@@ -140,9 +171,12 @@ class ServiceClient:
 
     def _request_http(self, payload: dict) -> dict:
         connection = http.client.HTTPConnection(
-            "127.0.0.1", self.port, timeout=self.timeout
+            "127.0.0.1", self.port, timeout=self.connect_timeout
         )
         try:
+            connection.connect()  # dial under connect_timeout...
+            if connection.sock is not None:
+                connection.sock.settimeout(self.timeout)  # ...read under timeout
             connection.request(
                 "POST",
                 "/",

@@ -34,7 +34,7 @@ from repro.core.mapping import random_assignment_batch
 from repro.core.pool import pool_key
 from repro.core.registry import create_strategy
 from repro.core.result import OptimizationResult
-from repro.errors import ReproError, ServiceError
+from repro.errors import ExecutorError, ReproError, ServiceError
 from repro.service.coalesce import BatchCoalescer, CoalescingEvaluator
 from repro.service.schema import (
     ServiceRequest,
@@ -84,6 +84,15 @@ class ServiceCore:
         flights — ``"local"`` (default), ``"inline"``, or
         ``"tcp://HOST:PORT"`` to dispatch coalesced flights to
         ``phonocmap worker`` processes. Bit-identical either way.
+    on_worker_loss : str, optional
+        Worker-loss policy for remote executors — ``"raise"`` (requests
+        that exhaust remote retries fail with a structured 503
+        ``executor_unavailable``) or ``"degrade"`` (they finish on a
+        local fallback backend, bit-identically, and ``stats`` reports
+        the degraded state). ``None`` keeps the process default (see
+        :func:`repro.core.executor.worker_loss_policy`). Set for the
+        whole process while this core is open, restored on
+        :meth:`close`.
     """
 
     def __init__(
@@ -93,10 +102,22 @@ class ServiceCore:
         limits: Optional[ServiceLimits] = None,
         coalesce_window_s: float = 0.004,
         executor: str = "local",
+        on_worker_loss: Optional[str] = None,
     ) -> None:
-        from repro.core.executor import parse_executor_spec
+        from repro.core.executor import (
+            parse_executor_spec,
+            set_worker_loss_policy,
+            worker_loss_policy,
+        )
 
         self.executor = parse_executor_spec(executor)
+        self._saved_policy = (
+            set_worker_loss_policy(on_worker_loss)
+            if on_worker_loss is not None
+            else None
+        )
+        self._policy_set = on_worker_loss is not None
+        self.on_worker_loss = worker_loss_policy(on_worker_loss)
         self.n_workers = max(1, int(n_workers))
         self.model_cache_dir = model_cache_dir
         self.limits = limits if limits is not None else ServiceLimits()
@@ -187,6 +208,17 @@ class ServiceCore:
             }, 200
         except ServiceError as error:
             return error_response(error)
+        except ExecutorError as error:
+            # The execution backend is gone (remote retries exhausted,
+            # no worker ever connected) and the policy said raise:
+            # answer a structured 503 instead of hanging the request.
+            return error_response(
+                ServiceError(
+                    f"execution backend unavailable: {error}",
+                    status=503,
+                    kind="executor_unavailable",
+                )
+            )
         except ReproError as error:
             return error_response(
                 ServiceError(str(error), status=400, kind="repro_error")
@@ -221,6 +253,11 @@ class ServiceCore:
                 self._idle.wait(remaining)
         for coalescer in self._coalescers.values():
             coalescer.close()
+        if self._policy_set:
+            from repro.core.executor import set_worker_loss_policy
+
+            set_worker_loss_policy(self._saved_policy)
+            self._policy_set = False
 
     # -- dispatch ------------------------------------------------------------
 
@@ -408,6 +445,7 @@ class ServiceCore:
         )
         from repro.core.pool import executor_stats
 
+        executors = executor_stats()
         return {
             "uptime_s": time.monotonic() - self._started,
             "active_requests": active,
@@ -415,7 +453,9 @@ class ServiceCore:
             "served_objectives": served_objectives,
             "rejected_queue_full": rejected,
             "executor": self.executor,
-            "executors": executor_stats(),
+            "executors": executors,
+            "on_worker_loss": self.on_worker_loss,
+            "degraded": executors["totals"]["degraded"],
             "n_workers": self.n_workers,
             "model_cache_dir": self.model_cache_dir,
             "limits": {

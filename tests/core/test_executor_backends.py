@@ -164,6 +164,7 @@ class TestExecutorStats:
         assert "inline" in kinds
         assert set(stats["totals"]) == {
             "tasks_dispatched", "tasks_retried", "workers",
+            "tasks_degraded", "degraded",
         }
 
     def test_stats_skips_registry_stand_ins(self, problem):

@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 import io
+import socket
 
 import numpy as np
 import pytest
 
 from repro.core.executor import parse_executor_spec, split_tcp_address
 from repro.distributed import wire
-from repro.errors import ExecutorError
+from repro.errors import ExecutorError, ProtocolError
 
 
 class TestFraming:
@@ -37,7 +38,7 @@ class TestFraming:
 
     def test_read_frame_survives_connection_error(self):
         class Dead:
-            def readline(self):
+            def readline(self, *args):
                 raise ConnectionResetError
 
         assert wire.read_frame(Dead()) is None
@@ -62,6 +63,63 @@ class TestPayloads:
         decoded = wire.decode_payload(wire.encode_payload(error))
         assert isinstance(decoded, ValueError)
         assert str(decoded) == "bad shard"
+
+
+class TestLimits:
+    def test_oversized_frame_raises_protocol_error(self):
+        buffer = io.BytesIO(b"x" * 128 + b"\n")
+        with pytest.raises(ProtocolError, match="frame exceeds"):
+            wire.read_frame(buffer, max_bytes=64)
+
+    def test_frame_at_the_limit_passes(self):
+        buffer = io.BytesIO()
+        wire.write_message(buffer, {"op": "ping"})
+        limit = buffer.tell()
+        buffer.seek(0)
+        assert wire.read_message(buffer, max_bytes=limit) == {"op": "ping"}
+
+    def test_zero_disables_the_frame_cap(self):
+        buffer = io.BytesIO(b'{"op": "ping"}\n')
+        assert wire.read_message(buffer, max_bytes=0) == {"op": "ping"}
+
+    def test_payload_decompression_cap(self):
+        # Highly compressible on the wire, huge decompressed: the cap
+        # must bound the *decompressed* size, or a small frame could
+        # still balloon the hub's memory.
+        text = wire.encode_payload(np.zeros(1_000_000, dtype=np.uint8))
+        with pytest.raises(ProtocolError, match="decompresses past"):
+            wire.decode_payload(text, max_bytes=64 * 1024)
+        decoded = wire.decode_payload(text)  # default cap: fine
+        assert decoded.nbytes == 1_000_000
+
+    def test_invalid_base64_payload_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            wire.decode_payload("!!chaos-corrupt!!")
+
+    def test_env_overrides_for_caps(self, monkeypatch):
+        monkeypatch.setenv("PHONOCMAP_MAX_FRAME_BYTES", "1234")
+        monkeypatch.setenv("PHONOCMAP_MAX_PAYLOAD_BYTES", "5678")
+        assert wire.max_frame_bytes() == 1234
+        assert wire.max_payload_bytes() == 5678
+        monkeypatch.delenv("PHONOCMAP_MAX_FRAME_BYTES")
+        monkeypatch.delenv("PHONOCMAP_MAX_PAYLOAD_BYTES")
+        assert wire.max_frame_bytes() == wire.DEFAULT_MAX_FRAME_BYTES
+        assert wire.max_payload_bytes() == wire.DEFAULT_MAX_PAYLOAD_BYTES
+
+    def test_read_timeout_propagates_not_swallowed(self):
+        # A silent peer is not a gone peer: TimeoutError must reach the
+        # caller (heartbeats and deadlines depend on telling the two
+        # apart), while disconnects keep reading as None.
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(0.05)
+            rfile = right.makefile("rb")
+            with pytest.raises(TimeoutError):
+                wire.read_frame(rfile)
+            left.close()
+            assert wire.read_frame(rfile) is None  # EOF after the peer left
+        finally:
+            right.close()
 
 
 class TestExecutorSpecs:

@@ -126,6 +126,7 @@ class TestStatsExecutorSection:
         assert set(executors) == {"backends", "totals"}
         assert set(executors["totals"]) == {
             "tasks_dispatched", "tasks_retried", "workers",
+            "tasks_degraded", "degraded",
         }
         for entry in executors["backends"]:
             assert {"kind", "broken", "tasks_dispatched"} <= set(entry)
