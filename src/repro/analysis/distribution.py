@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.appgraph.graph import CommunicationGraph
 from repro.core.evaluator import MappingEvaluator
-from repro.core.mapping import random_assignment_batch
 from repro.core.objectives import SNR_CAP_DB, Objective
 from repro.core.problem import MappingProblem
 from repro.errors import ConfigurationError
@@ -84,6 +83,7 @@ def random_mapping_distribution(
     backend: str = "auto",
     evaluator: Optional[MappingEvaluator] = None,
     executor: str = "local",
+    routes: int = 1,
 ) -> DistributionResult:
     """Sample random mappings and record both worst-case metrics.
 
@@ -120,6 +120,13 @@ def random_mapping_distribution(
         flights; any compliant evaluator yields the same samples —
         generation depends only on ``seed``, and batch evaluation is
         row-local — so the result stays bit-identical to the default.
+    routes : int, optional
+        Per-pair route-menu size (default 1: base routes only).
+        ``routes > 1`` samples joint design vectors — random placements
+        plus uniform route genes — through a routed evaluator; ignored
+        when a pre-built ``evaluator`` is passed (its own ``routes``
+        governs). At ``routes == 1`` generation and results are
+        bit-identical to pre-routing code.
 
     Returns
     -------
@@ -129,7 +136,7 @@ def random_mapping_distribution(
     if n_samples < 1:
         raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
     if evaluator is None:
-        problem = MappingProblem(cg, network, Objective.SNR)
+        problem = MappingProblem(cg, network, Objective.SNR, routes=routes)
         evaluator = MappingEvaluator(
             problem, dtype=dtype, n_workers=n_workers, backend=backend,
             executor=executor,
@@ -147,9 +154,7 @@ def random_mapping_distribution(
     done = 0
     while done < n_samples:
         count = min(batch_size, n_samples - done)
-        batch = random_assignment_batch(
-            count, evaluator.n_tasks, evaluator.n_tiles, rng
-        )
+        batch = evaluator.random_vector_batch(count, rng)
         pending.append((done, count, evaluator.submit_batch(batch)))
         done += count
         if len(pending) >= 2:

@@ -111,6 +111,15 @@ def _evaluator_dtype(args: argparse.Namespace):
     return np.float32 if args.float32 else np.float64
 
 
+def _add_routes_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--routes", type=int, default=1, metavar="K",
+        help="per-pair route-menu size for joint mapping x routing "
+             "search (default: 1, base routes only — bit-identical to "
+             "mapping-only search)",
+    )
+
+
 def _add_architecture_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology", choices=("mesh", "torus"), default="mesh",
@@ -252,6 +261,7 @@ def _configure_optimize(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mapping-out", metavar="FILE", help="write the best mapping as JSON"
     )
+    _add_routes_argument(parser)
     _add_evaluator_arguments(parser)
     _add_executor_argument(parser)
 
@@ -275,6 +285,7 @@ def _configure_table2(parser: argparse.ArgumentParser) -> None:
         "--with-paper", action="store_true",
         help="print the paper's numbers next to the measured ones",
     )
+    _add_routes_argument(parser)
     _add_evaluator_arguments(parser)
     _add_executor_argument(parser)
 
@@ -293,6 +304,7 @@ def _configure_fig3(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--curves", action="store_true", help="also print ASCII CDF curves"
     )
+    _add_routes_argument(parser)
     _add_evaluator_arguments(parser)
     _add_executor_argument(parser)
 
@@ -408,6 +420,11 @@ def _configure_serve(parser: argparse.ArgumentParser) -> None:
         "--coalesce-window", type=float, default=0.004, metavar="SECONDS",
         help="how long a batch flight lingers for concurrent "
              "same-signature requests to join it (default: 0.004)",
+    )
+    parser.add_argument(
+        "--routes", type=int, default=1, metavar="K",
+        help="default per-pair route-menu size applied to requests that "
+             "do not set their own 'routes' field (default: 1)",
     )
     _add_model_cache_argument(parser)
     _add_executor_argument(parser)
@@ -535,7 +552,8 @@ def _cmd_optimize(args) -> int:
     cg = _load_application(args)
     network = _build_network(args, cg)
     problem = MappingProblem(
-        cg, network, args.objective, variation=_variation_from(args)
+        cg, network, args.objective, variation=_variation_from(args),
+        routes=args.routes,
     )
     explorer = DesignSpaceExplorer(
         problem, dtype=_evaluator_dtype(args), use_delta=not args.no_delta,
@@ -551,6 +569,13 @@ def _cmd_optimize(args) -> int:
     print("mapping (task -> tile):")
     for task, tile in result.best_mapping.as_dict().items():
         print(f"  {task:>16s} -> {tile}")
+    if result.route_genes is not None:
+        chosen = ", ".join(
+            f"{cg.tasks[edge.src]}->{cg.tasks[edge.dst]}:{int(gene)}"
+            for edge, gene in zip(cg.edges, result.route_genes)
+            if int(gene) != 0
+        )
+        print(f"route genes (non-base): {chosen if chosen else '(none)'}")
     if args.mapping_out:
         with open(args.mapping_out, "w") as handle:
             json.dump(result.best_mapping.as_dict(), handle, indent=2)
@@ -569,6 +594,7 @@ def _cmd_table2(args) -> int:
         dtype=_evaluator_dtype(args),
         backend=args.backend,
         executor=args.executor,
+        routes=args.routes,
     )
     print(result.format(with_paper=args.with_paper))
     return 0
@@ -578,7 +604,7 @@ def _cmd_fig3(args) -> int:
     results = reproduce_fig3(
         applications=args.apps, n_samples=args.samples, seed=args.seed,
         n_workers=args.workers, dtype=_evaluator_dtype(args),
-        backend=args.backend, executor=args.executor,
+        backend=args.backend, executor=args.executor, routes=args.routes,
     )
     print(format_fig3(results))
     if args.curves:
@@ -722,6 +748,7 @@ def _cmd_serve(args) -> int:
         ),
         coalesce_window_s=args.coalesce_window,
         executor=args.executor,
+        default_routes=args.routes,
     )
     server = ServiceServer(core, socket_path=args.socket, port=args.port)
     stop = threading.Event()

@@ -20,8 +20,7 @@ import numpy as np
 
 from repro.core.delta import delta_engine, score_neighbourhood
 from repro.core.evaluator import MappingEvaluator
-from repro.core.mapping import random_assignment_batch
-from repro.core.moves import Move, apply_move
+from repro.core.moves import REROUTE, Move, apply_move
 from repro.core.result import OptimizationResult
 from repro.core.strategy import BestTracker, MappingStrategy
 from repro.errors import OptimizationError
@@ -30,7 +29,14 @@ __all__ = ["SimulatedAnnealing"]
 
 
 class SimulatedAnnealing(MappingStrategy):
-    """Metropolis search over tile swaps with geometric cooling."""
+    """Metropolis search over tile swaps with geometric cooling.
+
+    With a routed evaluator (``routes > 1``) the proposal distribution
+    widens to the joint neighbourhood: move sites cover the tasks plus
+    every reroutable CG edge, so one chain explores placements and route
+    choices together. At ``routes == 1`` proposals, RNG consumption and
+    results are bit-identical to mapping-only search.
+    """
 
     name = "sa"
     chain_decomposable = True  # chains are independent, calibration included
@@ -67,6 +73,34 @@ class SimulatedAnnealing(MappingStrategy):
             return (task, tile, int(holder[0]))
         return (task, tile, -1)
 
+    def _propose_joint_move(
+        self,
+        vector: np.ndarray,
+        menus: np.ndarray,
+        n_tasks: int,
+        n_tiles: int,
+        rng: np.random.Generator,
+    ) -> Move:
+        """One random move over the joint mapping x routing neighbourhood.
+
+        A move site is drawn uniformly over the tasks plus the edges
+        whose current tile pair offers more than one route; a task site
+        delegates to the mapping proposer, an edge site redraws that
+        edge's route gene uniformly among the other menu entries. Only
+        reached when ``routes > 1``, so mapping-only runs consume the
+        RNG exactly as before.
+        """
+        rerouteable = np.flatnonzero(menus > 1)
+        site = int(rng.integers(0, n_tasks + len(rerouteable)))
+        if site < n_tasks:
+            return self._propose_move(vector[:n_tasks], n_tiles, rng)
+        edge = int(rerouteable[site - n_tasks])
+        menu = int(menus[edge])
+        gene = int(rng.integers(0, menu - 1))
+        if gene >= int(vector[n_tasks + edge]) % menu:
+            gene += 1
+        return (n_tasks + edge, gene, REROUTE)
+
     def _propose(self, assignment: np.ndarray, n_tiles: int,
                  rng: np.random.Generator) -> np.ndarray:
         """One random swap/relocation neighbour."""
@@ -85,9 +119,7 @@ class SimulatedAnnealing(MappingStrategy):
         # Clamp to the budget too: a budget of 1 must not pay a
         # 2-evaluation calibration (std of one sample is simply 0).
         samples = min(self.calibration_samples, max(2, budget // 4), budget)
-        calibration = random_assignment_batch(
-            samples, evaluator.n_tasks, evaluator.n_tiles, rng
-        )
+        calibration = evaluator.random_vector_batch(samples, rng)
         calibration_scores = evaluator.evaluate_batch(calibration).score
         tracker.offer_batch(calibration, calibration_scores)
         spread = float(np.std(calibration_scores))
@@ -105,8 +137,17 @@ class SimulatedAnnealing(MappingStrategy):
         while evaluator.evaluations < budget:
             count = min(self.batch_size, budget - evaluator.evaluations)
             base = current
-            moves = [self._propose_move(base, evaluator.n_tiles, rng)
-                     for _ in range(count)]
+            if evaluator.routes > 1:
+                menus = evaluator.edge_menu_sizes(base)
+                moves = [
+                    self._propose_joint_move(
+                        base, menus, evaluator.n_tasks, evaluator.n_tiles, rng
+                    )
+                    for _ in range(count)
+                ]
+            else:
+                moves = [self._propose_move(base, evaluator.n_tiles, rng)
+                         for _ in range(count)]
             scores = score_neighbourhood(engine, evaluator, base, moves)
             # Every proposal is a neighbour of the batch's base, so an
             # acceptance replaces the incumbent with base + that move;

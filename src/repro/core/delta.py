@@ -84,7 +84,7 @@ import numpy as np
 
 import repro.core.evaluator as _evaluator_module
 from repro.core.evaluator import MappingEvaluator, _row_sum
-from repro.core.moves import Move, apply_move
+from repro.core.moves import REROUTE, Move, apply_move
 from repro.core.objectives import SNR_CAP_DB, spec_for
 from repro.errors import MappingError
 
@@ -162,6 +162,7 @@ class DeltaEvaluator:
         self._ev = evaluator
         self._model = evaluator.model
         self._n_tiles = evaluator.n_tiles
+        self._routes = evaluator.routes
         self._edges = evaluator._edges
         self._E = len(self._edges)
         # Sparse-backend evaluators share their CSR arrays: row sums come
@@ -240,7 +241,12 @@ class DeltaEvaluator:
         incumbent's score was already paid for, e.g. SA calibration).
         """
         array = np.array(assignment, dtype=np.int64, copy=True)
-        if array.shape != (self._ev.n_tasks,):
+        if array.shape == (self._ev.n_tasks,) and self._routes > 1:
+            # Plain assignment on a routed engine: base route everywhere.
+            array = np.concatenate(
+                [array, np.zeros(self._E, dtype=np.int64)]
+            )
+        if array.shape != (self._ev.vector_width,):
             raise MappingError(
                 f"assignment must have one tile per task "
                 f"({self._ev.n_tasks}), got shape {array.shape}"
@@ -257,6 +263,8 @@ class DeltaEvaluator:
         a = self._assignment
         edges = self._edges
         pairs = self._model.pair_indices(a[edges[:, 0]], a[edges[:, 1]])
+        if self._routes > 1:
+            pairs = pairs + a[self._ev.n_tasks:]
         self._pairs = pairs.astype(np.int64)
         self._il = self._model.insertion_loss_db[self._pairs].copy()
         self._signal = self._model.signal_linear[self._pairs].copy()
@@ -387,10 +395,18 @@ class DeltaEvaluator:
     # -- internals -------------------------------------------------------------
 
     def _affected_edges(self, tasks, others) -> np.ndarray:
-        """(M, L) table of CG edges whose pair a move changes, -1 padded,
-        valid entries first."""
-        block1 = self._inc[tasks]
-        block2 = self._inc[np.where(others >= 0, others, self._ev.n_tasks)]
+        """(M, L) table of CG edges whose slot a move changes, -1 padded,
+        valid entries first.
+
+        A reroute move (``other == REROUTE``, ``task`` = gene slot
+        index) affects exactly the rerouted edge; its first element
+        indexes past the task range, so it reads the all-pad incident
+        row and the edge is patched in afterwards.
+        """
+        n_tasks = self._ev.n_tasks
+        is_reroute = others == REROUTE
+        block1 = self._inc[np.where(is_reroute, n_tasks, tasks)]
+        block2 = self._inc[np.where(others >= 0, others, n_tasks)]
         # An edge joining the two moved tasks appears in both incident
         # lists; drop the second copy so its delta isn't applied twice.
         safe2 = np.where(block2 >= 0, block2, 0)
@@ -399,7 +415,10 @@ class DeltaEvaluator:
         )
         block2 = np.where((block2 >= 0) & ~duplicate, block2, -1)
         aff = np.concatenate([block1, block2], axis=1)
-        return -np.sort(-aff, axis=1)
+        aff = -np.sort(-aff, axis=1)
+        if is_reroute.any():
+            aff[is_reroute, 0] = tasks[is_reroute] - n_tasks
+        return aff
 
     def _move_tables(self, tasks, tiles, others, aff=None):
         """Per-move ``(M, E+1)`` IL/signal/noise tables (column E is a
@@ -431,7 +450,24 @@ class DeltaEvaluator:
             dst == t, target, np.where(swap & (dst == o), task_tile, a[dst])
         )
         old_pa = self._pairs[aff0]
-        new_pa = np.where(pad, old_pa, src_tiles * self._n_tiles + dst_tiles)
+        if self._routes == 1:
+            new_pa = np.where(pad, old_pa, src_tiles * self._n_tiles + dst_tiles)
+        else:
+            # Mapping moves carry the edge's gene to its new tile pair;
+            # a reroute keeps the pair and overwrites the gene.
+            new_pa = np.where(
+                pad,
+                old_pa,
+                (src_tiles * self._n_tiles + dst_tiles) * self._routes
+                + old_pa % self._routes,
+            )
+            is_reroute = others == REROUTE
+            if is_reroute.any():
+                rr = np.nonzero(is_reroute)[0]
+                rr_new = (
+                    old_pa[rr] // self._routes
+                ) * self._routes + tiles[rr][:, None]
+                new_pa[rr] = np.where(pad[rr], old_pa[rr], rr_new)
 
         # Unaffected victims: aggressor terms of the affected edges change
         # under the victim's unchanged pair. Both coupling gathers are

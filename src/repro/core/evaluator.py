@@ -365,6 +365,7 @@ class MappingEvaluator:
         self.cg = problem.cg
         self.network = problem.network
         self.objective = problem.objective
+        self.routes = problem.routes
         self.dtype = np.dtype(dtype)
         # Resolve the process-wide default eagerly so worker pools are
         # initialized with the same cache directory this evaluator used.
@@ -376,9 +377,13 @@ class MappingEvaluator:
             else get_model_cache_dir()
         )
         self.model = CouplingModel.for_network(
-            problem.network, dtype=dtype, cache_dir=self.model_cache_dir
+            problem.network,
+            dtype=dtype,
+            cache_dir=self.model_cache_dir,
+            routes=self.routes,
         )
         self._edges = self.cg.edge_array()
+        self._route_counts: Optional[np.ndarray] = None  # lazy, routes > 1
         self._mask = self.cg.serialization_mask()
         # The noise contraction needs the mask at the coupling dtype;
         # cast once here instead of once per evaluated chunk.
@@ -409,6 +414,7 @@ class MappingEvaluator:
                     problem.network.with_params(params),
                     dtype=dtype,
                     cache_dir=self.model_cache_dir,
+                    routes=self.routes,
                 )
                 for params in sample_params
             )
@@ -473,14 +479,33 @@ class MappingEvaluator:
     # -- batch evaluation ---------------------------------------------------------
 
     def _check_batch(self, assignments: np.ndarray) -> np.ndarray:
-        """Coerce a batch to ``(M, n_tasks)`` int64, or raise."""
+        """Coerce a batch to design-vector rows (int64), or raise.
+
+        At ``routes == 1`` rows are plain ``(M, n_tasks)`` assignments.
+        Routed evaluators additionally accept the widened
+        ``(M, n_tasks + n_edges)`` joint vectors, and pad plain
+        assignment rows with zero route genes (gene 0 is the base route,
+        so a padded row scores exactly like the mapping-only candidate).
+        """
         assignments = np.atleast_2d(np.asarray(assignments, dtype=np.int64))
-        if assignments.shape[1] != self.cg.n_tasks:
-            raise MappingError(
-                f"batch has {assignments.shape[1]} tasks per mapping, "
-                f"expected {self.cg.n_tasks}"
-            )
-        return assignments
+        width = assignments.shape[1]
+        if width == self.cg.n_tasks:
+            if self.routes > 1:
+                genes = np.zeros(
+                    (assignments.shape[0], self.n_edges), dtype=np.int64
+                )
+                assignments = np.hstack([assignments, genes])
+            return assignments
+        if self.routes > 1 and width == self.cg.n_tasks + self.n_edges:
+            return assignments
+        expected = (
+            f"{self.cg.n_tasks}"
+            if self.routes == 1
+            else f"{self.cg.n_tasks} or {self.cg.n_tasks + self.n_edges}"
+        )
+        raise MappingError(
+            f"batch has {width} tasks per mapping, expected {expected}"
+        )
 
     def evaluate_batch(
         self,
@@ -659,14 +684,20 @@ class MappingEvaluator:
         return max(1, _CHUNK_BYTES // max(1, itemsize * n_edges * n_edges))
 
     def _pair_table(self, assignments: np.ndarray) -> np.ndarray:
-        """(M, E) flat tile-pair indices of a chunk of assignments.
+        """(M, E) flat model-slot indices of a chunk of design vectors.
 
-        Pair indices depend only on the mapping and the topology, so one
-        table serves the nominal model and every variation sample.
+        Pair indices depend only on the mapping and the topology (and,
+        for routed evaluators, the per-edge route genes riding in the
+        vector's tail), so one table serves the nominal model and every
+        variation sample. At ``routes == 1`` the gene offset vanishes
+        and this is exactly the legacy tile-pair table.
         """
         src_tiles = assignments[:, self._edges[:, 0]]
         dst_tiles = assignments[:, self._edges[:, 1]]
-        return self.model.pair_indices(src_tiles, dst_tiles)
+        pairs = self.model.pair_indices(src_tiles, dst_tiles)
+        if self.routes > 1:
+            pairs = pairs + assignments[:, self.cg.n_tasks:]
+        return pairs
 
     def _tables_from_pairs(self, pairs, model=None, sparse_state=None):
         """(il, snr, noise, signal) tables of shape (M, E) for one model.
@@ -846,14 +877,36 @@ class MappingEvaluator:
     def evaluate(
         self, mapping: Union[Mapping, np.ndarray], with_edges: bool = False
     ) -> MappingMetrics:
-        """Evaluate one mapping, optionally keeping per-edge detail."""
+        """Evaluate one mapping, optionally keeping per-edge detail.
+
+        Routed evaluators additionally accept a widened joint vector
+        (``n_tasks + n_edges`` entries); its assignment head is
+        validated exactly like a plain mapping.
+        """
         if isinstance(mapping, Mapping):
             assignment = mapping.assignment
         else:
-            assignment = Mapping(
-                self.cg, np.asarray(mapping), self.problem.n_tiles
-            ).assignment
-        batch = assignment[None, :]
+            candidate = np.asarray(mapping)
+            if (
+                self.routes > 1
+                and candidate.ndim == 1
+                and len(candidate) == self.cg.n_tasks + self.n_edges
+            ):
+                assignment = np.concatenate(
+                    [
+                        Mapping(
+                            self.cg,
+                            candidate[: self.cg.n_tasks],
+                            self.problem.n_tiles,
+                        ).assignment,
+                        candidate[self.cg.n_tasks:].astype(np.int64),
+                    ]
+                )
+            else:
+                assignment = Mapping(
+                    self.cg, candidate, self.problem.n_tiles
+                ).assignment
+        batch = self._check_batch(assignment[None, :])
         pairs = self._pair_table(batch)
         il, snr, noise, signal = self._tables_from_pairs(pairs)
         self.evaluations += 1
@@ -897,6 +950,101 @@ class MappingEvaluator:
     def n_tasks(self) -> int:
         """Number of tasks of the application CG."""
         return self.cg.n_tasks
+
+    @property
+    def n_edges(self) -> int:
+        """Number of CG edges (the route-gene count of joint vectors)."""
+        return len(self._edges)
+
+    @property
+    def vector_width(self) -> int:
+        """Width of this evaluator's design vectors.
+
+        ``n_tasks`` at ``routes == 1`` (plain assignments); widened by
+        one route gene per CG edge for joint search.
+        """
+        if self.routes == 1:
+            return self.cg.n_tasks
+        return self.cg.n_tasks + self.n_edges
+
+    def edge_menu_sizes(self, vector: np.ndarray) -> np.ndarray:
+        """(E,) route-menu sizes of every CG edge under a design vector.
+
+        The menu of an edge is the menu of the tile pair its endpoints
+        currently map to, so this is assignment-dependent. Only
+        meaningful for routed evaluators; the underlying per-pair counts
+        are enumerated once per evaluator and cached.
+        """
+        if self._route_counts is None:
+            self._route_counts = self.network.route_counts(self.routes)
+        vector = np.asarray(vector)
+        src_tiles = vector[self._edges[:, 0]]
+        dst_tiles = vector[self._edges[:, 1]]
+        return self._route_counts[src_tiles * self.n_tiles + dst_tiles]
+
+    def random_vector(self, rng: np.random.Generator) -> np.ndarray:
+        """One random design vector (assignment, plus genes when routed).
+
+        At ``routes == 1`` this draws exactly what
+        :func:`~repro.core.mapping.random_assignment` draws — same RNG
+        consumption, same values — so mapping-only runs are bit-identical
+        to pre-routing code. Routed vectors append one uniform route gene
+        per edge, drawn within the edge's menu under the sampled
+        assignment.
+        """
+        from repro.core.mapping import random_assignment
+
+        assignment = random_assignment(self.cg.n_tasks, self.n_tiles, rng)
+        if self.routes == 1:
+            return assignment
+        menus = self.edge_menu_sizes(assignment)
+        genes = rng.integers(0, menus, dtype=np.int64)
+        return np.concatenate([assignment, genes])
+
+    def random_vector_batch(
+        self, n_vectors: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Shape (M, vector_width) batch of random design vectors.
+
+        The assignment block consumes the RNG exactly like
+        :func:`~repro.core.mapping.random_assignment_batch`; gene draws
+        happen only when ``routes > 1``, after the whole assignment
+        block, so mapping-only batches are bit-identical to pre-routing
+        code.
+        """
+        from repro.core.mapping import random_assignment_batch
+
+        batch = random_assignment_batch(
+            n_vectors, self.cg.n_tasks, self.n_tiles, rng
+        )
+        if self.routes == 1:
+            return batch
+        if self._route_counts is None:
+            self._route_counts = self.network.route_counts(self.routes)
+        src_tiles = batch[:, self._edges[:, 0]]
+        dst_tiles = batch[:, self._edges[:, 1]]
+        menus = self._route_counts[src_tiles * self.n_tiles + dst_tiles]
+        genes = rng.integers(0, menus, dtype=np.int64)
+        return np.hstack([batch, genes])
+
+    def moves_for(self, vector: np.ndarray) -> list:
+        """The full move neighbourhood of a design vector.
+
+        At ``routes == 1`` this is exactly
+        :func:`~repro.core.moves.swap_moves` of the assignment — same
+        moves, same order — so mapping-only searches are unchanged.
+        Routed evaluators append the reroute moves of every edge whose
+        current tile pair offers more than one route.
+        """
+        from repro.core.moves import reroute_moves, swap_moves
+
+        vector = np.asarray(vector)
+        moves = swap_moves(vector[: self.cg.n_tasks], self.n_tiles)
+        if self.routes > 1:
+            moves += reroute_moves(
+                vector, self.cg.n_tasks, self.edge_menu_sizes(vector)
+            )
+        return moves
 
     def reset_count(self) -> None:
         """Zero the evaluation counter (used between algorithm runs)."""

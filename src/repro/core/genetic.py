@@ -9,6 +9,12 @@ Encoding: a chromosome is a permutation of *all* tiles; the first
 tiles. Keeping the full permutation lets the classic PMX (partially mapped
 crossover) operator preserve injectivity — eq. (6) — by construction, and
 lets mutation move tasks onto empty tiles by swapping into the tail.
+
+With a routed evaluator (``routes > 1``) the chromosome grows a route-gene
+segment: one gene per CG edge, appended after the permutation. PMX still
+operates on the permutation alone; route genes cross over uniformly and
+mutate by redrawing one edge's gene. At ``routes == 1`` the chromosome,
+RNG draws and results are bit-identical to mapping-only GA.
 """
 
 from __future__ import annotations
@@ -119,6 +125,15 @@ class GeneticAlgorithm(MappingStrategy):
 
     # -- main loop ------------------------------------------------------------
 
+    @staticmethod
+    def _design_rows(
+        population: np.ndarray, n_tasks: int, n_tiles: int
+    ) -> np.ndarray:
+        """Chromosomes -> evaluator design vectors (drop the tile tail)."""
+        if population.shape[1] == n_tiles:
+            return population[:, :n_tasks]
+        return np.hstack([population[:, :n_tasks], population[:, n_tiles:]])
+
     def _run(
         self,
         evaluator: MappingEvaluator,
@@ -127,15 +142,26 @@ class GeneticAlgorithm(MappingStrategy):
     ) -> OptimizationResult:
         n_tasks = evaluator.n_tasks
         n_tiles = evaluator.n_tiles
+        routed = evaluator.routes > 1
+        n_genes = evaluator.n_edges if routed else 0
         population_size = min(self.population_size, budget)
         # Initial population: random tile permutations.
         population = np.stack(
             [rng.permutation(n_tiles) for _ in range(population_size)]
         ).astype(np.int64)
+        if routed:
+            # Route-gene segment: one uniform draw per edge, within the
+            # menu of the edge's tile pair under that chromosome.
+            menus = np.stack(
+                [evaluator.edge_menu_sizes(row[:n_tasks]) for row in population]
+            )
+            genes = rng.integers(0, menus, dtype=np.int64)
+            population = np.hstack([population, genes])
         tracker = BestTracker(evaluator)
-        metrics = evaluator.evaluate_batch(population[:, :n_tasks])
+        rows = self._design_rows(population, n_tasks, n_tiles)
+        metrics = evaluator.evaluate_batch(rows)
         scores = metrics.score
-        tracker.offer_batch(population[:, :n_tasks], scores)
+        tracker.offer_batch(rows, scores)
         remaining = budget - population_size
         # With a sharded evaluator, submit children for scoring chunk by
         # chunk while later children are still being bred (the python-side
@@ -145,7 +171,9 @@ class GeneticAlgorithm(MappingStrategy):
         chunk_count = max(1, min(evaluator.n_workers, 8))
         while remaining > 0:
             children_count = min(population_size - self.elite_count, remaining)
-            children = np.empty((children_count, n_tiles), dtype=np.int64)
+            children = np.empty(
+                (children_count, n_tiles + n_genes), dtype=np.int64
+            )
             chunk = -(-children_count // chunk_count)
             handles = []
             for start in range(0, children_count, chunk):
@@ -154,19 +182,40 @@ class GeneticAlgorithm(MappingStrategy):
                     a = self._select(scores, rng)
                     if rng.random() < self.crossover_rate:
                         b = self._select(scores, rng)
-                        child = pmx_crossover(population[a], population[b], rng)
+                        child = np.empty(n_tiles + n_genes, dtype=np.int64)
+                        child[:n_tiles] = pmx_crossover(
+                            population[a, :n_tiles],
+                            population[b, :n_tiles],
+                            rng,
+                        )
+                        if routed:
+                            take_b = rng.random(n_genes) < 0.5
+                            child[n_tiles:] = np.where(
+                                take_b,
+                                population[b, n_tiles:],
+                                population[a, n_tiles:],
+                            )
                     else:
                         child = population[a].copy()
                     if rng.random() < self.mutation_rate:
-                        self._mutate(child, rng)
+                        self._mutate(child[:n_tiles], rng)
+                        if routed:
+                            edge = int(rng.integers(0, n_genes))
+                            child[n_tiles + edge] = int(
+                                rng.integers(0, evaluator.routes)
+                            )
                     children[k] = child
                 handles.append(
-                    evaluator.submit_batch(children[start:stop, :n_tasks])
+                    evaluator.submit_batch(
+                        self._design_rows(children[start:stop], n_tasks, n_tiles)
+                    )
                 )
             child_scores = np.concatenate(
                 [handle.result().score for handle in handles]
             )
-            tracker.offer_batch(children[:, :n_tasks], child_scores)
+            tracker.offer_batch(
+                self._design_rows(children, n_tasks, n_tiles), child_scores
+            )
             remaining -= children_count
             # Elitist replacement: keep the best of the old generation.
             elite_indices = np.argsort(scores)[-self.elite_count:]

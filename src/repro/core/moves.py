@@ -1,4 +1,5 @@
-"""Swap/relocation move primitives shared by the local-search strategies.
+"""Swap/relocation/reroute move primitives shared by the local-search
+strategies.
 
 A move is a ``(task, target_tile, other_task)`` triple: ``other_task`` is
 -1 when the target tile is empty (a relocation) and the partner task
@@ -6,6 +7,15 @@ index otherwise (a swap). Historically these lived in
 :mod:`repro.core.pbla` (which still re-exports them); they sit in their
 own module so the delta-evaluation engine and the strategies can share
 them without an import cycle.
+
+Joint mapping x routing search adds a third move class: a *reroute*
+flips one CG edge's route gene. Its canonical numeric form is
+``(n_tasks + edge, new_gene, REROUTE)`` — the first element indexes the
+edge's gene slot in the widened design vector ``[assignment | genes]``,
+so :func:`apply_move` (and the tabu reversal key, which records
+``(slot, old_value)``) work unchanged. The human-readable form
+``("reroute", edge, new_gene)`` is accepted everywhere via
+:func:`normalize_move`.
 """
 
 from __future__ import annotations
@@ -14,9 +24,15 @@ from typing import List, Tuple
 
 import numpy as np
 
-__all__ = ["Move", "swap_moves", "apply_move"]
+__all__ = ["Move", "REROUTE", "swap_moves", "reroute_moves", "apply_move",
+           "normalize_move"]
 
 Move = Tuple[int, int, int]  # (task, new tile, other task or -1)
+
+#: Sentinel in a move's third element marking a reroute: the first two
+#: elements are then (gene slot index, new route gene). Distinct from the
+#: relocation sentinel -1 so accounting can tell the classes apart.
+REROUTE = -2
 
 
 def swap_moves(assignment: np.ndarray, n_tiles: int) -> List[Move]:
@@ -24,23 +40,77 @@ def swap_moves(assignment: np.ndarray, n_tiles: int) -> List[Move]:
 
     Returns (task, target_tile, other_task) triples; ``other_task`` is -1
     when the target tile is empty (a relocation) and the partner task index
-    otherwise (a swap).
+    otherwise (a swap). Vectorized, but the output order is pinned to the
+    historical double loop: relocations task-major over ascending empty
+    tiles, then swaps in upper-triangular (task_a, task_b) order.
     """
+    assignment = np.asarray(assignment)
     n_tasks = len(assignment)
-    occupied = {int(tile): task for task, tile in enumerate(assignment)}
-    empty_tiles = [t for t in range(n_tiles) if t not in occupied]
-    moves: List[Move] = []
-    for task in range(n_tasks):
-        for tile in empty_tiles:
-            moves.append((task, tile, -1))
-    for task_a in range(n_tasks):
-        for task_b in range(task_a + 1, n_tasks):
-            moves.append((task_a, int(assignment[task_b]), task_b))
+    occupied_mask = np.zeros(n_tiles, dtype=bool)
+    occupied_mask[assignment] = True
+    empty_tiles = np.flatnonzero(~occupied_mask)
+    n_empty = len(empty_tiles)
+    reloc_task = np.repeat(np.arange(n_tasks), n_empty)
+    reloc_tile = np.tile(empty_tiles, n_tasks)
+    task_a, task_b = np.triu_indices(n_tasks, k=1)
+    moves: List[Move] = list(
+        zip(
+            reloc_task.tolist(),
+            reloc_tile.tolist(),
+            [-1] * (n_tasks * n_empty),
+        )
+    )
+    moves.extend(
+        zip(task_a.tolist(), assignment[task_b].tolist(), task_b.tolist())
+    )
     return moves
 
 
+def reroute_moves(
+    vector: np.ndarray, n_tasks: int, route_counts: np.ndarray
+) -> List[Move]:
+    """All admitted reroute moves from a widened design vector.
+
+    ``route_counts[edge]`` is the menu size of the edge's current tile
+    pair; one move per (edge, gene != current gene mod menu) in edge-major
+    gene-ascending order. Edges whose pair offers a single route yield
+    nothing, so on architectures without route diversity (e.g. crux
+    meshes) the joint neighbourhood degenerates to the mapping one.
+    """
+    vector = np.asarray(vector)
+    genes = vector[n_tasks:]
+    moves: List[Move] = []
+    for edge, gene in enumerate(genes.tolist()):
+        menu = int(route_counts[edge])
+        if menu <= 1:
+            continue
+        current = gene % menu
+        for candidate in range(menu):
+            if candidate != current:
+                moves.append((n_tasks + edge, candidate, REROUTE))
+    return moves
+
+
+def normalize_move(move, n_tasks: int) -> Move:
+    """Canonical numeric form of a move.
+
+    Accepts the numeric triples produced by :func:`swap_moves` /
+    :func:`reroute_moves` unchanged, and converts the readable
+    ``("reroute", edge, new_gene)`` form into
+    ``(n_tasks + edge, new_gene, REROUTE)``.
+    """
+    if move[0] == "reroute":
+        return (n_tasks + int(move[1]), int(move[2]), REROUTE)
+    return (int(move[0]), int(move[1]), int(move[2]))
+
+
 def apply_move(assignment: np.ndarray, move: Move) -> np.ndarray:
-    """A copy of ``assignment`` with one move applied."""
+    """A copy of ``assignment`` with one move applied.
+
+    Works on plain assignments and on widened joint vectors alike: a
+    reroute's slot index lands in the gene region, and its third element
+    (:data:`REROUTE`) is negative so no swap write happens.
+    """
     task, tile, other = move
     result = assignment.copy()
     if other >= 0:

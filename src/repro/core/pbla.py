@@ -25,7 +25,12 @@ Implementation notes:
 * the restarts are independent: no state carries across them except the
   incumbent record, so a budget-``B`` run decomposes into ``k`` merged
   runs of budget ``~B/k`` (``chain_decomposable``), which is what
-  parallel DSE exploits to spread one run across worker processes.
+  parallel DSE exploits to spread one run across worker processes;
+* with a routed evaluator (``routes > 1``) the admitted moves also
+  include the reroute moves of every multi-route CG edge
+  (:meth:`~repro.core.evaluator.MappingEvaluator.moves_for`), so the
+  descent jointly refines placement and route choice; at ``routes == 1``
+  the move list, RNG draws and results are unchanged.
 """
 
 from __future__ import annotations
@@ -34,7 +39,6 @@ import numpy as np
 
 from repro.core.delta import delta_engine, incumbent_score, score_neighbourhood
 from repro.core.evaluator import MappingEvaluator
-from repro.core.mapping import random_assignment
 from repro.core.moves import Move, apply_move, swap_moves
 from repro.core.result import OptimizationResult
 from repro.core.strategy import BestTracker, MappingStrategy
@@ -62,13 +66,11 @@ class PriorityBasedListAlgorithm(MappingStrategy):
         while evaluator.evaluations < budget:
             if current is None:
                 restarts += 1
-                current = random_assignment(
-                    evaluator.n_tasks, evaluator.n_tiles, rng
-                )
+                current = evaluator.random_vector(rng)
                 current_score = incumbent_score(engine, evaluator, current)
                 tracker.offer(current, current_score)
                 continue
-            moves = swap_moves(current, evaluator.n_tiles)
+            moves = evaluator.moves_for(current)
             remaining = budget - evaluator.evaluations
             if remaining <= 0:
                 break

@@ -114,6 +114,20 @@ def _cg_fingerprint(problem: MappingProblem) -> str:
     return digest.hexdigest()
 
 
+def _network_key(problem: MappingProblem) -> str:
+    """The network component of a pool key.
+
+    Joint mapping x routing problems (``routes > 1``) append the route
+    count: their workers hold the widened routed coupling model, so a
+    routed pool must never serve (or be served by) a mapping-only one.
+    Single-route keys are byte-identical to the historical layout.
+    """
+    signature = problem.network.signature
+    if problem.routes > 1:
+        signature += f"|routes={problem.routes}"
+    return signature
+
+
 def pool_key(
     problem: MappingProblem,
     dtype,
@@ -162,7 +176,7 @@ def pool_key(
     """
     return (
         _cg_fingerprint(problem),
-        problem.network.signature,
+        _network_key(problem),
         np.dtype(dtype).name,
         str(backend),
         problem.variation_fingerprint,
@@ -374,7 +388,7 @@ def release_pools(
     fingerprint = signature = None
     if problem is not None:
         fingerprint = _cg_fingerprint(problem)
-        signature = problem.network.signature
+        signature = _network_key(problem)
     dtype_name = None if dtype is None else np.dtype(dtype).name
     backend_name = None if backend is None else str(backend)
     with _LOCK:

@@ -37,6 +37,13 @@ class MappingProblem:
         the evaluator computes the robust metric table too. Part of the
         problem identity: pools and coalesced flights only mix requests
         with the same plan.
+    routes : int, optional
+        Route-menu size ``k`` of the joint mapping x routing search
+        (default 1: mapping-only, bit-identical to the paper's setup).
+        With ``k > 1`` the design vector widens to
+        ``[assignment | per-edge route genes]`` and the evaluator builds
+        the routed coupling model. Part of the problem identity, like
+        the variation plan.
     """
 
     def __init__(
@@ -45,6 +52,7 @@ class MappingProblem:
         network: PhotonicNoC,
         objective: Union[str, Objective] = Objective.SNR,
         variation: Optional[VariationSpec] = None,
+        routes: int = 1,
     ) -> None:
         objective = Objective.parse(objective)
         if cg.n_tasks > network.topology.n_tiles:
@@ -53,12 +61,15 @@ class MappingProblem:
                 f"{network.topology.signature} only {network.topology.n_tiles} "
                 "tiles (violates eq. 2)"
             )
+        if routes < 1:
+            raise MappingError(f"routes must be >= 1, got {routes}")
         if variation is None and spec_for(objective).requires_variation:
             variation = VariationSpec()
         self.cg = cg
         self.network = network
         self.objective = objective
         self.variation = variation
+        self.routes = int(routes)
 
     @property
     def n_tasks(self) -> int:
@@ -84,7 +95,11 @@ class MappingProblem:
         (objective-free) pool reuses the workers' table pipeline.
         """
         return MappingProblem(
-            self.cg, self.network, objective, variation=self.variation
+            self.cg,
+            self.network,
+            objective,
+            variation=self.variation,
+            routes=self.routes,
         )
 
     def evaluator(self, dtype=None, backend: str = "auto") -> "MappingEvaluator":
@@ -99,8 +114,9 @@ class MappingProblem:
         variation = (
             "" if self.variation is None else f", variation={self.variation_fingerprint}"
         )
+        routes = "" if self.routes == 1 else f", routes={self.routes}"
         return (
             f"MappingProblem({self.cg.name!r} -> "
             f"{self.network.topology.signature}/{self.network.router_spec.name}, "
-            f"objective={self.objective.value}{variation})"
+            f"objective={self.objective.value}{variation}{routes})"
         )

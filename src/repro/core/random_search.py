@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.evaluator import MappingEvaluator
-from repro.core.mapping import random_assignment_batch
 from repro.core.result import OptimizationResult
 from repro.core.strategy import BestTracker, MappingStrategy
 
@@ -53,9 +52,7 @@ class RandomSearch(MappingStrategy):
         pending = None  # (batch, handle) of the submission in flight
         while remaining > 0:
             count = min(self.batch_size, remaining)
-            batch = random_assignment_batch(
-                count, evaluator.n_tasks, evaluator.n_tiles, rng
-            )
+            batch = evaluator.random_vector_batch(count, rng)
             handle = evaluator.submit_batch(batch)
             remaining -= count
             if pending is not None:

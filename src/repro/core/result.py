@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.evaluator import MappingMetrics
 from repro.core.mapping import Mapping
@@ -17,6 +19,10 @@ class OptimizationResult:
 
     ``history`` records (evaluations used, best score so far) waypoints, so
     convergence can be plotted and budgets compared across strategies.
+
+    ``route_genes`` is the per-CG-edge route choice of the best design
+    vector when the search was joint (``routes > 1``); ``None`` for
+    mapping-only runs.
     """
 
     strategy: str
@@ -25,6 +31,7 @@ class OptimizationResult:
     evaluations: int
     history: List[Tuple[int, float]] = field(default_factory=list)
     restarts: int = 0
+    route_genes: Optional[np.ndarray] = None
 
     @property
     def best_score(self) -> float:

@@ -52,10 +52,18 @@ class BestTracker:
                 f"{strategy_name}: no candidate was ever evaluated"
             )
         evaluator = self._evaluator
+        vector = self.best_assignment
         mapping = Mapping(
-            evaluator.cg, self.best_assignment, evaluator.n_tiles
+            evaluator.cg, vector[: evaluator.n_tasks], evaluator.n_tiles
         )
-        metrics = evaluator.evaluate(mapping)
+        if len(vector) > evaluator.n_tasks:
+            # Joint search: the tail of the vector is the route genes; the
+            # metrics must be re-scored under them, not the base routes.
+            metrics = evaluator.evaluate(vector)
+            route_genes = vector[evaluator.n_tasks :].copy()
+        else:
+            metrics = evaluator.evaluate(mapping)
+            route_genes = None
         evaluator.evaluations -= 1  # bookkeeping: re-scoring is not search
         return OptimizationResult(
             strategy=strategy_name,
@@ -64,6 +72,7 @@ class BestTracker:
             evaluations=evaluator.evaluations,
             history=list(self.history),
             restarts=restarts,
+            route_genes=route_genes,
         )
 
 

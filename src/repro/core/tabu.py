@@ -10,6 +10,12 @@ Neighbourhoods are scored through the incremental
 :class:`~repro.core.delta.DeltaEvaluator` by default (identical scores and
 evaluation counts, O(E * affected) per move); ``use_delta=False`` restores
 the full batched evaluation.
+
+With a routed evaluator (``routes > 1``) the sampled neighbourhood also
+covers the reroute moves of every multi-route CG edge
+(:meth:`~repro.core.evaluator.MappingEvaluator.moves_for`), and the tabu
+list keys reroute reversals on (gene slot, previous gene). At
+``routes == 1`` the move list, RNG draws and results are unchanged.
 """
 
 from __future__ import annotations
@@ -24,8 +30,7 @@ from repro.core.delta import (
     score_neighbourhood,
 )
 from repro.core.evaluator import MappingEvaluator
-from repro.core.mapping import random_assignment
-from repro.core.moves import apply_move, swap_moves
+from repro.core.moves import apply_move, reroute_moves, swap_moves
 from repro.core.result import OptimizationResult
 from repro.core.strategy import BestTracker, MappingStrategy
 from repro.errors import OptimizationError
@@ -63,6 +68,11 @@ class TabuSearch(MappingStrategy):
         third task where it is the primary); admissibility keys on the
         primary only, so it can still return as the partner of a third
         task's move. Each swap consumes two tenure slots.
+
+        A reroute move keys on (gene slot, current gene) — the same
+        shape, since gene slots (``n_tasks + edge``) never collide with
+        task indices — so undoing a route choice is tabu exactly like
+        undoing a relocation.
         """
         keys = [(move[0], int(current[move[0]]))]
         if move[2] >= 0:
@@ -77,7 +87,7 @@ class TabuSearch(MappingStrategy):
     ) -> OptimizationResult:
         tracker = BestTracker(evaluator)
         engine = delta_engine(evaluator, self._use_delta)
-        current = random_assignment(evaluator.n_tasks, evaluator.n_tiles, rng)
+        current = evaluator.random_vector(rng)
         current_score = incumbent_score(engine, evaluator, current)
         tracker.offer(current, current_score)
         tabu: deque = deque(maxlen=self.tenure)
@@ -90,7 +100,17 @@ class TabuSearch(MappingStrategy):
             tabu_set.add(key)
 
         while evaluator.evaluations < budget:
-            moves = swap_moves(current, evaluator.n_tiles)
+            # The mapping moves stay a module-level swap_moves call (a
+            # patchable seam); reroutes extend them when routed.
+            moves = swap_moves(
+                current[: evaluator.n_tasks], evaluator.n_tiles
+            )
+            if evaluator.routes > 1:
+                moves += reroute_moves(
+                    current,
+                    evaluator.n_tasks,
+                    evaluator.edge_menu_sizes(current),
+                )
             sample_size = min(
                 self.neighbourhood_size,
                 len(moves),

@@ -776,7 +776,10 @@ class RemoteTcpBackend(ExecutorBackend):
         self._fallback_backend: Optional[ExecutorBackend] = None
         self._ctx_id = hashlib.sha1(repr(key).encode()).hexdigest()[:16]
         model = CouplingModel.for_network(
-            problem.network, dtype=self.dtype, cache_dir=model_cache_dir
+            problem.network,
+            dtype=self.dtype,
+            cache_dir=model_cache_dir,
+            routes=getattr(problem, "routes", 1),
         )
         self.hub.register_context(
             self._ctx_id, problem, self.dtype, self.backend, model.export_arrays

@@ -122,6 +122,7 @@ def _hydrate(
     rfile,
     wfile,
     ctx_id: str,
+    routes: int = 1,
 ) -> str:
     """Materialize the coupling model for a cache key; returns the source.
 
@@ -130,12 +131,14 @@ def _hydrate(
     scheduler — a worker never burns CPU rebuilding a matrix the
     scheduler already holds.
     """
-    key = CouplingModel.cache_key(network, dtype)
+    key = CouplingModel.cache_key(network, dtype, routes=routes)
     if key in _coupling._CACHE:
         return "process"
     model = None
     if model_cache_dir:
-        model = CouplingModel.load_cached(network, dtype, model_cache_dir)
+        model = CouplingModel.load_cached(
+            network, dtype, model_cache_dir, routes=routes
+        )
     if model is not None:
         CouplingModel.register(key, model)
         return "disk"
@@ -248,7 +251,13 @@ def _serve_connection(
                 problem = wire.decode_payload(message["problem"])
                 dtype = np.dtype(message["dtype"])
                 source = _hydrate(
-                    problem.network, dtype, model_cache_dir, rfile, wfile, ctx_id
+                    problem.network,
+                    dtype,
+                    model_cache_dir,
+                    rfile,
+                    wfile,
+                    ctx_id,
+                    routes=getattr(problem, "routes", 1),
                 )
                 contexts[ctx_id] = _parallel.WorkerContext(
                     problem, dtype, message.get("backend", "dense")

@@ -243,6 +243,10 @@ class SharedModelSpec:
     resolving a ``backend="auto"`` evaluator against an attached model
     reads it instead of re-scanning the whole shared matrix
     (``np.count_nonzero`` over ~134 MB at 8x8, once per worker).
+
+    ``routes > 1`` marks a routed model: the pair axis is widened to
+    ``n_tiles**2 * routes`` slots (``slot = pair * routes + route``), and
+    the attached model scores joint mapping x routing candidates.
     """
 
     shm_name: str
@@ -252,10 +256,11 @@ class SharedModelSpec:
     with_transpose: bool
     csr_nnz: int = -1
     nnz: int = -1
+    routes: int = 1
 
     @property
     def n_pairs(self) -> int:
-        return self.n_tiles * self.n_tiles
+        return self.n_tiles * self.n_tiles * self.routes
 
     @property
     def with_csr(self) -> bool:
@@ -430,7 +435,29 @@ def _emissions_lookup(params):
     return emissions_of
 
 
-def _build_tables(network: PhotonicNoC) -> _BuildTables:
+def _slot_paths(network: PhotonicNoC, routes: int) -> List[tuple]:
+    """``(slot, path)`` pairs in slot-major build order.
+
+    With ``routes == 1`` the slots are exactly the legacy pair indices in
+    ``all_paths()`` iteration order, so the build stays bit-identical to
+    the single-route model. With ``routes > 1`` a pair's menu occupies
+    ``routes`` consecutive slots (``slot = pair * routes + r``); route
+    indices past the pair's menu size alias earlier plans, so every slot
+    holds a fully valid column.
+    """
+    n_tiles = network.topology.n_tiles
+    if routes == 1:
+        return [
+            (src * n_tiles + dst, path)
+            for (src, dst), path in network.all_paths().items()
+        ]
+    return [
+        ((src * n_tiles + dst) * routes + r, path)
+        for (src, dst, r), path in network.all_paths_routed(routes).items()
+    ]
+
+
+def _build_tables(network: PhotonicNoC, routes: int = 1) -> _BuildTables:
     """Flatten a network's paths and emission walks into build tables.
 
     Pure function of the network: the emission-channel walks are executed
@@ -438,13 +465,17 @@ def _build_tables(network: PhotonicNoC) -> _BuildTables:
     builder re-ran them once per aggressor traversal emitting into them),
     and the per-victim join/credit loops become lexsort-based
     first-encounter resolutions over the flattened entry/exit indices.
+
+    With ``routes > 1`` the same pipeline runs over the routed slot set
+    (:func:`_slot_paths`): victims and aggressors are routed slots, so
+    the matrix resolves the route axis of both sides of every coupling.
     """
     params = network.params
     elements = network.elements
     follow = network.wiring.get
-    paths = network.all_paths()
+    paths = _slot_paths(network, routes)
     n_tiles = network.topology.n_tiles
-    n_pairs = n_tiles * n_tiles
+    n_pairs = n_tiles * n_tiles * routes
 
     # Flatten every traversal of every path, in paths-iteration order —
     # the global traversal id doubles as the legacy index-append rank.
@@ -455,8 +486,7 @@ def _build_tables(network: PhotonicNoC) -> _BuildTables:
     trav_out_l: List[int] = []
     cum_in_parts: List[np.ndarray] = []
     cum_out_parts: List[np.ndarray] = []
-    for (src, dst), path in paths.items():
-        pair = src * n_tiles + dst
+    for pair, path in paths:
         pair_total[pair] = path.total_linear
         for step in path.traversals:
             trav_pair_l.append(pair)
@@ -504,8 +534,7 @@ def _build_tables(network: PhotonicNoC) -> _BuildTables:
     inst_pair_l: List[int] = []
     inst_base_l: List[float] = []
     inst_channel_l: List[int] = []
-    for (src, dst), path in paths.items():
-        pair = src * n_tiles + dst
+    for pair, path in paths:
         cum_in = path.cum_in_linear
         for index, step in enumerate(path.traversals):
             info = elements[step.element]
@@ -764,12 +793,18 @@ class CouplingModel:
         dtype=np.float64,
         build_workers: int = 1,
         builder: str = "vectorized",
+        routes: int = 1,
     ) -> None:
         global BUILD_COUNT
         BUILD_COUNT += 1
+        if routes < 1:
+            raise ModelError(f"routes must be >= 1, got {routes}")
+        if routes > 1 and builder == "legacy":
+            raise ModelError("the legacy builder only supports routes=1")
         self.network = network
         self.n_tiles = network.topology.n_tiles
-        self.n_pairs = self.n_tiles * self.n_tiles
+        self.routes = int(routes)
+        self.n_pairs = self.n_tiles * self.n_tiles * self.routes
         self.signal_linear = np.zeros(self.n_pairs, dtype=np.float64)
         self.insertion_loss_db = np.full(self.n_pairs, np.nan, dtype=np.float64)
         self.coupling_linear = np.zeros((self.n_pairs, self.n_pairs), dtype=dtype)
@@ -844,12 +879,22 @@ class CouplingModel:
     # -- indexing ----------------------------------------------------------------
 
     def pair_index(self, src_tile: int, dst_tile: int) -> int:
-        """Flat index of the ordered tile pair."""
-        return src_tile * self.n_tiles + dst_tile
+        """Flat slot index of the ordered tile pair's route-0 entry.
+
+        Routed models (``routes > 1``) lay a pair's menu out on
+        ``routes`` consecutive slots, so route ``r`` of the pair lives at
+        ``pair_index(src, dst) + r``. At ``routes == 1`` this is exactly
+        the legacy pair index.
+        """
+        if self.routes == 1:
+            return src_tile * self.n_tiles + dst_tile
+        return (src_tile * self.n_tiles + dst_tile) * self.routes
 
     def pair_indices(self, src_tiles: np.ndarray, dst_tiles: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`pair_index`."""
-        return src_tiles * self.n_tiles + dst_tiles
+        if self.routes == 1:
+            return src_tiles * self.n_tiles + dst_tiles
+        return (src_tiles * self.n_tiles + dst_tiles) * self.routes
 
     # -- construction --------------------------------------------------------------
 
@@ -862,12 +907,10 @@ class CouplingModel:
         the matrices are bit-identical to :meth:`_build_legacy`.
         """
         network = self.network
-        paths = network.all_paths()
-        for (src, dst), path in paths.items():
-            pair = self.pair_index(src, dst)
-            self.signal_linear[pair] = path.total_linear
-            self.insertion_loss_db[pair] = path.loss_db
-        tables = _build_tables(network)
+        for slot, path in _slot_paths(network, self.routes):
+            self.signal_linear[slot] = path.total_linear
+            self.insertion_loss_db[slot] = path.loss_db
+        tables = _build_tables(network, routes=self.routes)
         built = build_workers > 1 and self._build_sharded(tables, build_workers)
         if not built:
             self.coupling_linear.fill(0)
@@ -1066,12 +1109,15 @@ class CouplingModel:
         csr = self.csr() if with_csr else None
         spec = SharedModelSpec(
             shm_name="",
-            cache_key=self.cache_key(self.network, self.coupling_linear.dtype),
+            cache_key=self.cache_key(
+                self.network, self.coupling_linear.dtype, routes=self.routes
+            ),
             n_tiles=self.n_tiles,
             dtype=self.coupling_linear.dtype.name,
             with_transpose=bool(with_transpose),
             csr_nnz=csr.nnz if csr is not None else -1,
             nnz=self.nnz,
+            routes=self.routes,
         )
         layout, nbytes = spec._layout()
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
@@ -1083,6 +1129,7 @@ class CouplingModel:
             with_transpose=spec.with_transpose,
             csr_nnz=spec.csr_nnz,
             nnz=spec.nnz,
+            routes=spec.routes,
         )
         sources = {
             "signal_linear": self.signal_linear,
@@ -1142,6 +1189,7 @@ class CouplingModel:
         model = cls.__new__(cls)
         model.network = network
         model.n_tiles = spec.n_tiles
+        model.routes = spec.routes
         model.n_pairs = spec.n_pairs
         model._coupling_T = None
         model._csr = None
@@ -1179,9 +1227,17 @@ class CouplingModel:
     # -- caching ---------------------------------------------------------------------
 
     @staticmethod
-    def cache_key(network: PhotonicNoC, dtype) -> str:
-        """Process-cache key of the model for ``network`` at ``dtype``."""
-        return f"{network.signature}|{np.dtype(dtype).name}"
+    def cache_key(network: PhotonicNoC, dtype, routes: int = 1) -> str:
+        """Process-cache key of the model for ``network`` at ``dtype``.
+
+        Routed models (``routes > 1``) get a distinct key; single-route
+        keys are byte-identical to the pre-routing layout, so existing
+        cache entries stay valid.
+        """
+        key = f"{network.signature}|{np.dtype(dtype).name}"
+        if routes > 1:
+            key += f"|routes={int(routes)}"
+        return key
 
     @classmethod
     def register(cls, key: str, model: "CouplingModel") -> None:
@@ -1193,19 +1249,25 @@ class CouplingModel:
     _DISK_ARRAYS = ("signal_linear", "insertion_loss_db", "coupling_linear")
 
     @staticmethod
-    def disk_key(signature: str, dtype) -> str:
-        """On-disk cache entry name for ``(signature, dtype, MODEL_VERSION)``.
+    def disk_key(signature: str, dtype, routes: int = 1) -> str:
+        """On-disk cache entry name for ``(signature, routes, dtype, version)``.
 
         A hash, not the raw signature: signatures embed the full physical
         parameter table and overflow path-component limits on big
-        parameter sets.
+        parameter sets. ``routes == 1`` hashes the pre-routing text, so
+        existing single-route entries keep their names.
         """
         text = f"{signature}|{np.dtype(dtype).name}|v{MODEL_VERSION}"
+        if routes > 1:
+            text = (
+                f"{signature}|routes={int(routes)}"
+                f"|{np.dtype(dtype).name}|v{MODEL_VERSION}"
+            )
         return hashlib.sha1(text.encode()).hexdigest()
 
     @classmethod
     def load_cached(
-        cls, network: PhotonicNoC, dtype, cache_dir: str
+        cls, network: PhotonicNoC, dtype, cache_dir: str, routes: int = 1
     ) -> Optional["CouplingModel"]:
         """Load a model from the on-disk cache, or ``None`` on any miss.
 
@@ -1216,7 +1278,7 @@ class CouplingModel:
         caller rebuilds; the cache can only ever be a fast path.
         """
         entry = os.path.join(
-            str(cache_dir), cls.disk_key(network.signature, dtype)
+            str(cache_dir), cls.disk_key(network.signature, dtype, routes=routes)
         )
         try:
             with open(os.path.join(entry, "meta.json")) as handle:
@@ -1225,6 +1287,7 @@ class CouplingModel:
                 meta.get("signature") != network.signature
                 or meta.get("dtype") != np.dtype(dtype).name
                 or meta.get("model_version") != MODEL_VERSION
+                or int(meta.get("routes", 1)) != int(routes)
             ):
                 return None
             arrays = {
@@ -1234,7 +1297,7 @@ class CouplingModel:
                 for name in cls._DISK_ARRAYS
             }
             n_tiles = network.topology.n_tiles
-            n_pairs = n_tiles * n_tiles
+            n_pairs = n_tiles * n_tiles * int(routes)
             if (
                 arrays["signal_linear"].shape != (n_pairs,)
                 or arrays["insertion_loss_db"].shape != (n_pairs,)
@@ -1245,6 +1308,7 @@ class CouplingModel:
             model = cls.__new__(cls)
             model.network = network
             model.n_tiles = n_tiles
+            model.routes = int(routes)
             model.n_pairs = n_pairs
             model.signal_linear = arrays["signal_linear"]
             model.insertion_loss_db = arrays["insertion_loss_db"]
@@ -1271,7 +1335,12 @@ class CouplingModel:
         """
         directory = str(cache_dir)
         entry = os.path.join(
-            directory, self.disk_key(self.network.signature, self.coupling_linear.dtype)
+            directory,
+            self.disk_key(
+                self.network.signature,
+                self.coupling_linear.dtype,
+                routes=self.routes,
+            ),
         )
         tmp = f"{entry}.tmp.{os.getpid()}"
         try:
@@ -1286,6 +1355,7 @@ class CouplingModel:
                 "dtype": self.coupling_linear.dtype.name,
                 "model_version": MODEL_VERSION,
                 "n_tiles": self.n_tiles,
+                "routes": self.routes,
                 "nnz": self.nnz,
             }
             with open(os.path.join(tmp, "meta.json"), "w") as handle:
@@ -1318,22 +1388,26 @@ class CouplingModel:
             for name in self._DISK_ARRAYS
         }
         payload["nnz"] = self.nnz
+        payload["routes"] = self.routes
         return payload
 
     @classmethod
     def from_arrays(cls, network: PhotonicNoC, payload: dict) -> "CouplingModel":
         """Rebuild a model from an :meth:`export_arrays` payload."""
         n_tiles = network.topology.n_tiles
-        n_pairs = n_tiles * n_tiles
+        routes = int(payload.get("routes", 1))
+        n_pairs = n_tiles * n_tiles * routes
         coupling = np.asarray(payload["coupling_linear"])
         if coupling.shape != (n_pairs, n_pairs):
             raise ModelError(
                 f"streamed coupling matrix has shape {coupling.shape}, "
-                f"expected {(n_pairs, n_pairs)} for {network.signature!r}"
+                f"expected {(n_pairs, n_pairs)} for {network.signature!r} "
+                f"at routes={routes}"
             )
         model = cls.__new__(cls)
         model.network = network
         model.n_tiles = n_tiles
+        model.routes = routes
         model.n_pairs = n_pairs
         model.signal_linear = np.asarray(payload["signal_linear"])
         model.insertion_loss_db = np.asarray(payload["insertion_loss_db"])
@@ -1353,6 +1427,7 @@ class CouplingModel:
         use_cache: bool = True,
         cache_dir: Optional[str] = None,
         build_workers: int = 1,
+        routes: int = 1,
     ) -> "CouplingModel":
         """Build (or fetch from a cache) the model for a network.
 
@@ -1363,7 +1438,7 @@ class CouplingModel:
         processes when more than one — which is persisted back to the
         disk cache best-effort. Every path yields bit-identical matrices.
         """
-        key = cls.cache_key(network, dtype)
+        key = cls.cache_key(network, dtype, routes=routes)
         if use_cache:
             cached = _CACHE.get(key)
             if cached is not None:
@@ -1371,9 +1446,11 @@ class CouplingModel:
         directory = cache_dir if cache_dir is not None else get_model_cache_dir()
         model = None
         if directory:
-            model = cls.load_cached(network, dtype, directory)
+            model = cls.load_cached(network, dtype, directory, routes=routes)
         if model is None:
-            model = cls(network, dtype=dtype, build_workers=build_workers)
+            model = cls(
+                network, dtype=dtype, build_workers=build_workers, routes=routes
+            )
             if directory:
                 model.save_cached(directory)
         if use_cache:

@@ -13,12 +13,21 @@ they visit the same physical element instance.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.noc.floorplan import Floorplan
 from repro.noc.paths import NetworkPath, Traversal
-from repro.noc.routing import GATEWAY, RoutingAlgorithm, XYRouting
+from repro.noc.routing import (
+    GATEWAY,
+    KPathRouting,
+    RouteSet,
+    RoutingAlgorithm,
+    XYRouting,
+    walk_plan,
+)
 from repro.noc.topology import GridTopology
 from repro.photonics.elements import (
     WG_IN,
@@ -90,6 +99,9 @@ class PhotonicNoC:
         self.wiring: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self._link_gid: Dict[Tuple[int, str], int] = {}
         self._paths: Dict[Tuple[int, int], NetworkPath] = {}
+        self._routed_paths: Dict[Tuple[int, int, Tuple[str, ...]], NetworkPath] = {}
+        self._route_sets: Dict[int, Dict[Tuple[int, int], RouteSet]] = {}
+        self._turn_keys: Optional[set] = None
         self._assemble()
 
     # -- assembly --------------------------------------------------------------
@@ -189,11 +201,86 @@ class PhotonicNoC:
                     self.path(src, dst)
         return dict(self._paths)
 
-    def _elaborate(self, src: int, dst: int) -> NetworkPath:
+    # -- route menus (joint mapping x routing search) --------------------------
+
+    def _turn_legal(self, in_dir: str, out_dir: str) -> bool:
+        """Whether this network's router provides the ``in -> out`` turn."""
+        if self._turn_keys is None:
+            self._turn_keys = set(self.router_spec.connections().keys())
+        in_name = "L_in" if in_dir == GATEWAY else f"{in_dir}_in"
+        out_name = "L_out" if out_dir == GATEWAY else f"{out_dir}_out"
+        return (in_name, out_name) in self._turn_keys
+
+    def route_set(self, src: int, dst: int, k: int) -> RouteSet:
+        """The pair's route menu: up to ``k`` minimal-hop router-legal plans.
+
+        Route 0 is always this network's configured routing plan, so a
+        ``k=1`` menu reproduces the single implicit route exactly. Menus
+        are cached per ``k``.
+        """
+        per_k = self._route_sets.setdefault(int(k), {})
+        cached = per_k.get((src, dst))
+        if cached is None:
+            enumerator = KPathRouting(k, base=self.routing)
+            cached = enumerator.route_set(
+                self.topology, src, dst, turn_legal=self._turn_legal
+            )
+            per_k[(src, dst)] = cached
+        return cached
+
+    def route_counts(self, k: int) -> np.ndarray:
+        """Per-pair menu sizes, shape ``(n_tiles**2,)`` (1 on the diagonal)."""
+        n = self.topology.n_tiles
+        counts = np.ones(n * n, dtype=np.int64)
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    counts[src * n + dst] = self.route_set(src, dst, k).n_routes
+        return counts
+
+    def routed_path(self, src: int, dst: int, route: int, k: int) -> NetworkPath:
+        """The elaborated path of route ``route`` of the pair's ``k``-menu.
+
+        Route indices wrap modulo the pair's menu size, so a stale route
+        gene is always well-defined. Route 0 (and any index wrapping to
+        it) is byte-for-byte the pair's base :meth:`path`.
+        """
+        plan = self.route_set(src, dst, k).plan(route)
+        if route % self.route_set(src, dst, k).n_routes == 0:
+            return self.path(src, dst)
+        key = (src, dst, plan)
+        cached = self._routed_paths.get(key)
+        if cached is None:
+            cached = self._elaborate(src, dst, plan=plan)
+            self._routed_paths[key] = cached
+        return cached
+
+    def all_paths_routed(
+        self, k: int
+    ) -> Dict[Tuple[int, int, int], NetworkPath]:
+        """Routed paths for every (src, dst, route < k) slot, slot-major."""
+        n = self.topology.n_tiles
+        out: Dict[Tuple[int, int, int], NetworkPath] = {}
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                for route in range(k):
+                    out[(src, dst, route)] = self.routed_path(src, dst, route, k)
+        return out
+
+    def _elaborate(
+        self, src: int, dst: int, plan: Optional[Sequence[str]] = None
+    ) -> NetworkPath:
         spec = self.router_spec
         local_count = self._local_count
         params = self.params
-        hops = self.routing.route(self.topology, src, dst)
+        if plan is None:
+            hops = self.routing.route(self.topology, src, dst)
+        else:
+            hops = walk_plan(
+                self.topology, src, dst, plan, label="route plan"
+            )
         traversals: List[Traversal] = []
         losses: List[float] = []
 

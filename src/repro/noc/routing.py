@@ -16,17 +16,33 @@ Provided algorithms:
 Both work on meshes and on tori; on a torus each dimension independently
 takes the shorter way around, preferring the positive (E/N) direction on
 ties.
+
+For joint mapping x routing search, :class:`KPathRouting` enumerates, per
+(src, dst) pair, up to ``k`` minimal-hop router-legal direction plans
+(dimension-order XY and YX plans are members when legal; ties broken
+deterministically by direction lexicographic order), packaged as a
+:class:`RouteSet` — the per-pair route menu replacing the single implicit
+route.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError
 from repro.noc.topology import GridTopology, opposite_direction
 
-__all__ = ["Hop", "RoutingAlgorithm", "XYRouting", "YXRouting", "GATEWAY"]
+__all__ = [
+    "Hop",
+    "RoutingAlgorithm",
+    "XYRouting",
+    "YXRouting",
+    "KPathRouting",
+    "RouteSet",
+    "walk_plan",
+    "GATEWAY",
+]
 
 #: Port symbol for the local gateway (injection at the source, ejection at
 #: the destination).
@@ -40,6 +56,46 @@ class Hop:
     tile: int
     in_dir: str
     out_dir: str
+
+
+def walk_plan(
+    topology: GridTopology,
+    src: int,
+    dst: int,
+    directions: Sequence[str],
+    label: str = "plan",
+) -> List[Hop]:
+    """Walk a direction plan into a gateway-to-gateway hop list.
+
+    The plan is validated against ``topology.link`` *before* walking, so a
+    plan that steps off the grid (or through a missing link) fails with the
+    offending step, the full plan and the topology signature in the message
+    rather than an anonymous mid-walk :class:`~repro.errors.TopologyError`.
+    """
+    probe = src
+    for step, direction in enumerate(directions):
+        if not topology.has_link(probe, direction):
+            raise RoutingError(
+                f"{label} {list(directions)!r} for {src}->{dst} leaves tile "
+                f"{probe} through {direction!r} (step {step}), which has no "
+                f"link on {topology.signature}"
+            )
+        probe = topology.link(probe, direction).dst
+    hops: List[Hop] = []
+    current = src
+    in_dir = GATEWAY
+    for direction in directions:
+        link = topology.link(current, direction)
+        hops.append(Hop(current, in_dir, direction))
+        in_dir = link.in_dir
+        current = link.dst
+    hops.append(Hop(current, in_dir, GATEWAY))
+    if current != dst:
+        raise RoutingError(
+            f"{label} ended at tile {current}, expected {dst} "
+            f"(plan {list(directions)!r} on {topology.signature})"
+        )
+    return hops
 
 
 class RoutingAlgorithm:
@@ -63,20 +119,9 @@ class RoutingAlgorithm:
                     f"tile {tile} outside topology {topology.signature}"
                 )
         directions = self.direction_plan(topology, src, dst)
-        hops: List[Hop] = []
-        current = src
-        in_dir = GATEWAY
-        for direction in directions:
-            link = topology.link(current, direction)
-            hops.append(Hop(current, in_dir, direction))
-            in_dir = link.in_dir
-            current = link.dst
-        hops.append(Hop(current, in_dir, GATEWAY))
-        if current != dst:
-            raise RoutingError(
-                f"{self.name} routing ended at tile {current}, expected {dst}"
-            )
-        return hops
+        return walk_plan(
+            topology, src, dst, directions, label=f"{self.name} routing"
+        )
 
 
 def _dimension_steps(src_coord: int, dst_coord: int, size: int,
@@ -131,3 +176,174 @@ class YXRouting(RoutingAlgorithm):
             src_col, dst_col, topology.cols, topology.wraparound, "E", "W"
         )
         return steps
+
+
+# -- k-path enumeration ---------------------------------------------------------
+
+#: A turn predicate: ``legal(in_dir, out_dir)`` with :data:`GATEWAY` at the
+#: endpoints; used to restrict enumerated plans to turns the router provides.
+TurnPredicate = Callable[[str, str], bool]
+
+
+@dataclass(frozen=True)
+class RouteSet:
+    """The route menu of one (src, dst) pair.
+
+    ``plans[0]`` is always the pair's *base* plan — the plan of the
+    network's configured routing algorithm — so route index 0 reproduces
+    today's single-route behaviour exactly. The remaining plans are the
+    next minimal-hop router-legal alternatives in direction-lexicographic
+    order.
+    """
+
+    src: int
+    dst: int
+    plans: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def n_routes(self) -> int:
+        """How many distinct legal plans this pair offers (>= 1)."""
+        return len(self.plans)
+
+    def plan(self, route: int) -> Tuple[str, ...]:
+        """The plan of route ``route``; indices wrap modulo the menu size."""
+        return self.plans[route % len(self.plans)]
+
+
+def _dimension_options(src_coord: int, dst_coord: int, size: int,
+                       wraparound: bool, positive: str,
+                       negative: str) -> List[Tuple[str, int]]:
+    """Minimal-hop (direction, count) candidates for one grid dimension.
+
+    Mirrors :func:`_dimension_steps`, but on a torus tie (forward ==
+    backward) *both* wrap directions are returned — that is exactly where
+    the route menu grows beyond dimension-order.
+    """
+    if src_coord == dst_coord:
+        return []
+    if not wraparound:
+        if dst_coord > src_coord:
+            return [(positive, dst_coord - src_coord)]
+        return [(negative, src_coord - dst_coord)]
+    forward = (dst_coord - src_coord) % size
+    backward = size - forward
+    options = []
+    if forward <= backward:
+        options.append((positive, forward))
+    if backward <= forward:
+        options.append((negative, backward))
+    return options
+
+
+def _minimal_plans(
+    topology: GridTopology,
+    src: int,
+    dst: int,
+    limit: int,
+    turn_legal: TurnPredicate,
+) -> List[Tuple[str, ...]]:
+    """Up to ``limit`` minimal-hop legal plans, in lexicographic order.
+
+    A minimal plan interleaves one per-dimension step multiset (each
+    dimension moving monotonically the short way; torus ties contribute
+    both wrap directions). The depth-first expansion tries directions in
+    sorted order, so plans surface lexicographically and the search stops
+    as soon as ``limit`` plans are found. Turn legality is checked on
+    every consecutive direction pair (gateway turns included), pruning
+    illegal prefixes early.
+    """
+    if src == dst or limit <= 0:
+        return []
+    src_row, src_col = topology.tile_coords(src)
+    dst_row, dst_col = topology.tile_coords(dst)
+    col_options = _dimension_options(
+        src_col, dst_col, topology.cols, topology.wraparound, "E", "W"
+    )
+    row_options = _dimension_options(
+        src_row, dst_row, topology.rows, topology.wraparound, "N", "S"
+    )
+    found: List[Tuple[str, ...]] = []
+    plan: List[str] = []
+
+    def extend(prev_in: str, col, row) -> None:
+        # col/row: None = dimension resolved; ("?", options) = wrap
+        # direction not yet picked; (direction, remaining) = committed.
+        if len(found) >= limit:
+            return
+        if col is None and row is None:
+            if turn_legal(prev_in, GATEWAY):
+                found.append(tuple(plan))
+            return
+        branches = []
+        for axis, state in (("col", col), ("row", row)):
+            if state is None:
+                continue
+            if state[0] == "?":
+                for direction, count in state[1]:
+                    branches.append((direction, axis, count))
+            else:
+                branches.append((state[0], axis, state[1]))
+        for direction, axis, count in sorted(branches):
+            if not turn_legal(prev_in, direction):
+                continue
+            nxt = (direction, count - 1) if count > 1 else None
+            plan.append(direction)
+            if axis == "col":
+                extend(opposite_direction(direction), nxt, row)
+            else:
+                extend(opposite_direction(direction), col, nxt)
+            plan.pop()
+
+    extend(
+        GATEWAY,
+        ("?", col_options) if col_options else None,
+        ("?", row_options) if row_options else None,
+    )
+    return found
+
+
+class KPathRouting(RoutingAlgorithm):
+    """Enumerator of the k shortest router-legal plans per (src, dst) pair.
+
+    Route 0 is always the ``base`` algorithm's plan (default
+    :class:`XYRouting`), so a k=1 menu is exactly today's single implicit
+    route; routes 1..k-1 are the remaining minimal-hop legal plans in
+    direction-lexicographic order. As a :class:`RoutingAlgorithm` it
+    routes along the base plan, so it can stand in anywhere a single
+    route is expected.
+    """
+
+    def __init__(self, k: int, base: Optional[RoutingAlgorithm] = None):
+        if k < 1:
+            raise RoutingError(f"k-path routing needs k >= 1, got {k}")
+        self.k = int(k)
+        self.base = base if base is not None else XYRouting()
+        self.name = f"kpath{self.k}({self.base.name})"
+
+    def direction_plan(
+        self, topology: GridTopology, src: int, dst: int
+    ) -> List[str]:
+        """The base (route 0) plan."""
+        return self.base.direction_plan(topology, src, dst)
+
+    def route_set(
+        self,
+        topology: GridTopology,
+        src: int,
+        dst: int,
+        turn_legal: Optional[TurnPredicate] = None,
+    ) -> RouteSet:
+        """The pair's route menu: base plan first, then lex-order extras."""
+        if src == dst:
+            raise RoutingError(f"cannot route a tile to itself (tile {src})")
+        legal = turn_legal if turn_legal is not None else (lambda i, o: True)
+        base_plan = tuple(self.base.direction_plan(topology, src, dst))
+        plans = [base_plan]
+        if self.k > 1:
+            for candidate in _minimal_plans(topology, src, dst, self.k, legal):
+                if candidate == base_plan:
+                    continue
+                plans.append(candidate)
+                if len(plans) == self.k:
+                    break
+        return RouteSet(src, dst, tuple(plans))

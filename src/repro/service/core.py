@@ -30,7 +30,6 @@ import numpy as np
 
 from repro.core import parallel as _parallel
 from repro.core.evaluator import MappingEvaluator
-from repro.core.mapping import random_assignment_batch
 from repro.core.pool import pool_key
 from repro.core.registry import create_strategy
 from repro.core.result import OptimizationResult
@@ -93,6 +92,10 @@ class ServiceCore:
         :func:`repro.core.executor.worker_loss_policy`). Set for the
         whole process while this core is open, restored on
         :meth:`close`.
+    default_routes : int, optional
+        Route-menu size applied to requests that carry no ``routes``
+        field (default 1: mapping-only, bit-identical to the pre-routing
+        daemon). Requests may always set their own ``routes``.
     """
 
     def __init__(
@@ -103,6 +106,7 @@ class ServiceCore:
         coalesce_window_s: float = 0.004,
         executor: str = "local",
         on_worker_loss: Optional[str] = None,
+        default_routes: int = 1,
     ) -> None:
         from repro.core.executor import (
             parse_executor_spec,
@@ -119,6 +123,7 @@ class ServiceCore:
         self._policy_set = on_worker_loss is not None
         self.on_worker_loss = worker_loss_policy(on_worker_loss)
         self.n_workers = max(1, int(n_workers))
+        self.default_routes = max(1, int(default_routes))
         self.model_cache_dir = model_cache_dir
         self.limits = limits if limits is not None else ServiceLimits()
         self.coalesce_window_s = float(coalesce_window_s)
@@ -161,7 +166,7 @@ class ServiceCore:
             becomes a structured error response.
         """
         try:
-            request = parse_request(payload)
+            request = parse_request(payload, default_routes=self.default_routes)
         except ServiceError as error:
             return error_response(error)
         if request.kind == "stats":
@@ -316,6 +321,7 @@ class ServiceCore:
                     "dtype": str(np.dtype(request.dtype).name),
                     "backend": evaluator.backend,
                     "variation": problem.variation_fingerprint,
+                    "routes": problem.routes,
                 }
             evaluator.coalescer = coalescer
         return evaluator
@@ -400,16 +406,15 @@ class ServiceCore:
                     kind="over_budget",
                 )
             rng = np.random.default_rng(request.seed)
-            assignments = random_assignment_batch(
-                request.n_random, evaluator.n_tasks, evaluator.n_tiles, rng
-            )
+            assignments = evaluator.random_vector_batch(request.n_random, rng)
         if assignments.shape[0] > self.limits.max_mappings:
             raise ServiceError(
                 f"{assignments.shape[0]} mappings exceed the per-request "
                 f"cap {self.limits.max_mappings}",
                 kind="over_budget",
             )
-        if assignments.min() < 0 or assignments.max() >= problem.n_tiles:
+        heads = assignments[:, : problem.cg.n_tasks]
+        if heads.min() < 0 or heads.max() >= problem.n_tiles:
             raise ServiceError(
                 f"mapping rows must name tiles in [0, {problem.n_tiles})",
                 kind="infeasible",
@@ -457,6 +462,7 @@ class ServiceCore:
             "on_worker_loss": self.on_worker_loss,
             "degraded": executors["totals"]["degraded"],
             "n_workers": self.n_workers,
+            "default_routes": self.default_routes,
             "model_cache_dir": self.model_cache_dir,
             "limits": {
                 "max_inflight": self.limits.max_inflight,
@@ -486,6 +492,8 @@ def _serialize_result(result: OptimizationResult, problem) -> dict:
         "mean_snr_db": float(metrics.mean_snr_db),
         "weighted_loss_db": float(metrics.weighted_loss_db),
     }
+    if result.route_genes is not None:
+        body["route_genes"] = [int(g) for g in result.route_genes]
     if metrics.laser_power_db is not None:
         body["laser_power_db"] = float(metrics.laser_power_db)
     if metrics.robust_snr_db is not None:

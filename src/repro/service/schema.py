@@ -18,6 +18,12 @@ A request is one JSON object. Common fields:
 ``seed``
     Integer or null. Responses are **bit-identical to the equivalent
     offline run with the same seed** (see ``docs/ARCHITECTURE.md``).
+``routes``
+    Per-pair route-menu size ``k`` (default 1). ``k > 1`` widens the
+    design space to joint mapping x routing: optimize searches route
+    genes alongside placements, and evaluate accepts design vectors
+    widened by one gene per CG edge. ``routes: 1`` requests are
+    bit-identical to requests without the field.
 
 Kind-specific fields: ``optimize`` takes ``strategy`` / ``budget`` /
 ``objective`` / ``use_delta``; ``distribution`` takes ``samples`` /
@@ -99,6 +105,7 @@ class ServiceRequest:
     dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
     backend: str = "auto"
     seed: Optional[int] = None
+    routes: int = 1
     # optimize
     strategy: str = "r-pbla"
     budget: int = 20_000
@@ -121,7 +128,11 @@ class ServiceRequest:
         """The mapping problem this request describes."""
         try:
             return MappingProblem(
-                self.cg, self.network(), self.objective, variation=self.variation
+                self.cg,
+                self.network(),
+                self.objective,
+                variation=self.variation,
+                routes=self.routes,
             )
         except ReproError as error:
             raise ServiceError(str(error), status=400, kind="infeasible") from None
@@ -148,8 +159,14 @@ def _parse_cg(payload: dict) -> CommunicationGraph:
         raise ServiceError(f"invalid inline CG: {error}") from None
 
 
-def parse_request(payload: object) -> ServiceRequest:
+def parse_request(
+    payload: object, default_routes: int = 1
+) -> ServiceRequest:
     """Validate one decoded JSON payload into a :class:`ServiceRequest`.
+
+    ``default_routes`` is the menu size applied when the request has no
+    ``routes`` field (the daemon's ``--routes`` flag); an explicit field
+    always wins.
 
     Raises
     ------
@@ -191,6 +208,7 @@ def parse_request(payload: object) -> ServiceRequest:
         f"got {request.backend!r}",
     )
     request.seed = _int_field(payload, "seed", None, minimum=0)
+    request.routes = _int_field(payload, "routes", default_routes, minimum=1)
 
     objective = payload.get("objective", "snr")
     try:
@@ -219,7 +237,9 @@ def parse_request(payload: object) -> ServiceRequest:
     elif kind == "evaluate":
         mappings = payload.get("mappings")
         if mappings is not None:
-            request.assignments = _parse_assignments(mappings, request.cg)
+            request.assignments = _parse_assignments(
+                mappings, request.cg, request.routes
+            )
         else:
             request.n_random = _int_field(payload, "n_random", 1)
     return request
@@ -260,9 +280,15 @@ def _parse_variation(payload: dict) -> Optional[VariationSpec]:
 
 
 def _parse_assignments(
-    mappings: object, cg: CommunicationGraph
+    mappings: object, cg: CommunicationGraph, routes: int = 1
 ) -> np.ndarray:
-    """Coerce explicit mapping rows to an (M, n_tasks) int array."""
+    """Coerce explicit mapping rows to an (M, width) int array.
+
+    Plain rows list ``n_tasks`` tile indices. With ``routes > 1`` rows
+    may instead be full design vectors — ``n_tasks`` tiles followed by
+    one route gene per CG edge, each gene in ``[0, routes)``; plain rows
+    stay accepted (the evaluator pads zero genes, i.e. base routes).
+    """
     try:
         assignments = np.asarray(mappings, dtype=np.int64)
     except (TypeError, ValueError):
@@ -270,12 +296,25 @@ def _parse_assignments(
             "field 'mappings' must be a list of integer assignment rows"
         ) from None
     assignments = np.atleast_2d(assignments)
-    _require(
-        assignments.ndim == 2 and assignments.shape[1] == cg.n_tasks,
-        f"each mapping row must list {cg.n_tasks} tile indices "
-        f"(one per task of {cg.name!r})",
+    widths = (
+        (cg.n_tasks,) if routes == 1 else (cg.n_tasks, cg.n_tasks + cg.n_edges)
     )
-    for row in assignments:
+    _require(
+        assignments.ndim == 2 and assignments.shape[1] in widths,
+        f"each mapping row must list {cg.n_tasks} tile indices "
+        f"(one per task of {cg.name!r})"
+        + (
+            f", optionally followed by {cg.n_edges} route genes"
+            if routes > 1
+            else ""
+        ),
+    )
+    genes = assignments[:, cg.n_tasks:]
+    _require(
+        genes.size == 0 or (genes.min() >= 0 and genes.max() < routes),
+        f"route genes must lie in [0, {routes})",
+    )
+    for row in assignments[:, : cg.n_tasks]:
         _require(
             len(np.unique(row)) == len(row),
             "mapping rows must assign distinct tiles (injective mapping)",

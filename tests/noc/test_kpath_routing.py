@@ -1,0 +1,147 @@
+"""KPathRouting enumeration and network route-menu tests.
+
+The joint mapping x routing search stands on three properties pinned
+here: route 0 is byte-for-byte the base (configured) route, menus are
+deterministic (direction-lexicographic extras), and only router-legal
+plans are enumerated — on a Crux mesh the menu never grows, while torus
+wrap ties are exactly where k > 1 buys new routes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.noc import XYRouting, YXRouting, mesh, torus
+from repro.noc.routing import KPathRouting, RouteSet
+
+
+def free_turns(in_dir: str, out_dir: str) -> bool:
+    return True
+
+
+class TestKPathEnumeration:
+    def test_k_below_one_rejected(self):
+        with pytest.raises(RoutingError):
+            KPathRouting(0)
+
+    def test_self_route_rejected(self):
+        with pytest.raises(RoutingError):
+            KPathRouting(2).route_set(mesh(3, 3), 4, 4)
+
+    def test_route_zero_is_base_plan(self):
+        topology = torus(4, 4)
+        for base in (XYRouting(), YXRouting()):
+            routes = KPathRouting(3, base=base).route_set(
+                topology, 0, 10, turn_legal=free_turns
+            )
+            assert routes.plans[0] == tuple(
+                base.direction_plan(topology, 0, 10)
+            )
+
+    def test_k1_menu_is_single_base_plan(self):
+        topology = torus(4, 4)
+        routes = KPathRouting(1).route_set(topology, 0, 10, turn_legal=free_turns)
+        assert routes.n_routes == 1
+        assert routes.plans == (tuple(XYRouting().direction_plan(topology, 0, 10)),)
+
+    def test_mesh_single_minimal_interleaving_order(self):
+        # On a mesh the step multiset is fixed; extras are the other
+        # interleavings of the same steps, lexicographically ordered.
+        topology = mesh(3, 3)
+        routes = KPathRouting(6).route_set(topology, 0, 4, turn_legal=free_turns)
+        assert routes.plans[0] == ("E", "N")  # XY base
+        assert routes.plans[1:] == (("N", "E"),)  # the only other plan
+
+    def test_torus_tie_contributes_both_wrap_directions(self):
+        # Same row, half-ring distance: E,E and W,W are both minimal.
+        topology = torus(4, 4)
+        routes = KPathRouting(4).route_set(topology, 0, 2, turn_legal=free_turns)
+        assert routes.plans[0] == ("E", "E")
+        assert ("W", "W") in routes.plans
+
+    def test_extras_in_lexicographic_order(self):
+        topology = torus(4, 4)
+        routes = KPathRouting(16).route_set(topology, 0, 10, turn_legal=free_turns)
+        extras = [p for p in routes.plans[1:]]
+        assert extras == sorted(extras)
+
+    def test_base_plan_never_duplicated(self):
+        topology = torus(4, 4)
+        routes = KPathRouting(16).route_set(topology, 0, 10, turn_legal=free_turns)
+        assert len(set(routes.plans)) == routes.n_routes
+
+    def test_menu_capped_at_k(self):
+        topology = torus(4, 4)
+        for k in (1, 2, 3):
+            routes = KPathRouting(k).route_set(
+                topology, 0, 10, turn_legal=free_turns
+            )
+            assert routes.n_routes <= k
+
+    def test_all_plans_minimal_hop(self):
+        topology = torus(4, 4)
+        base_length = len(XYRouting().direction_plan(topology, 0, 10))
+        routes = KPathRouting(8).route_set(topology, 0, 10, turn_legal=free_turns)
+        assert all(len(plan) == base_length for plan in routes.plans)
+
+    def test_turn_predicate_prunes_plans(self):
+        # Only X-then-Y turns (Crux-like): the N,E interleaving is gone.
+        def x_then_y(in_dir, out_dir):
+            return not (in_dir in ("N", "S") and out_dir in ("E", "W"))
+
+        routes = KPathRouting(6).route_set(mesh(3, 3), 0, 4, turn_legal=x_then_y)
+        assert routes.plans == (("E", "N"),)
+
+    def test_plan_wraps_modulo_menu(self):
+        routes = RouteSet(0, 2, (("E", "E"), ("W", "W")))
+        assert routes.plan(0) == ("E", "E")
+        assert routes.plan(1) == ("W", "W")
+        assert routes.plan(2) == ("E", "E")
+        assert routes.plan(5) == ("W", "W")
+
+
+class TestNetworkRouteMenus:
+    def test_crux_mesh_menus_never_grow(self, mesh4_network):
+        # Crux provides only X-then-Y turns: a mesh pair has exactly one
+        # legal minimal plan, so k > 1 is a no-op on meshes.
+        counts = mesh4_network.route_counts(3)
+        assert counts.shape == (16 * 16,)
+        assert np.all(counts == 1)
+
+    def test_crux_torus_ties_grow_menus(self, torus4_network):
+        counts = torus4_network.route_counts(3)
+        assert counts.max() > 1
+        assert counts.max() <= 3
+        diagonal = counts.reshape(16, 16).diagonal()
+        assert np.all(diagonal == 1)
+
+    def test_route_zero_is_the_base_path_object(self, torus4_network):
+        assert torus4_network.routed_path(0, 2, 0, 3) is torus4_network.path(0, 2)
+
+    def test_route_index_wraps_modulo_menu(self, torus4_network):
+        menu = torus4_network.route_set(0, 2, 3).n_routes
+        wrapped = torus4_network.routed_path(0, 2, menu, 3)
+        assert wrapped is torus4_network.path(0, 2)
+
+    def test_routed_paths_differ_in_traversals(self, torus4_network):
+        counts = torus4_network.route_counts(3).reshape(16, 16)
+        src, dst = np.argwhere(counts > 1)[0]
+        base = torus4_network.routed_path(int(src), int(dst), 0, 3)
+        alt = torus4_network.routed_path(int(src), int(dst), 1, 3)
+        base_ids = [t.element for t in base.traversals]
+        alt_ids = [t.element for t in alt.traversals]
+        assert base_ids != alt_ids
+
+    def test_all_paths_routed_covers_every_slot(self, torus4_network):
+        paths = torus4_network.all_paths_routed(2)
+        expected = {
+            (src, dst, route)
+            for src in range(16)
+            for dst in range(16)
+            if src != dst
+            for route in range(2)
+        }
+        assert set(paths) == expected
+        for (src, dst, route), path in paths.items():
+            if route == 0:
+                assert path is torus4_network.path(src, dst)

@@ -107,3 +107,66 @@ class TestXYOnTorus:
         hops = XYRouting().route(torus(5, 5), src, dst)
         assert hops[-1].tile == dst
         assert hops[0].tile == src
+
+
+class TestTorusTieBreaking:
+    """Even tori make forward and backward ring distances equal, so the
+    documented "prefer the positive (E/N) direction on ties" rule is the
+    only thing deciding the hop sequence — pin it for XY and YX alike."""
+
+    @pytest.mark.parametrize("side", [4, 6])
+    @pytest.mark.parametrize("routing_cls", [XYRouting, YXRouting])
+    def test_half_ring_x_tie_prefers_east(self, side, routing_cls):
+        topology = torus(side, side)
+        half = side // 2
+        for row in range(side):
+            src = row * side
+            dst = row * side + half
+            hops = routing_cls().route(topology, src, dst)
+            assert [h.out_dir for h in hops[:-1]] == ["E"] * half
+
+    @pytest.mark.parametrize("side", [4, 6])
+    @pytest.mark.parametrize("routing_cls", [XYRouting, YXRouting])
+    def test_half_ring_y_tie_prefers_north(self, side, routing_cls):
+        topology = torus(side, side)
+        half = side // 2
+        for col in range(side):
+            src = col
+            dst = half * side + col
+            hops = routing_cls().route(topology, src, dst)
+            assert [h.out_dir for h in hops[:-1]] == ["N"] * half
+
+    @pytest.mark.parametrize("side", [4, 6])
+    def test_diagonal_tie_uses_positive_in_both_dimensions(self, side):
+        topology = torus(side, side)
+        half = side // 2
+        src = 0
+        dst = half * side + half  # a tie in x and in y simultaneously
+        xy = XYRouting().route(topology, src, dst)
+        yx = YXRouting().route(topology, src, dst)
+        assert [h.out_dir for h in xy[:-1]] == ["E"] * half + ["N"] * half
+        assert [h.out_dir for h in yx[:-1]] == ["N"] * half + ["E"] * half
+
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [lambda: mesh(4, 4), lambda: torus(4, 4), lambda: torus(6, 6)],
+    )
+    def test_straight_line_routes_same_hop_multiset(self, topology_factory):
+        """Regression: on straight-line routes (one aligned dimension)
+        XY and YX must traverse the same tile multiset — there is only
+        one dimension to move through, so order cannot differ."""
+        topology = topology_factory()
+        n_tiles = topology.n_tiles
+        for src in range(n_tiles):
+            src_row, src_col = topology.tile_coords(src)
+            for dst in range(n_tiles):
+                if src == dst:
+                    continue
+                dst_row, dst_col = topology.tile_coords(dst)
+                if src_row != dst_row and src_col != dst_col:
+                    continue
+                xy = XYRouting().route(topology, src, dst)
+                yx = YXRouting().route(topology, src, dst)
+                assert sorted(h.tile for h in xy) == sorted(
+                    h.tile for h in yx
+                )

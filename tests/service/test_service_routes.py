@@ -1,0 +1,185 @@
+"""Service-layer tests for joint mapping x routing requests.
+
+The ``routes`` request field must thread end to end: the schema
+validates widened mapping rows and gene ranges, the core builds routed
+problems whose responses stay bit-identical to the equivalent offline
+run, daemon-level ``default_routes`` applies only when the request does
+not choose its own, and ``routes: 1`` responses keep the historical
+shape (no ``route_genes`` key).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import build_case_study_network
+from repro.appgraph.benchmarks import load_benchmark
+from repro.core import pool as pool_registry
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.evaluator import MappingEvaluator
+from repro.core.problem import MappingProblem
+from repro.errors import ServiceError
+from repro.service import ServiceCore
+from repro.service.schema import parse_request
+
+
+def routed_problem(app="pip", routes=3):
+    cg = load_benchmark(app)
+    network = build_case_study_network("torus", 4, "crux")
+    return MappingProblem(cg, network, routes=routes)
+
+
+@pytest.fixture
+def core():
+    core = ServiceCore(n_workers=1)
+    yield core
+    core.close(timeout=30)
+    pool_registry.shutdown_pools()
+
+
+class TestRoutesSchema:
+    def test_routes_field_parsed(self):
+        request = parse_request(
+            {"kind": "evaluate", "app": "pip", "routes": 3}
+        )
+        assert request.routes == 3
+        assert request.problem().routes == 3
+
+    def test_default_routes_applies_when_absent(self):
+        request = parse_request(
+            {"kind": "evaluate", "app": "pip"}, default_routes=3
+        )
+        assert request.routes == 3
+
+    def test_explicit_routes_beats_default(self):
+        request = parse_request(
+            {"kind": "evaluate", "app": "pip", "routes": 1}, default_routes=3
+        )
+        assert request.routes == 1
+
+    def test_routes_below_one_rejected(self):
+        with pytest.raises(ServiceError, match="routes"):
+            parse_request({"kind": "evaluate", "app": "pip", "routes": 0})
+
+    def test_widened_rows_accepted_when_routed(self):
+        cg = load_benchmark("pip")  # 8 tasks
+        row = list(range(cg.n_tasks)) + [0] * cg.n_edges
+        request = parse_request(
+            {"kind": "evaluate", "app": "pip", "routes": 3, "mappings": [row]}
+        )
+        assert request.assignments.shape == (1, cg.n_tasks + cg.n_edges)
+
+    def test_widened_rows_rejected_without_routes(self):
+        cg = load_benchmark("pip")
+        row = list(range(cg.n_tasks)) + [0] * cg.n_edges
+        with pytest.raises(ServiceError, match="tile indices"):
+            parse_request({"kind": "evaluate", "app": "pip", "mappings": [row]})
+
+    def test_out_of_range_gene_rejected(self):
+        cg = load_benchmark("pip")
+        row = list(range(cg.n_tasks)) + [0] * cg.n_edges
+        row[-1] = 3  # genes live in [0, routes)
+        with pytest.raises(ServiceError, match="route genes"):
+            parse_request(
+                {"kind": "evaluate", "app": "pip", "routes": 3,
+                 "mappings": [row]}
+            )
+
+    def test_injectivity_checked_on_head_only(self):
+        cg = load_benchmark("pip")
+        row = list(range(cg.n_tasks)) + [1] * cg.n_edges  # repeated genes OK
+        request = parse_request(
+            {"kind": "evaluate", "app": "pip", "routes": 3, "mappings": [row]}
+        )
+        assert request.assignments is not None
+
+
+class TestRoutedDispatch:
+    def test_optimize_returns_route_genes_and_matches_offline(self, core):
+        body, status = core.handle(
+            {
+                "kind": "optimize", "app": "pip", "topology": "torus",
+                "side": 4, "strategy": "tabu", "budget": 200, "seed": 5,
+                "routes": 3,
+            }
+        )
+        assert status == 200 and body["ok"], body
+        with DesignSpaceExplorer(routed_problem()) as explorer:
+            offline = explorer.run("tabu", budget=200, seed=5)
+        result = body["result"]
+        assert result["best_score"] == offline.best_score
+        assert result["assignment"] == offline.best_mapping.assignment.tolist()
+        assert result["route_genes"] == offline.route_genes.tolist()
+        assert all(0 <= g < 3 for g in result["route_genes"])
+
+    def test_single_route_response_has_no_route_genes(self, core):
+        body, status = core.handle(
+            {
+                "kind": "optimize", "app": "pip", "strategy": "rs",
+                "budget": 64, "seed": 1,
+            }
+        )
+        assert status == 200, body
+        assert "route_genes" not in body["result"]
+
+    def test_routed_random_evaluate_matches_offline(self, core):
+        body, status = core.handle(
+            {
+                "kind": "evaluate", "app": "pip", "topology": "torus",
+                "side": 4, "routes": 3, "seed": 11, "n_random": 8,
+            }
+        )
+        assert status == 200, body
+        evaluator = MappingEvaluator(routed_problem())
+        rows = evaluator.random_vector_batch(8, np.random.default_rng(11))
+        offline = evaluator.evaluate_batch(rows)
+        evaluator.close()
+        assert body["result"]["worst_snr_db"] == offline.worst_snr_db.tolist()
+
+    def test_routed_explicit_design_vectors(self, core):
+        problem = routed_problem()
+        evaluator = MappingEvaluator(problem)
+        rng = np.random.default_rng(13)
+        rows = [evaluator.random_vector(rng).tolist() for _ in range(2)]
+        body, status = core.handle(
+            {
+                "kind": "evaluate", "app": "pip", "topology": "torus",
+                "side": 4, "routes": 3, "mappings": rows,
+            }
+        )
+        assert status == 200, body
+        offline = evaluator.evaluate_batch(np.asarray(rows))
+        evaluator.close()
+        assert body["result"]["worst_snr_db"] == offline.worst_snr_db.tolist()
+
+
+class TestDefaultRoutes:
+    def test_daemon_default_applies(self):
+        core = ServiceCore(n_workers=1, default_routes=3)
+        try:
+            body, status = core.handle(
+                {
+                    "kind": "optimize", "app": "pip", "topology": "torus",
+                    "side": 4, "strategy": "rs", "budget": 64, "seed": 2,
+                }
+            )
+            assert status == 200, body
+            assert "route_genes" in body["result"]
+
+            body, status = core.handle(
+                {
+                    "kind": "optimize", "app": "pip", "topology": "torus",
+                    "side": 4, "strategy": "rs", "budget": 64, "seed": 2,
+                    "routes": 1,
+                }
+            )
+            assert status == 200, body
+            assert "route_genes" not in body["result"]
+
+            stats, status = core.handle({"kind": "stats"})
+            assert status == 200
+            assert stats["result"]["default_routes"] == 3
+        finally:
+            core.close(timeout=30)
+            pool_registry.shutdown_pools()
